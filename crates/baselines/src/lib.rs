@@ -1,0 +1,24 @@
+//! # ig-baselines — the comparator tools of §VII
+//!
+//! "Tools such as SCP and rsync are ubiquitously available and easy to
+//! use, but they provide only modest performance and no fault recovery."
+//! Experiments E2 and E6 need those comparators implemented, not waved
+//! at:
+//!
+//! * [`scp`] — an SCP-like copier: **one** TCP stream, **mandatory**
+//!   encryption, a fixed channel window (the documented reason scp
+//!   crawls on WANs), and third-party copies that **route through the
+//!   client** ("SCP routes data through the client for transfers between
+//!   two remote hosts", §VII).
+//! * [`ftp`] — legacy stream-mode FTP: one cleartext TCP stream, no
+//!   restart markers, no parallelism.
+//!
+//! For WAN-shape experiments the matching [`ig_netsim::TcpParams`]
+//! presets ([`scp::scp_netsim_params`], [`ftp::ftp_netsim_params`]) feed
+//! the flow simulator.
+
+pub mod ftp;
+pub mod scp;
+
+pub use ftp::PlainFtpHost;
+pub use scp::ScpHost;

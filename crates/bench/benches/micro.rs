@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks: the primitives every transfer touches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ig_crypto::chacha20::ChaCha20;
+use ig_crypto::hmac::HmacSha256;
+use ig_crypto::rng::seeded;
+use ig_crypto::{RsaKeyPair, Sha256};
+use ig_gsi::keys::SessionKeys;
+use ig_gsi::record::{Opener, Sealer};
+use ig_gsi::ProtectionLevel;
+use ig_netsim::{parallel_transfer_time, Bottleneck, TcpParams};
+use ig_protocol::command::Command;
+use ig_protocol::mode_e::{fragment, Block, Reassembler};
+
+fn bench_hash_and_cipher(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1 << 20];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_1MiB", |b| b.iter(|| Sha256::digest(&data)));
+    g.bench_function("hmac_sha256_1MiB", |b| b.iter(|| HmacSha256::mac(b"key", &data)));
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    g.bench_function("chacha20_1MiB", |b| {
+        b.iter(|| ChaCha20::xor(&key, &nonce, &data))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let kp = RsaKeyPair::generate(&mut seeded(1), 512).expect("keygen");
+    let msg = b"control channel transcript hash";
+    let sig = kp.private.sign(msg).expect("sign");
+    let mut g = c.benchmark_group("rsa512");
+    g.bench_function("sign", |b| b.iter(|| kp.private.sign(msg).expect("sign")));
+    g.bench_function("verify", |b| b.iter(|| kp.public.verify(msg, &sig).expect("verify")));
+    g.finish();
+}
+
+fn bench_records(c: &mut Criterion) {
+    let keys = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+    let payload = vec![0x5au8; 64 * 1024];
+    let mut g = c.benchmark_group("gsi_record_64KiB");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+        g.bench_with_input(BenchmarkId::new("seal_open", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                let mut sealer = Sealer::new(keys.c2s.clone());
+                let mut opener = Opener::new(keys.c2s.clone());
+                let rec = sealer.seal(level, &payload);
+                opener.open(&rec).expect("open")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mode_e(c: &mut Criterion) {
+    let data = vec![0x3cu8; 1 << 20];
+    let mut g = c.benchmark_group("mode_e_1MiB");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("fragment_64KiB_blocks", |b| b.iter(|| fragment(0, &data, 64 * 1024)));
+    g.bench_function("fragment_reassemble", |b| {
+        b.iter(|| {
+            let blocks = fragment(0, &data, 64 * 1024);
+            let mut r = Reassembler::new();
+            for blk in &blocks {
+                r.push(blk).expect("push");
+            }
+            r.push(&Block::eof_count(1)).expect("eofc");
+            r.push(&Block::eod()).expect("eod");
+            r.into_data(data.len() as u64).expect("complete")
+        })
+    });
+    g.finish();
+}
+
+fn bench_command_parse(c: &mut Criterion) {
+    let lines = [
+        "RETR /data/some/long/path/file.dat",
+        "OPTS RETR Parallelism=8,8,8;",
+        "DCAU S /O=Grid/CN=alice",
+        "PORT 127,0,0,1,4,210",
+        "DCSC D",
+    ];
+    c.bench_function("command_parse_mixed", |b| {
+        b.iter(|| {
+            for l in &lines {
+                Command::parse(l).expect("parse");
+            }
+        })
+    });
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    c.bench_function("netsim_256MiB_16flows_100msRTT", |b| {
+        b.iter(|| {
+            let mut rng = seeded(42);
+            let link = Bottleneck::new(1e10, 0.1, 1e-4);
+            parallel_transfer_time(&link, 256 << 20, 16, TcpParams::tuned(), &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hash_and_cipher, bench_rsa, bench_records, bench_mode_e, bench_command_parse, bench_netsim
+}
+criterion_main!(micro);

@@ -1,0 +1,9 @@
+//! `cargo bench --bench report_tables` — prints every experiment table
+//! (the figure/claim regenerator) so the full evaluation lands in
+//! bench output logs. Uses trimmed (fast) sizes; run the `report` binary
+//! without `--fast` for the full-size sweeps.
+
+fn main() {
+    // Criterion-less bench target: the "benchmark" is the report itself.
+    println!("{}", ig_bench::full_report(true));
+}

@@ -1,0 +1,64 @@
+//! Criterion end-to-end transfer benchmarks over the real loopback stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ig_bench::experiments::common::{endpoint, session, stage};
+use ig_client::{transfer, TransferOpts};
+use ig_gsi::ProtectionLevel;
+
+const SIZE: usize = 4 << 20;
+
+fn bench_prot_levels(c: &mut Criterion) {
+    let ep = endpoint("bench-prot.example.org", 0xBE01);
+    stage(&ep, "p.bin", SIZE);
+    let mut s = session(&ep, 0xBE02);
+    let mut g = c.benchmark_group("loopback_get_4MiB");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+        s.set_prot(level).expect("prot");
+        g.bench_with_input(BenchmarkId::new("prot", level.name()), &level, |b, _| {
+            b.iter(|| {
+                let d = transfer::get_bytes(
+                    &mut s,
+                    "/home/alice/p.bin",
+                    &TransferOpts::default().parallel(2).block(256 * 1024),
+                )
+                .expect("get");
+                assert_eq!(d.len(), SIZE);
+            })
+        });
+    }
+    g.finish();
+    let _ = s.quit();
+    ep.shutdown();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let ep = endpoint("bench-par.example.org", 0xBE11);
+    stage(&ep, "q.bin", SIZE);
+    let mut s = session(&ep, 0xBE12);
+    let mut g = c.benchmark_group("loopback_get_streams");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    for streams in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("streams", streams), &streams, |b, &n| {
+            b.iter(|| {
+                let d = transfer::get_bytes(
+                    &mut s,
+                    "/home/alice/q.bin",
+                    &TransferOpts::default().parallel(n).block(128 * 1024),
+                )
+                .expect("get");
+                assert_eq!(d.len(), SIZE);
+            })
+        });
+    }
+    g.finish();
+    let _ = s.quit();
+    ep.shutdown();
+}
+
+criterion_group! {
+    name = transfers;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_prot_levels, bench_parallelism
+}
+criterion_main!(transfers);

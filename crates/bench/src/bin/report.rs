@@ -1,0 +1,38 @@
+//! `report` — regenerate the paper's figures/claims as text tables.
+//!
+//! ```text
+//! cargo run -p ig-bench --bin report --release            # everything
+//! cargo run -p ig-bench --bin report --release -- --exp e7
+//! cargo run -p ig-bench --bin report --release -- --fast  # trimmed sizes
+//! ```
+
+use ig_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let exp_filter = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_ascii_lowercase());
+    match exp_filter.as_deref() {
+        None => print!("{}", ig_bench::full_report(fast)),
+        Some("e1") => print!("{}", exp::e1_usage::table()),
+        Some("e2") => print!("{}", exp::e2_wan::table(fast)),
+        Some("e3") => print!("{}", exp::e3_prot::table(fast)),
+        Some("e4") => print!("{}", exp::e4_small_files::table(fast)),
+        Some("e5") => print!("{}", exp::e5_striping::table(fast)),
+        Some("e6") => print!("{}", exp::e6_third_party::table()),
+        Some("e7") => print!("{}", exp::e7_dcsc::table()),
+        Some("e8") => print!("{}", exp::e8_setup::table()),
+        Some("e9") => print!("{}", exp::e9_restart::table(fast)),
+        Some("e10") => print!("{}", exp::e10_oauth::table()),
+        Some("e11") => print!("{}", exp::e11_myproxy::table(fast)),
+        Some("e12") => print!("{}", exp::e12_overheads::table()),
+        Some(other) => {
+            eprintln!("unknown experiment {other:?}; use e1..e12");
+            std::process::exit(2);
+        }
+    }
+}

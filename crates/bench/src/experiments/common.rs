@@ -1,0 +1,85 @@
+//! Shared scaffolding for measured experiments.
+
+use ig_client::ClientSession;
+use ig_gcmu::{GcmuEndpoint, InstallOptions};
+use ig_pki::time::Clock;
+use ig_server::UserContext;
+
+/// Fixed simulated "now" for all measured experiments.
+pub const NOW: u64 = 2_100_000_000;
+
+/// Install a GCMU endpoint with one `alice` account.
+pub fn endpoint(name: &str, seed: u64) -> GcmuEndpoint {
+    InstallOptions::new(name)
+        .account("alice", "benchpw")
+        .clock(Clock::Fixed(NOW))
+        .seed(seed)
+        .install()
+        .expect("install")
+}
+
+/// Install + customize.
+pub fn endpoint_with(
+    name: &str,
+    seed: u64,
+    f: impl FnOnce(InstallOptions) -> InstallOptions,
+) -> GcmuEndpoint {
+    f(InstallOptions::new(name)
+        .account("alice", "benchpw")
+        .clock(Clock::Fixed(NOW))
+        .seed(seed))
+    .install()
+    .expect("install")
+}
+
+/// Logon and open an authenticated session.
+pub fn session(ep: &GcmuEndpoint, seed: u64) -> ClientSession {
+    let logon = ep.logon("alice", "benchpw", 3600, seed).expect("logon");
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, seed + 1))
+        .expect("connect");
+    s.login().expect("login");
+    s
+}
+
+/// Stage a deterministic payload at `/home/alice/<file>`.
+pub fn stage(ep: &GcmuEndpoint, file: &str, len: usize) -> Vec<u8> {
+    let data: Vec<u8> = (0..len as u64).map(|i| (i.wrapping_mul(0x9e37) % 251) as u8).collect();
+    let root = UserContext::superuser();
+    ep.dsi
+        .write(&root, &format!("/home/alice/{file}"), 0, &data)
+        .expect("stage");
+    data
+}
+
+/// Serializes timing-sensitive experiments: on small hosts (this CI box
+/// has one core) concurrent measured experiments corrupt each other's
+/// wall-clock numbers.
+pub fn bench_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Wall-clock a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaffolding_works() {
+        let ep = endpoint("bench-common.example.org", 9001);
+        let data = stage(&ep, "probe.bin", 1000);
+        assert_eq!(data.len(), 1000);
+        let mut s = session(&ep, 9002);
+        assert_eq!(s.size("/home/alice/probe.bin").unwrap(), 1000);
+        let (_, secs) = timed(|| std::thread::sleep(std::time::Duration::from_millis(10)));
+        assert!(secs >= 0.009);
+        s.quit().unwrap();
+        ep.shutdown();
+    }
+}

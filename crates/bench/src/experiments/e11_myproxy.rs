@@ -1,0 +1,191 @@
+//! E11 — §IV-A: online CA issuance. Measured: logon latency/throughput
+//! per PAM backend, plus lifetime-policy enforcement.
+
+use crate::experiments::common::NOW;
+use crate::table;
+use ig_myproxy::ca::{OnlineCa, DEFAULT_MAX_LIFETIME};
+use ig_myproxy::pam::{
+    AuthBackend, FileBackend, LdapSimBackend, NisSimBackend, OtpBackend, PamStack,
+    RadiusSimBackend,
+};
+use ig_myproxy::{myproxy_logon, MyProxyServer};
+use ig_pki::time::Clock;
+use ig_pki::{Credential, TrustStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One backend's measured issuance performance.
+pub struct Row {
+    /// Backend name.
+    pub backend: &'static str,
+    /// Logons completed.
+    pub logons: usize,
+    /// Mean latency per logon (seconds).
+    pub mean_latency_s: f64,
+    /// Issuances per second.
+    pub per_sec: f64,
+}
+
+fn server_with(backend: Box<dyn AuthBackend>, seed: u64) -> Arc<MyProxyServer> {
+    let clock = Clock::Fixed(NOW);
+    let mut rng = ig_crypto::rng::seeded(seed);
+    let ca = Arc::new(OnlineCa::create(&mut rng, "e11.example.org", 512, clock).expect("ca"));
+    let (host_cert, host_key) = ca.issue_host_cert(&mut rng, 512).expect("host");
+    let host_cred = Credential::new(vec![host_cert, ca.root_cert()], host_key).expect("cred");
+    let pam = Arc::new(PamStack::new(vec![backend]));
+    MyProxyServer::start(ca, pam, host_cred, clock, seed * 7).expect("server")
+}
+
+/// Run the per-backend sweep.
+pub fn run(fast: bool) -> Vec<Row> {
+    let logons = if fast { 4 } else { 16 };
+    let mut rows = Vec::new();
+    let backends: Vec<(&'static str, Box<dyn AuthBackend>)> = vec![
+        ("pam_files", {
+            let mut b = FileBackend::new();
+            b.add_user("alice", "pw");
+            Box::new(b)
+        }),
+        ("pam_ldap (sim)", {
+            let mut b = LdapSimBackend::new("ou=people,dc=example,dc=org");
+            b.latency = Duration::from_millis(2);
+            b.add_entry("alice", "pw");
+            Box::new(b)
+        }),
+        ("pam_nis (sim)", {
+            let mut b = NisSimBackend::new();
+            b.latency = Duration::from_millis(1);
+            b.add_entry("alice", "pw");
+            Box::new(b)
+        }),
+        ("pam_radius (sim)", {
+            let mut b = RadiusSimBackend::new(b"secret");
+            b.latency = Duration::from_millis(3);
+            b.add_user("alice", "pw");
+            Box::new(b)
+        }),
+    ];
+    for (i, (name, backend)) in backends.into_iter().enumerate() {
+        let server = server_with(backend, 0xE11_0 + i as u64);
+        let start = std::time::Instant::now();
+        for n in 0..logons {
+            let mut rng = ig_crypto::rng::seeded(0xE11_100 + (i * 1000 + n) as u64);
+            let out = myproxy_logon(
+                server.addr(),
+                "alice",
+                "pw",
+                3600,
+                TrustStore::new(),
+                true,
+                Clock::Fixed(NOW),
+                512,
+                &mut rng,
+            )
+            .expect("logon");
+            assert!(out.credential.remaining_lifetime(NOW) > 0);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(Row {
+            backend: name,
+            logons,
+            mean_latency_s: secs / logons as f64,
+            per_sec: logons as f64 / secs,
+        });
+        server.shutdown();
+    }
+    rows
+}
+
+/// OTP issuance works and lifetimes are clamped — spot checks printed
+/// alongside the table.
+pub fn spot_checks() -> (bool, bool) {
+    // OTP backend behind the CA.
+    let mut otp = OtpBackend::new();
+    otp.enroll("alice", b"otp-secret");
+    let server = server_with(Box::new(otp), 0xE11_777);
+    let code = OtpBackend::code(b"otp-secret", 1);
+    let mut rng = ig_crypto::rng::seeded(0xE11_778);
+    let otp_ok = myproxy_logon(
+        server.addr(),
+        "alice",
+        &code,
+        3600,
+        TrustStore::new(),
+        true,
+        Clock::Fixed(NOW),
+        512,
+        &mut rng,
+    )
+    .is_ok();
+    // Lifetime clamp.
+    let mut b = FileBackend::new();
+    b.add_user("alice", "pw");
+    let server2 = server_with(Box::new(b), 0xE11_779);
+    let mut rng2 = ig_crypto::rng::seeded(0xE11_780);
+    let out = myproxy_logon(
+        server2.addr(),
+        "alice",
+        "pw",
+        u64::MAX / 8,
+        TrustStore::new(),
+        true,
+        Clock::Fixed(NOW),
+        512,
+        &mut rng2,
+    )
+    .expect("logon");
+    let clamped = out.credential.remaining_lifetime(NOW) == DEFAULT_MAX_LIFETIME;
+    server.shutdown();
+    server2.shutdown();
+    (otp_ok, clamped)
+}
+
+/// Render the table.
+pub fn table(fast: bool) -> String {
+    let rows = run(fast);
+    let mut t = vec![vec![
+        "PAM backend".to_string(),
+        "logons".to_string(),
+        "mean latency".to_string(),
+        "issuances/s".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.backend.to_string(),
+            r.logons.to_string(),
+            format!("{:.1} ms", r.mean_latency_s * 1e3),
+            format!("{:.1}", r.per_sec),
+        ]);
+    }
+    let (otp_ok, clamped) = spot_checks();
+    format!(
+        "{}OTP logon: {}; lifetime clamp at {}h: {}\n",
+        table::render(&t),
+        if otp_ok { "ok" } else { "FAILED" },
+        DEFAULT_MAX_LIFETIME / 3600,
+        if clamped { "enforced" } else { "NOT ENFORCED" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_backends_issue() {
+        let _serial = crate::experiments::common::bench_lock();
+        let rows = run(true);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.per_sec > 0.5, "{} too slow: {:.2}/s", r.backend, r.per_sec);
+        }
+    }
+
+    #[test]
+    fn spot_checks_hold() {
+        let _serial = crate::experiments::common::bench_lock();
+        let (otp_ok, clamped) = spot_checks();
+        assert!(otp_ok);
+        assert!(clamped);
+    }
+}

@@ -1,0 +1,161 @@
+//! E12 — ablation overheads: DCSC blob size/parse cost vs chain length
+//! (§V-A), and the default-on control-channel protection cost (§IIC).
+
+use crate::table;
+use ig_crypto::rng::seeded;
+use ig_gsi::context::test_support::{ca_and_credential, config_with};
+use ig_gsi::context::SecureContext;
+use ig_gsi::handshake::pump;
+use ig_pki::cert::Validity;
+use ig_pki::proxy::{delegate, ProxyOptions};
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName};
+use ig_protocol::command::{Command, ProtectedKind};
+use ig_protocol::{dcsc, secure_line};
+
+/// DCSC blob metrics for one chain length.
+pub struct BlobRow {
+    /// Certificates in the chain.
+    pub chain_len: usize,
+    /// Encoded `DCSC P` blob size in bytes.
+    pub blob_bytes: usize,
+    /// Round-trip (encode + parse) time, microseconds.
+    pub roundtrip_us: f64,
+}
+
+/// Build credentials with chains of 1..=3 certificates and measure.
+pub fn run_blobs() -> Vec<BlobRow> {
+    let mut rng = seeded(0xE12);
+    let mut ca = CertificateAuthority::create(
+        &mut rng,
+        DistinguishedName::parse("/O=E12 CA").expect("dn"),
+        512,
+        0,
+        1_000_000_000,
+    )
+    .expect("ca");
+    let keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).expect("keys");
+    let cert = ca
+        .issue(
+            DistinguishedName::parse("/O=Grid/CN=alice").expect("dn"),
+            &keys.public,
+            Validity::starting_at(0, 1_000_000_000),
+            vec![],
+        )
+        .expect("issue");
+    let leaf_only = Credential::new(vec![cert.clone()], keys.private.clone()).expect("cred1");
+    let with_root =
+        Credential::new(vec![cert, ca.root_cert().clone()], keys.private).expect("cred2");
+    let delegated = delegate(&mut rng, &with_root, 512, 0, ProxyOptions::default()).expect("deleg");
+    let mut rows = Vec::new();
+    for cred in [&leaf_only, &with_root, &delegated] {
+        let start = std::time::Instant::now();
+        let iters = 20;
+        for _ in 0..iters {
+            let cmd = dcsc::encode_dcsc_p(cred);
+            let Command::Dcsc { context_type, blob } = cmd else { unreachable!() };
+            dcsc::interpret(context_type, blob.as_deref()).expect("parse");
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        rows.push(BlobRow {
+            chain_len: cred.chain().len(),
+            blob_bytes: dcsc::blob_size(cred),
+            roundtrip_us: us,
+        });
+    }
+    rows
+}
+
+/// Control-channel protection cost: μs per command round for plain vs
+/// `MIC` vs `ENC` wrapping.
+pub struct CtrlRow {
+    /// Wrapping mode.
+    pub mode: &'static str,
+    /// Microseconds per command wrap+unwrap.
+    pub us_per_command: f64,
+}
+
+/// Measure control-channel wrapping.
+pub fn run_ctrl() -> Vec<CtrlRow> {
+    let mut rng = seeded(0xE12_2);
+    let (ca, server_cred) = ca_and_credential(&mut rng, "/O=CA", "/CN=server");
+    let (ca2, client_cred) = ca_and_credential(&mut rng, "/O=CA2", "/CN=client");
+    let server_cfg = config_with(Some(server_cred), &[&ca, &ca2], true);
+    let client_cfg = config_with(Some(client_cred), &[&ca, &ca2], true);
+    let (ie, ae) = pump(client_cfg, server_cfg, &mut rng).expect("handshake");
+    let mut client = SecureContext::from_established(ie);
+    let mut server = SecureContext::from_established(ae);
+    let cmd = Command::Retr("/data/file-with-a-typical-path-length.dat".into());
+    let iters = 500;
+    let mut rows = Vec::new();
+    // Plain: parse/serialize only.
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let line = cmd.to_string();
+        let _ = Command::parse(&line).expect("parse");
+    }
+    rows.push(CtrlRow {
+        mode: "plain (no protection)",
+        us_per_command: start.elapsed().as_secs_f64() * 1e6 / iters as f64,
+    });
+    for (kind, name) in [(ProtectedKind::Mic, "MIC (integrity)"), (ProtectedKind::Enc, "ENC (private, GridFTP default)")] {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            let wrapped = secure_line::protect_command(&mut client, kind, &cmd);
+            let _ = secure_line::unprotect_command(&mut server, &wrapped).expect("unwrap");
+        }
+        rows.push(CtrlRow {
+            mode: name,
+            us_per_command: start.elapsed().as_secs_f64() * 1e6 / iters as f64,
+        });
+    }
+    rows
+}
+
+/// Render the table.
+pub fn table() -> String {
+    let blobs = run_blobs();
+    let mut t1 = vec![vec![
+        "chain length".to_string(),
+        "DCSC P blob".to_string(),
+        "encode+parse".to_string(),
+    ]];
+    for r in &blobs {
+        t1.push(vec![
+            r.chain_len.to_string(),
+            table::fmt_bytes(r.blob_bytes as u64),
+            format!("{:.0} us", r.roundtrip_us),
+        ]);
+    }
+    let ctrl = run_ctrl();
+    let mut t2 = vec![vec!["control-channel mode".to_string(), "per command".to_string()]];
+    for r in &ctrl {
+        t2.push(vec![r.mode.to_string(), format!("{:.1} us", r.us_per_command)]);
+    }
+    format!("{}\n{}", table::render(&t1), table::render(&t2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_grows_with_chain() {
+        let rows = run_blobs();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].blob_bytes < rows[1].blob_bytes);
+        assert!(rows[1].blob_bytes < rows[2].blob_bytes);
+        // Parsing stays cheap (well under a millisecond).
+        for r in &rows {
+            assert!(r.roundtrip_us < 10_000.0);
+        }
+    }
+
+    #[test]
+    fn protection_costs_are_finite_and_ordered() {
+        let rows = run_ctrl();
+        assert_eq!(rows.len(), 3);
+        // Wrapping costs more than plain parsing.
+        assert!(rows[1].us_per_command > rows[0].us_per_command);
+        assert!(rows[2].us_per_command > rows[0].us_per_command);
+    }
+}

@@ -1,0 +1,87 @@
+//! E1 — Fig 1: aggregate usage of the reporting server fleet.
+//!
+//! Paper anchors: ">5,000 servers", "more than 10 million transfers",
+//! "approximately half a petabyte of data every day".
+
+use crate::table;
+use ig_gol::usage::{steady_state, synthesize_fleet, FleetParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One plotted point (4-week bucket of the Fig 1 series).
+pub struct Row {
+    /// Week index.
+    pub week: u32,
+    /// Mean transfers per day in the bucket.
+    pub transfers_per_day: f64,
+    /// Mean terabytes per day in the bucket.
+    pub tb_per_day: f64,
+}
+
+/// Generate the series.
+pub fn run() -> (Vec<Row>, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(0xF16_1);
+    let buckets = synthesize_fleet(&mut rng, &FleetParams::default());
+    let mut rows = Vec::new();
+    for (week, chunk) in buckets.chunks(28).enumerate() {
+        let n = chunk.len() as f64;
+        let transfers = chunk.iter().map(|b| b.transfers as f64).sum::<f64>() / n;
+        let bytes = chunk.iter().map(|b| b.bytes as f64).sum::<f64>() / n;
+        rows.push(Row {
+            week: week as u32 * 4,
+            transfers_per_day: transfers,
+            tb_per_day: bytes / 1e12,
+        });
+    }
+    let (t, b) = steady_state(&buckets, 28);
+    (rows, t, b)
+}
+
+/// Render the table.
+pub fn table() -> String {
+    let (rows, steady_t, steady_b) = run();
+    let mut t = vec![vec![
+        "week".to_string(),
+        "transfers/day".to_string(),
+        "TB/day".to_string(),
+        "plot".to_string(),
+    ]];
+    let max = rows.iter().map(|r| r.transfers_per_day).fold(0.0f64, f64::max);
+    for r in &rows {
+        let bars = ((r.transfers_per_day / max) * 40.0) as usize;
+        t.push(vec![
+            format!("{}", r.week),
+            format!("{:.2e}", r.transfers_per_day),
+            format!("{:.0}", r.tb_per_day),
+            "#".repeat(bars),
+        ]);
+    }
+    format!(
+        "{}\nsteady state: {:.2e} transfers/day, {:.0} TB/day  (paper: >1e7 transfers/day, ~500 TB/day)\n",
+        table::render(&t),
+        steady_t,
+        steady_b / 1e12
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_hold() {
+        let (rows, steady_t, steady_b) = run();
+        assert_eq!(rows.len(), 13);
+        assert!(steady_t > 7e6);
+        assert!(steady_b > 2.5e14 && steady_b < 1e15);
+        // Growth across the series.
+        assert!(rows.last().expect("rows").transfers_per_day > rows[0].transfers_per_day);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table();
+        assert!(t.contains("transfers/day"));
+        assert!(t.contains("steady state"));
+    }
+}

@@ -1,0 +1,132 @@
+//! E2 — the headline claim (§I, §VII): "GridFTP has been shown to
+//! deliver multiple orders of magnitude higher throughput than do other
+//! data transfer methods such as secure copy (SCP)."
+//!
+//! Simulated on the netsim WAN substrate (we have no 10 Gbps testbed):
+//! 10 Gbps bottleneck, RTT and loss swept, 256 MiB payload.
+//! SCP = one stream, 64 KiB window, cipher ceiling; FTP = one stream,
+//! 256 KiB window; GridFTP = tuned buffers, N parallel streams.
+
+use crate::table;
+use ig_baselines::ftp::ftp_netsim_params;
+use ig_baselines::scp::scp_netsim_params;
+use ig_netsim::{parallel_throughput_bps, Bottleneck, TcpParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sweep point.
+pub struct Row {
+    /// RTT in milliseconds.
+    pub rtt_ms: f64,
+    /// Path loss probability.
+    pub loss: f64,
+    /// Throughputs in bits/s: scp, ftp, gridftp x1, x8, x16.
+    pub scp: f64,
+    /// Plain FTP.
+    pub ftp: f64,
+    /// GridFTP single stream.
+    pub gridftp_1: f64,
+    /// GridFTP 8 streams.
+    pub gridftp_8: f64,
+    /// GridFTP 16 streams.
+    pub gridftp_16: f64,
+}
+
+/// Run the sweep. `fast` trims the grid.
+pub fn run(fast: bool) -> Vec<Row> {
+    let bytes: u64 = if fast { 64 << 20 } else { 256 << 20 };
+    let rtts = if fast { vec![0.01, 0.1] } else { vec![0.001, 0.01, 0.05, 0.1] };
+    let losses = if fast { vec![0.0, 1e-4] } else { vec![0.0, 1e-5, 1e-4, 1e-3] };
+    let mut rows = Vec::new();
+    for &rtt in &rtts {
+        for &loss in &losses {
+            let link = Bottleneck::new(1e10, rtt, loss);
+            let mut rng = StdRng::seed_from_u64(0xE2 ^ (rtt * 1e6) as u64 ^ (loss * 1e9) as u64);
+            let scp = parallel_throughput_bps(&link, bytes, 1, scp_netsim_params(), &mut rng);
+            let ftp = parallel_throughput_bps(&link, bytes, 1, ftp_netsim_params(), &mut rng);
+            let g1 = parallel_throughput_bps(&link, bytes, 1, TcpParams::tuned(), &mut rng);
+            let g8 = parallel_throughput_bps(&link, bytes, 8, TcpParams::tuned(), &mut rng);
+            let g16 = parallel_throughput_bps(&link, bytes, 16, TcpParams::tuned(), &mut rng);
+            rows.push(Row {
+                rtt_ms: rtt * 1e3,
+                loss,
+                scp,
+                ftp,
+                gridftp_1: g1,
+                gridftp_8: g8,
+                gridftp_16: g16,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the table.
+pub fn table(fast: bool) -> String {
+    let rows = run(fast);
+    let mut t = vec![vec![
+        "RTT".to_string(),
+        "loss".to_string(),
+        "scp".to_string(),
+        "ftp".to_string(),
+        "gridftp x1".to_string(),
+        "gridftp x8".to_string(),
+        "gridftp x16".to_string(),
+        "x16/scp".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            format!("{:.0} ms", r.rtt_ms),
+            format!("{:.0e}", r.loss),
+            table::fmt_bps(r.scp),
+            table::fmt_bps(r.ftp),
+            table::fmt_bps(r.gridftp_1),
+            table::fmt_bps(r.gridftp_8),
+            table::fmt_bps(r.gridftp_16),
+            format!("{:.0}x", r.gridftp_16 / r.scp),
+        ]);
+    }
+    format!(
+        "{}(10 Gbit/s bottleneck; scp = 64 KiB window + cipher ceiling, single stream)\n",
+        table::render(&t)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gridftp_beats_scp_by_orders_of_magnitude_on_the_wan() {
+        let rows = run(true);
+        // At 100 ms RTT the window cap strangles scp; parallel tuned
+        // GridFTP should be >= 100x (the paper says "multiple orders of
+        // magnitude").
+        let wan = rows
+            .iter()
+            .find(|r| r.rtt_ms >= 99.0 && r.loss == 0.0)
+            .expect("wan row");
+        assert!(
+            wan.gridftp_16 / wan.scp > 100.0,
+            "x16/scp = {:.1}",
+            wan.gridftp_16 / wan.scp
+        );
+        // Parallelism matters under loss.
+        let lossy = rows
+            .iter()
+            .find(|r| r.rtt_ms >= 99.0 && r.loss > 0.0)
+            .expect("lossy row");
+        assert!(lossy.gridftp_16 > 2.0 * lossy.gridftp_1);
+        // FTP sits between scp and tuned GridFTP on the WAN.
+        assert!(wan.ftp > wan.scp);
+        assert!(wan.gridftp_16 > wan.ftp);
+    }
+
+    #[test]
+    fn lan_differences_are_modest() {
+        // On a 1 ms LAN everything is fast — the win is a WAN story.
+        let rows = run(false);
+        let lan = rows.iter().find(|r| r.rtt_ms <= 1.1 && r.loss == 0.0).expect("lan row");
+        assert!(lan.gridftp_16 / lan.scp < 100.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! E3 — §IIC: "Both cryptographic confidentiality and integrity
+//! protection are supported on the data channel but are not enabled by
+//! default because of cost. (An order of magnitude slowdown is not
+//! unusual on high-speed links.)"
+//!
+//! Measured for real: a loopback GET through the full stack at
+//! `PROT C` / `S` / `P`.
+
+use crate::experiments::common::{endpoint, session, stage};
+use crate::table;
+use ig_client::{transfer, TransferOpts};
+use ig_gsi::ProtectionLevel;
+
+/// One measured point.
+pub struct Row {
+    /// Protection level name.
+    pub level: &'static str,
+    /// Measured throughput, bytes/second.
+    pub bytes_per_sec: f64,
+    /// Slowdown vs `PROT C`.
+    pub slowdown: f64,
+}
+
+/// Run the measurement. `fast` shrinks the payload.
+pub fn run(fast: bool) -> Vec<Row> {
+    let size = if fast { 8 << 20 } else { 64 << 20 };
+    let ep = endpoint("e3-prot.example.org", 0xE3);
+    stage(&ep, "payload.bin", size);
+    let mut s = session(&ep, 0xE3_10);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut clear_rate = 0.0f64;
+    for (level, name) in [
+        (ProtectionLevel::Clear, "PROT C (clear)"),
+        (ProtectionLevel::Safe, "PROT S (integrity)"),
+        (ProtectionLevel::Private, "PROT P (private)"),
+    ] {
+        s.set_prot(level).expect("prot");
+        // Warm once, measure once (the payload dwarfs setup).
+        let start = std::time::Instant::now();
+        let data = transfer::get_bytes(
+            &mut s,
+            "/home/alice/payload.bin",
+            &TransferOpts::default().parallel(2).block(256 * 1024),
+        )
+        .expect("get");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(data.len(), size);
+        let rate = size as f64 / secs;
+        if level == ProtectionLevel::Clear {
+            clear_rate = rate;
+        }
+        rows.push(Row { level: name, bytes_per_sec: rate, slowdown: clear_rate / rate });
+    }
+    let _ = s.quit();
+    ep.shutdown();
+    rows
+}
+
+/// Render the table.
+pub fn table(fast: bool) -> String {
+    let rows = run(fast);
+    let mut t = vec![vec![
+        "level".to_string(),
+        "throughput".to_string(),
+        "slowdown vs C".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.level.to_string(),
+            table::fmt_bps(r.bytes_per_sec * 8.0),
+            format!("{:.1}x", r.slowdown),
+        ]);
+    }
+    format!(
+        "{}(paper: \"an order of magnitude slowdown is not unusual\" for PROT P)\n",
+        table::render(&t)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_is_substantially_slower_than_clear() {
+        let _serial = crate::experiments::common::bench_lock();
+        let rows = run(true);
+        assert_eq!(rows.len(), 3);
+        let clear = &rows[0];
+        let private = &rows[2];
+        assert!(
+            private.slowdown > 1.5,
+            "PROT P should cost real throughput: C={:.2e} B/s, P={:.2e} B/s",
+            clear.bytes_per_sec,
+            private.bytes_per_sec
+        );
+        // Integrity-only sits between.
+        assert!(rows[1].slowdown >= 1.0);
+    }
+}

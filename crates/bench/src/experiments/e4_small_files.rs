@@ -1,0 +1,156 @@
+//! E4 — the lots-of-small-files optimizations (§II-A, §VII): session
+//! reuse ("pipelining" amortizes per-command latency) and concurrency
+//! (multiple sessions moving files simultaneously).
+//!
+//! Measured: N small files fetched
+//! (a) the naive way — one fresh authenticated session per file (what a
+//!     scripted `scp`/one-shot client does: full handshake per file),
+//! (b) pipelined — one session reused for all files,
+//! (c) concurrent — k sessions splitting the batch.
+
+use crate::experiments::common::{endpoint, session, stage, timed, NOW};
+use crate::table;
+use ig_client::{transfer, ClientSession, TransferOpts};
+
+/// One measured point.
+pub struct Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Files moved.
+    pub files: usize,
+    /// Seconds.
+    pub secs: f64,
+    /// Files per second.
+    pub files_per_sec: f64,
+}
+
+/// Run the measurement.
+pub fn run(fast: bool) -> Vec<Row> {
+    let files = if fast { 12 } else { 48 };
+    let size = 16 * 1024;
+    let ep = endpoint("e4-small.example.org", 0xE4);
+    for i in 0..files {
+        stage(&ep, &format!("small/f{i}.bin"), size);
+    }
+    let mut rows = Vec::new();
+
+    // (a) fresh session per file — pays login (5-token handshake +
+    // delegation) every time.
+    let (_, secs) = timed(|| {
+        for i in 0..files {
+            let mut s = session(&ep, 0xE4_100 + i as u64 * 3);
+            let d = transfer::get_bytes(
+                &mut s,
+                &format!("/home/alice/small/f{i}.bin"),
+                &TransferOpts::default(),
+            )
+            .expect("get");
+            assert_eq!(d.len(), size);
+            let _ = s.quit();
+        }
+    });
+    rows.push(Row {
+        strategy: "session per file (naive)".into(),
+        files,
+        secs,
+        files_per_sec: files as f64 / secs,
+    });
+
+    // (b) one session, pipelined requests.
+    let mut s = session(&ep, 0xE4_500);
+    let (_, secs) = timed(|| {
+        for i in 0..files {
+            let d = transfer::get_bytes(
+                &mut s,
+                &format!("/home/alice/small/f{i}.bin"),
+                &TransferOpts::default(),
+            )
+            .expect("get");
+            assert_eq!(d.len(), size);
+        }
+    });
+    let _ = s.quit();
+    rows.push(Row {
+        strategy: "one session, pipelined".into(),
+        files,
+        secs,
+        files_per_sec: files as f64 / secs,
+    });
+
+    // (c) concurrency 4: four sessions splitting the batch.
+    let conc = 4usize;
+    let addr = ep.gridftp_addr();
+    let logon = ep.logon("alice", "benchpw", 3600, 0xE4_900).expect("logon");
+    let (_, secs) = timed(|| {
+        let mut handles = Vec::new();
+        for c in 0..conc {
+            let cfg = ep.client_config(&logon, 0xE4_901 + c as u64);
+            handles.push(std::thread::spawn(move || {
+                let mut s = ClientSession::connect(addr, cfg).expect("connect");
+                s.login().expect("login");
+                for i in (c..files).step_by(conc) {
+                    let d = transfer::get_bytes(
+                        &mut s,
+                        &format!("/home/alice/small/f{i}.bin"),
+                        &TransferOpts::default(),
+                    )
+                    .expect("get");
+                    assert_eq!(d.len(), size);
+                }
+                let _ = s.quit();
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+    });
+    rows.push(Row {
+        strategy: format!("concurrency {conc}"),
+        files,
+        secs,
+        files_per_sec: files as f64 / secs,
+    });
+    let _ = NOW;
+    ep.shutdown();
+    rows
+}
+
+/// Render the table.
+pub fn table(fast: bool) -> String {
+    let rows = run(fast);
+    let mut t = vec![vec![
+        "strategy".to_string(),
+        "files".to_string(),
+        "seconds".to_string(),
+        "files/s".to_string(),
+        "speedup".to_string(),
+    ]];
+    let base = rows[0].files_per_sec;
+    for r in &rows {
+        t.push(vec![
+            r.strategy.clone(),
+            r.files.to_string(),
+            format!("{:.3}", r.secs),
+            format!("{:.1}", r.files_per_sec),
+            format!("{:.1}x", r.files_per_sec / base),
+        ]);
+    }
+    format!("{}(16 KiB files; naive = full GSI login per file)\n", table::render(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_and_concurrency_beat_naive() {
+        let _serial = crate::experiments::common::bench_lock();
+        let rows = run(true);
+        assert_eq!(rows.len(), 3);
+        let naive = rows[0].files_per_sec;
+        let pipelined = rows[1].files_per_sec;
+        let concurrent = rows[2].files_per_sec;
+        assert!(pipelined > 1.5 * naive, "pipelined {pipelined:.1} vs naive {naive:.1}");
+        assert!(concurrent > pipelined * 0.8, "concurrency should roughly hold or improve");
+    }
+}

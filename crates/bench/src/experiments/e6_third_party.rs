@@ -1,0 +1,90 @@
+//! E6 — §VII: "SCP routes data through the client for transfers between
+//! two remote hosts; but often, the two remote hosts are connected by a
+//! high-speed link whereas the client and remote hosts are connected by
+//! low-bandwidth links."
+//!
+//! Simulated: servers joined by a 1 Gbit/s, 20 ms link; the client sits
+//! behind a 20 Mbit/s, 40 ms access link. GridFTP third-party moves the
+//! data directly; SCP drags every byte down and back up the access link.
+
+use crate::table;
+use ig_baselines::scp::scp_netsim_params;
+use ig_netsim::{parallel_transfer_time, Bottleneck, Route, TcpParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sweep point.
+pub struct Row {
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// GridFTP direct third-party time (seconds).
+    pub gridftp_direct_s: f64,
+    /// SCP through-client time (seconds).
+    pub scp_via_client_s: f64,
+}
+
+/// Run the sweep.
+pub fn run() -> Vec<Row> {
+    let server_link = Bottleneck::new(1e9, 0.02, 1e-6);
+    let access_link = Bottleneck::new(20e6, 0.04, 1e-5);
+    let mut rows = Vec::new();
+    for bytes in [10u64 << 20, 100 << 20, 1 << 30] {
+        let mut rng = StdRng::seed_from_u64(0xE6 ^ bytes);
+        // Direct: 4 parallel streams on the fast inter-site link.
+        let direct =
+            parallel_transfer_time(&server_link, bytes, 4, TcpParams::tuned(), &mut rng);
+        // Via client: download A→client then upload client→B, each over
+        // the effective route (server link + access link), single scp
+        // stream. scp is sequential: total = down + up.
+        let route = Route::via(server_link, access_link).effective();
+        let down = parallel_transfer_time(&route, bytes, 1, scp_netsim_params(), &mut rng);
+        let up = parallel_transfer_time(&route, bytes, 1, scp_netsim_params(), &mut rng);
+        rows.push(Row { bytes, gridftp_direct_s: direct, scp_via_client_s: down + up });
+    }
+    rows
+}
+
+/// Render the table.
+pub fn table() -> String {
+    let rows = run();
+    let mut t = vec![vec![
+        "size".to_string(),
+        "gridftp direct".to_string(),
+        "scp via client".to_string(),
+        "speedup".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            table::fmt_bytes(r.bytes),
+            format!("{:.1} s", r.gridftp_direct_s),
+            format!("{:.1} s", r.scp_via_client_s),
+            format!("{:.0}x", r.scp_via_client_s / r.gridftp_direct_s),
+        ]);
+    }
+    format!(
+        "{}(servers: 1 Gbit/s / 20 ms; client access: 20 Mbit/s / 40 ms)\n",
+        table::render(&t)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_wins_by_the_link_ratio() {
+        let rows = run();
+        for r in &rows {
+            assert!(
+                r.scp_via_client_s > 5.0 * r.gridftp_direct_s,
+                "{} bytes: direct {:.1}s via-client {:.1}s",
+                r.bytes,
+                r.gridftp_direct_s,
+                r.scp_via_client_s
+            );
+        }
+        // Larger payloads widen the absolute gap.
+        assert!(rows[2].scp_via_client_s - rows[2].gridftp_direct_s
+            > rows[0].scp_via_client_s - rows[0].gridftp_direct_s);
+    }
+}

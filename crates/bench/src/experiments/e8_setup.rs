@@ -1,0 +1,131 @@
+//! E8 — §III/§IV, Fig 3: setup complexity across deployment methods,
+//! plus a live measurement of GCMU's time-to-first-transfer.
+
+use crate::experiments::common::{timed, NOW};
+use crate::table;
+use ig_client::{transfer, ClientSession, TransferOpts};
+use ig_gcmu::{procedure, InstallOptions, SetupMethod};
+use ig_pki::time::Clock;
+
+/// One comparison row.
+pub struct Row {
+    /// Method.
+    pub method: String,
+    /// One-time admin steps.
+    pub admin_steps: usize,
+    /// Of which manual.
+    pub manual_steps: usize,
+    /// Per-user admin steps.
+    pub per_user_steps: usize,
+    /// Estimated minutes to a new user's first transfer.
+    pub first_transfer_min: f64,
+    /// Error-prone steps across the procedure.
+    pub error_opportunities: usize,
+    /// Delegation capability (Globus Online hand-off).
+    pub delegation: bool,
+    /// Data-channel security capability.
+    pub dc_security: bool,
+}
+
+/// The static comparison from the paper's procedures.
+pub fn run() -> Vec<Row> {
+    [SetupMethod::ConventionalGsi, SetupMethod::GridFtpLite, SetupMethod::Gcmu]
+        .into_iter()
+        .map(|m| {
+            let p = procedure(m);
+            Row {
+                method: p.method.clone(),
+                admin_steps: p.total_admin_steps(),
+                manual_steps: p.manual_admin_steps(),
+                per_user_steps: p.per_user_admin_steps.len(),
+                first_transfer_min: p.time_to_first_transfer_minutes(),
+                error_opportunities: p.error_opportunities(),
+                delegation: p.supports_delegation,
+                dc_security: p.data_channel_security,
+            }
+        })
+        .collect()
+}
+
+/// Live measurement: wall-clock for the whole GCMU "zero to first
+/// transfer" path (install, logon, authenticated transfer).
+pub fn measured_gcmu_seconds() -> f64 {
+    let (_, secs) = timed(|| {
+        let ep = InstallOptions::new("e8-live.example.org")
+            .account("alice", "pw")
+            .clock(Clock::Fixed(NOW))
+            .seed(0xE8)
+            .install()
+            .expect("install");
+        let logon = ep.logon("alice", "pw", 3600, 0xE8_1).expect("logon");
+        let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 0xE8_2))
+            .expect("connect");
+        s.login().expect("login");
+        transfer::put_bytes(&mut s, "/home/alice/first.bin", b"instant", &TransferOpts::default())
+            .expect("put");
+        let _ = s.quit();
+        ep.shutdown();
+    });
+    secs
+}
+
+/// Render the table.
+pub fn table() -> String {
+    let rows = run();
+    let mut t = vec![vec![
+        "method".to_string(),
+        "admin steps".to_string(),
+        "manual".to_string(),
+        "per-user admin".to_string(),
+        "first transfer".to_string(),
+        "error-prone".to_string(),
+        "delegation".to_string(),
+        "DC security".to_string(),
+    ]];
+    for r in &rows {
+        t.push(vec![
+            r.method.clone(),
+            r.admin_steps.to_string(),
+            r.manual_steps.to_string(),
+            r.per_user_steps.to_string(),
+            format!("{:.0} min", r.first_transfer_min),
+            r.error_opportunities.to_string(),
+            if r.delegation { "yes".into() } else { "NO".into() },
+            if r.dc_security { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    let live = measured_gcmu_seconds();
+    format!(
+        "{}\nGCMU measured, zero -> installed -> logged on -> first transfer: {live:.2} s wall clock\n",
+        table::render(&t)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcmu_dominates() {
+        let _serial = crate::experiments::common::bench_lock();
+        let rows = run();
+        let conv = &rows[0];
+        let lite = &rows[1];
+        let gcmu = &rows[2];
+        assert_eq!(gcmu.admin_steps, 4);
+        assert_eq!(gcmu.manual_steps, 0);
+        assert_eq!(gcmu.per_user_steps, 0);
+        assert_eq!(gcmu.error_opportunities, 0);
+        assert!(conv.first_transfer_min > 100.0 * gcmu.first_transfer_min);
+        // GridFTP-Lite is easy but capability-poor (§III-B).
+        assert!(!lite.delegation && !lite.dc_security);
+        assert!(gcmu.delegation && gcmu.dc_security);
+    }
+
+    #[test]
+    fn live_gcmu_first_transfer_is_seconds_not_days() {
+        let _serial = crate::experiments::common::bench_lock();
+        let secs = measured_gcmu_seconds();
+        assert!(secs < 60.0, "instant GridFTP took {secs:.1}s");
+    }
+}

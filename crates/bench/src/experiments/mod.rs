@@ -1,0 +1,15 @@
+//! The E1–E12 experiment implementations (see DESIGN.md §4).
+
+pub mod common;
+pub mod e10_oauth;
+pub mod e11_myproxy;
+pub mod e12_overheads;
+pub mod e1_usage;
+pub mod e2_wan;
+pub mod e3_prot;
+pub mod e4_small_files;
+pub mod e5_striping;
+pub mod e6_third_party;
+pub mod e7_dcsc;
+pub mod e8_setup;
+pub mod e9_restart;

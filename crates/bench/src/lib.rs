@@ -1,0 +1,33 @@
+//! # ig-bench — the evaluation harness
+//!
+//! One module per experiment from DESIGN.md's index (E1–E12). Every
+//! module exposes a `run()` returning printable rows plus a `table()`
+//! that renders the same table the paper's figure/claim corresponds to.
+//! The `report` binary and the `report_tables` bench target print all of
+//! them; EXPERIMENTS.md records paper-vs-measured for each.
+
+pub mod experiments;
+pub mod table;
+
+/// Run every experiment and return the concatenated report.
+pub fn full_report(fast: bool) -> String {
+    let mut out = String::new();
+    let sections: Vec<(&str, String)> = vec![
+        ("E1  (Fig 1) fleet usage", experiments::e1_usage::table()),
+        ("E2  GridFTP vs SCP/FTP on the WAN (simulated)", experiments::e2_wan::table(fast)),
+        ("E3  data-channel protection cost (measured)", experiments::e3_prot::table(fast)),
+        ("E4  lots of small files (measured)", experiments::e4_small_files::table(fast)),
+        ("E5  striping (measured, per-stripe NIC limit)", experiments::e5_striping::table(fast)),
+        ("E6  third-party: direct vs through-client (simulated)", experiments::e6_third_party::table()),
+        ("E7  (Figs 4-5) DCAU x DCSC matrix (measured)", experiments::e7_dcsc::table()),
+        ("E8  (Fig 3, §III) setup complexity", experiments::e8_setup::table()),
+        ("E9  (Fig 6) GO checkpoint restart (measured)", experiments::e9_restart::table(fast)),
+        ("E10 (Fig 7) OAuth vs password activation (measured)", experiments::e10_oauth::table()),
+        ("E11 MyProxy online CA issuance (measured)", experiments::e11_myproxy::table(fast)),
+        ("E12 DCSC/control-channel overheads (measured)", experiments::e12_overheads::table()),
+    ];
+    for (title, body) in sections {
+        out.push_str(&format!("\n=== {title} ===\n{body}\n"));
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! Minimal aligned-table rendering for experiment output.
+
+/// Render rows as an aligned text table. The first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().expect("non-empty");
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            out.push_str(cell);
+            if i + 1 < row.len() {
+                out.push_str(&" ".repeat(pad + 2));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Human-readable bits/second.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbit/s", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2} Mbit/s", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.2} kbit/s", bps / 1e3)
+    } else {
+        format!("{bps:.1} bit/s")
+    }
+}
+
+/// Human-readable bytes.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(&[
+            vec!["name".into(), "value".into()],
+            vec!["alpha".into(), "1".into()],
+            vec!["b".into(), "22222".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-----"));
+        // Columns align.
+        assert_eq!(lines[2].find('1'), lines[3].find('2'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bps(2.5e9), "2.50 Gbit/s");
+        assert_eq!(fmt_bps(3.2e6), "3.20 Mbit/s");
+        assert_eq!(fmt_bps(1500.0), "1.50 kbit/s");
+        assert_eq!(fmt_bps(10.0), "10.0 bit/s");
+        assert_eq!(fmt_bytes(5), "5 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(4 << 30), "4.00 GiB");
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,109 @@
+//! Client error taxonomy.
+
+use ig_protocol::Reply;
+use std::fmt;
+
+/// Errors from client operations.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with an error reply.
+    ServerError(Reply),
+    /// The server answered something structurally unexpected.
+    UnexpectedReply { expected: &'static str, got: Reply },
+    /// Security failure (handshake, protection, delegation).
+    Gsi(ig_gsi::GsiError),
+    /// Protocol parse failure.
+    Protocol(ig_protocol::ProtocolError),
+    /// PKI failure.
+    Pki(ig_pki::PkiError),
+    /// Data-plane failure.
+    Data(String),
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::ServerError(r) => write!(f, "server error: {r}"),
+            ClientError::UnexpectedReply { expected, got } => {
+                write!(f, "expected {expected}, got: {got}")
+            }
+            ClientError::Gsi(e) => write!(f, "security: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Pki(e) => write!(f, "pki: {e}"),
+            ClientError::Data(m) => write!(f, "data channel: {m}"),
+            ClientError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Gsi(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Pki(e) => Some(e),
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ClientError {
+    /// The server reply that caused this error, if any.
+    pub fn reply(&self) -> Option<&Reply> {
+        match self {
+            ClientError::ServerError(r) => Some(r),
+            ClientError::UnexpectedReply { got, .. } => Some(got),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_gsi::GsiError> for ClientError {
+    fn from(e: ig_gsi::GsiError) -> Self {
+        ClientError::Gsi(e)
+    }
+}
+
+impl From<ig_protocol::ProtocolError> for ClientError {
+    fn from(e: ig_protocol::ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<ig_pki::PkiError> for ClientError {
+    fn from(e: ig_pki::PkiError) -> Self {
+        ClientError::Pki(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ig_server::ServerError> for ClientError {
+    fn from(e: ig_server::ServerError) -> Self {
+        ClientError::Data(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_reply_accessor() {
+        let e = ClientError::ServerError(Reply::new(550, "No such file."));
+        assert!(e.to_string().contains("550"));
+        assert_eq!(e.reply().unwrap().code, 550);
+        let e = ClientError::Data("boom".into());
+        assert!(e.reply().is_none());
+    }
+}

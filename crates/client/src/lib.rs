@@ -1,0 +1,22 @@
+//! # ig-client — the GridFTP client
+//!
+//! The client protocol interpreter of Fig 2 plus a `globus-url-copy`-like
+//! transfer API:
+//!
+//! * [`session::ClientSession`] — control-channel session: `AUTH
+//!   GSSAPI`/`ADAT` login, `ENC`-protected commands, delegation to the
+//!   server (so the server can DCAU on the user's behalf), `DCSC`
+//!   installation, and raw command plumbing.
+//! * [`transfer`] — two-party GET/PUT with MODE E parallel streams and
+//!   restart support, and **third-party transfers** (client mediates a
+//!   server-to-server transfer, "the data flows directly between two
+//!   remote sites", §VII), including the §V DCSC orchestration for
+//!   cross-CA endpoints.
+
+pub mod error;
+pub mod session;
+pub mod transfer;
+
+pub use error::ClientError;
+pub use session::{ClientConfig, ClientSession};
+pub use transfer::{third_party, ThirdPartyOutcome, TransferOpts};

@@ -1,0 +1,385 @@
+//! The client protocol interpreter: one control-channel session.
+
+use crate::error::{ClientError, Result};
+use ig_crypto::encode::{base64_decode, base64_encode};
+use ig_gsi::context::{GsiConfig, SecureContext};
+use ig_gsi::handshake::{Initiator, Step};
+use ig_gsi::{GsiError, ProtectionLevel};
+use ig_pki::proxy::ProxyOptions;
+use ig_pki::time::Clock;
+use ig_pki::{Credential, TrustStore};
+use ig_protocol::command::{Command, DcauMode, ModeCode, ProtectedKind};
+use ig_protocol::secure_line;
+use ig_protocol::{HostPort, Reply};
+use ig_xio::{Link, TcpLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Client-side configuration (one user identity at one endpoint).
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// The user's credential for this endpoint (e.g. the short-lived
+    /// certificate from `myproxy-logon`, §IV-E).
+    pub credential: Credential,
+    /// Trust roots to validate the server.
+    pub trust: TrustStore,
+    /// Clock for validity checks.
+    pub clock: Clock,
+    /// Delegate a proxy to the server at login (needed for DCAU and for
+    /// third-party transfers; on by default as in globus-url-copy).
+    pub delegate: bool,
+    /// RSA key size for delegated proxies.
+    pub key_bits: usize,
+    /// Deterministic seed for this session's randomness.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// Config with defaults.
+    pub fn new(credential: Credential, trust: TrustStore) -> Self {
+        ClientConfig {
+            credential,
+            trust,
+            clock: Clock::System,
+            delegate: true,
+            key_bits: 512,
+            seed: 0x1951_07_05,
+        }
+    }
+
+    /// Builder: fixed clock.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: disable login-time delegation.
+    pub fn no_delegation(mut self) -> Self {
+        self.delegate = false;
+        self
+    }
+}
+
+/// An authenticated control-channel session.
+pub struct ClientSession {
+    link: Box<dyn Link>,
+    ctx: Option<SecureContext>,
+    pub(crate) config: ClientConfig,
+    pub(crate) rng: StdRng,
+    /// Current data-channel security knobs (mirrors what we've told the
+    /// server).
+    pub(crate) dcau: DcauMode,
+    pub(crate) prot: ProtectionLevel,
+    pub(crate) parallelism: usize,
+    /// Client-side record of the DCSC credential installed on the server
+    /// (used to pick the matching credential for our own data endpoints).
+    pub(crate) dcsc: Option<Credential>,
+}
+
+impl ClientSession {
+    /// Connect over TCP and read the banner.
+    pub fn connect(addr: HostPort, config: ClientConfig) -> Result<Self> {
+        let link = TcpLink::connect(addr.to_socket_addr())?;
+        Self::from_link(Box::new(link), config)
+    }
+
+    /// Start a session over an arbitrary link (pipes in tests).
+    pub fn from_link(link: Box<dyn Link>, config: ClientConfig) -> Result<Self> {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut s = ClientSession {
+            link,
+            ctx: None,
+            config,
+            rng,
+            dcau: DcauMode::Self_,
+            prot: ProtectionLevel::Clear,
+            parallelism: 1,
+            dcsc: None,
+        };
+        let banner = s.read_reply()?;
+        if banner.code != 220 {
+            return Err(ClientError::UnexpectedReply { expected: "220 banner", got: banner });
+        }
+        Ok(s)
+    }
+
+    /// Read one reply message (unwrapping protection if present).
+    pub fn read_reply(&mut self) -> Result<Reply> {
+        let msg = self
+            .link
+            .recv()
+            .map_err(|e| ClientError::Data(format!("control recv: {e}")))?;
+        let text = String::from_utf8(msg)
+            .map_err(|_| ClientError::Data("reply not UTF-8".into()))?;
+        let reply = Reply::parse(&text)?;
+        if (reply.code == 631 || reply.code == 633) && self.ctx.is_some() {
+            let ctx = self.ctx.as_mut().expect("checked");
+            Ok(secure_line::unprotect_reply(ctx, &reply)?)
+        } else {
+            Ok(reply)
+        }
+    }
+
+    /// Send a command (wrapped in `ENC` once the channel is secured).
+    pub fn send_cmd(&mut self, cmd: &Command) -> Result<()> {
+        let line = match self.ctx.as_mut() {
+            Some(ctx) => secure_line::protect_command(ctx, ProtectedKind::Enc, cmd).to_string(),
+            None => cmd.to_string(),
+        };
+        self.link
+            .send(line.as_bytes())
+            .map_err(|e| ClientError::Data(format!("control send: {e}")))
+    }
+
+    /// Send a command and collect replies until a final one arrives.
+    /// Preliminary (1xx) replies are passed to `on_marker`.
+    pub fn command_with(
+        &mut self,
+        cmd: &Command,
+        mut on_marker: impl FnMut(&Reply),
+    ) -> Result<Reply> {
+        self.send_cmd(cmd)?;
+        loop {
+            let reply = self.read_reply()?;
+            if reply.is_preliminary() {
+                on_marker(&reply);
+                continue;
+            }
+            return Ok(reply);
+        }
+    }
+
+    /// Send a command, expect a non-error final reply.
+    pub fn command(&mut self, cmd: &Command) -> Result<Reply> {
+        let reply = self.command_with(cmd, |_| {})?;
+        if reply.is_error() {
+            return Err(ClientError::ServerError(reply));
+        }
+        Ok(reply)
+    }
+
+    /// Authenticate with `AUTH GSSAPI` + `ADAT`, then (by default)
+    /// delegate a proxy so the server can act on the data channel.
+    pub fn login(&mut self) -> Result<()> {
+        let reply = self.command(&Command::Auth("GSSAPI".into()))?;
+        if reply.code != 334 {
+            return Err(ClientError::UnexpectedReply { expected: "334", got: reply });
+        }
+        let gsi_cfg = GsiConfig {
+            credential: Some(self.config.credential.clone()),
+            trust: self.config.trust.clone(),
+            require_peer_auth: true,
+            clock: self.config.clock,
+            insecure_skip_peer_validation: false,
+        };
+        let (mut initiator, first) = Initiator::start(gsi_cfg, &mut self.rng);
+        let mut outgoing = first;
+        loop {
+            let reply = self.command_with(&Command::Adat(base64_encode(&outgoing)), |_| {})?;
+            match reply.code {
+                335 => {
+                    let token_b64 = reply.adat_payload().ok_or_else(|| {
+                        ClientError::UnexpectedReply { expected: "335 ADAT=", got: reply.clone() }
+                    })?;
+                    let token = base64_decode(token_b64)
+                        .map_err(|e| ClientError::Gsi(GsiError::Decode(e.to_string())))?;
+                    match initiator.step(&token, &mut self.rng)? {
+                        Step::Send(t) => outgoing = t,
+                        Step::SendAndDone(t, est) => {
+                            // Final token rides in one more ADAT; server
+                            // answers 235.
+                            let done =
+                                self.command_with(&Command::Adat(base64_encode(&t)), |_| {})?;
+                            if done.code != 235 {
+                                return Err(ClientError::UnexpectedReply {
+                                    expected: "235",
+                                    got: done,
+                                });
+                            }
+                            self.ctx = Some(SecureContext::from_established(est));
+                            break;
+                        }
+                        Step::Done(est) => {
+                            self.ctx = Some(SecureContext::from_established(est));
+                            break;
+                        }
+                    }
+                }
+                235 => {
+                    return Err(ClientError::UnexpectedReply {
+                        expected: "handshake still in flight",
+                        got: reply,
+                    })
+                }
+                _ => return Err(ClientError::ServerError(reply)),
+            }
+        }
+        if self.config.delegate {
+            self.delegate()?;
+        }
+        Ok(())
+    }
+
+    /// Run the delegation exchange (`SITE DELEG REQ` / `SITE DELEG PUT`).
+    pub fn delegate(&mut self) -> Result<()> {
+        let reply = self.command(&Command::Site("DELEG REQ".into()))?;
+        let b64 = reply
+            .text()
+            .strip_prefix("DELEG=")
+            .ok_or_else(|| ClientError::UnexpectedReply {
+                expected: "250 DELEG=",
+                got: reply.clone(),
+            })?;
+        let req = base64_decode(b64)
+            .map_err(|e| ClientError::Gsi(GsiError::Decode(e.to_string())))?;
+        let grant = ig_gsi::delegation::grant(
+            &mut self.rng,
+            &self.config.credential,
+            &req,
+            self.config.clock.now(),
+            ProxyOptions::default(),
+        )?;
+        self.command(&Command::Site(format!("DELEG PUT {}", base64_encode(&grant))))?;
+        Ok(())
+    }
+
+    /// `OPTS RETR Parallelism=n,n,n;` + local bookkeeping.
+    pub fn set_parallelism(&mut self, n: usize) -> Result<()> {
+        assert!(n >= 1);
+        self.command(&Command::Opts {
+            target: "RETR".into(),
+            params: format!("Parallelism={n},{n},{n};"),
+        })?;
+        self.parallelism = n;
+        Ok(())
+    }
+
+    /// `PROT <level>` + local bookkeeping.
+    pub fn set_prot(&mut self, level: ProtectionLevel) -> Result<()> {
+        self.command(&Command::Pbsz(1 << 20))?;
+        self.command(&Command::Prot(level.code()))?;
+        self.prot = level;
+        Ok(())
+    }
+
+    /// `DCAU <mode>` + local bookkeeping.
+    pub fn set_dcau(&mut self, mode: DcauMode) -> Result<()> {
+        self.command(&Command::Dcau(mode.clone()))?;
+        self.dcau = mode;
+        Ok(())
+    }
+
+    /// `MODE E` (required before parallel transfers).
+    pub fn set_mode_extended(&mut self) -> Result<()> {
+        self.command(&Command::Mode(ModeCode::Extended))?;
+        Ok(())
+    }
+
+    /// Install a DCSC P context on the server (§V) and remember it.
+    pub fn install_dcsc(&mut self, credential: &Credential) -> Result<()> {
+        self.command(&ig_protocol::dcsc::encode_dcsc_p(credential))?;
+        self.dcsc = Some(credential.clone());
+        Ok(())
+    }
+
+    /// Revert to the default context (`DCSC D`).
+    pub fn revert_dcsc(&mut self) -> Result<()> {
+        self.command(&ig_protocol::dcsc::encode_dcsc_d())?;
+        self.dcsc = None;
+        Ok(())
+    }
+
+    /// `CKSM SHA256 <offset> <length> <path>` — server-side checksum.
+    pub fn cksm(&mut self, path: &str, offset: u64, length: Option<u64>) -> Result<String> {
+        let reply = self.command(&Command::Cksm {
+            algorithm: "SHA256".into(),
+            offset,
+            length,
+            path: path.into(),
+        })?;
+        Ok(reply.text().trim().to_string())
+    }
+
+    /// `SIZE <path>`.
+    pub fn size(&mut self, path: &str) -> Result<u64> {
+        let reply = self.command(&Command::Size(path.into()))?;
+        reply
+            .text()
+            .trim()
+            .parse()
+            .map_err(|_| ClientError::UnexpectedReply { expected: "213 <size>", got: reply })
+    }
+
+    /// `PASV` — returns the server's data address.
+    pub fn pasv(&mut self) -> Result<HostPort> {
+        let reply = self.command(&Command::Pasv)?;
+        parse_pasv_addr(&reply)
+            .ok_or(ClientError::UnexpectedReply { expected: "227 (h,p)", got: reply })
+    }
+
+    /// `SPAS` — returns all stripe addresses.
+    pub fn spas(&mut self) -> Result<Vec<HostPort>> {
+        let reply = self.command(&Command::Spas)?;
+        let mut out = Vec::new();
+        for line in &reply.lines[1..] {
+            let line = line.trim();
+            if line.is_empty() || !line.contains(',') {
+                continue;
+            }
+            if let Ok(hp) = HostPort::parse(line) {
+                out.push(hp);
+            }
+        }
+        if out.is_empty() {
+            return Err(ClientError::UnexpectedReply { expected: "229 addresses", got: reply });
+        }
+        Ok(out)
+    }
+
+    /// `QUIT`.
+    pub fn quit(mut self) -> Result<()> {
+        let reply = self.command_with(&Command::Quit, |_| {})?;
+        if reply.code != 221 {
+            return Err(ClientError::UnexpectedReply { expected: "221", got: reply });
+        }
+        Ok(())
+    }
+
+    /// The user credential this session authenticates as.
+    pub fn credential(&self) -> &Credential {
+        &self.config.credential
+    }
+
+    /// The session's clock.
+    pub fn clock(&self) -> Clock {
+        self.config.clock
+    }
+}
+
+/// Extract the host-port from a `227 Entering Passive Mode (h1,h2,...)`.
+fn parse_pasv_addr(reply: &Reply) -> Option<HostPort> {
+    let text = reply.text();
+    let start = text.find('(')?;
+    let end = text.rfind(')')?;
+    HostPort::parse(&text[start + 1..end]).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pasv_parsing() {
+        let r = Reply::new(227, "Entering Passive Mode (127,0,0,1,4,210)");
+        let hp = parse_pasv_addr(&r).unwrap();
+        assert_eq!(hp.port, 4 * 256 + 210);
+        assert!(parse_pasv_addr(&Reply::new(227, "no parens")).is_none());
+        assert!(parse_pasv_addr(&Reply::new(227, "(bogus)")).is_none());
+    }
+}

@@ -1,0 +1,362 @@
+//! Transfers: two-party GET/PUT and third-party server-to-server.
+
+use crate::error::{ClientError, Result};
+use crate::session::ClientSession;
+use ig_protocol::command::Command;
+use ig_protocol::markers::RestartMarker;
+use ig_protocol::{ByteRanges, Reply};
+use ig_server::data::{wrap_accept, wrap_connect, DataListener, DataSecurity};
+use ig_server::dtp::{send_ranges, Progress, Receiver};
+use ig_server::{Dsi, MemDsi, UserContext};
+use ig_xio::{Link, TcpLink};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-transfer options.
+#[derive(Debug, Clone)]
+pub struct TransferOpts {
+    /// Parallel TCP streams.
+    pub parallelism: usize,
+    /// MODE E block size.
+    pub block_size: usize,
+    /// Use striped data channels (`SPAS`/`SPOR`) on the servers.
+    pub striped: bool,
+}
+
+impl Default for TransferOpts {
+    fn default() -> Self {
+        TransferOpts { parallelism: 1, block_size: 64 * 1024, striped: false }
+    }
+}
+
+impl TransferOpts {
+    /// Builder: streams.
+    pub fn parallel(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.parallelism = n;
+        self
+    }
+
+    /// Builder: block size.
+    pub fn block(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0);
+        self.block_size = bytes;
+        self
+    }
+
+    /// Builder: striped transfer (SPAS/SPOR).
+    pub fn striped_mode(mut self) -> Self {
+        self.striped = true;
+        self
+    }
+}
+
+/// Data-channel security for the *client's own* data endpoint: with a
+/// DCSC context installed, present/accept that credential (§V); otherwise
+/// the user's own credential.
+fn client_data_security(session: &ClientSession) -> DataSecurity {
+    let (credential, trust) = match &session.dcsc {
+        Some(cred) => (
+            cred.clone(),
+            session.config.trust.with_extra_roots(cred.chain().iter()),
+        ),
+        None => (session.config.credential.clone(), session.config.trust.clone()),
+    };
+    DataSecurity {
+        dcau: session.dcau.clone(),
+        prot: session.prot,
+        credential: Some(credential),
+        trust,
+        clock: session.config.clock,
+    }
+}
+
+fn read_until_final(
+    session: &mut ClientSession,
+    mut on_marker: impl FnMut(&Reply),
+) -> Result<Reply> {
+    loop {
+        let reply = session.read_reply()?;
+        if reply.is_preliminary() {
+            on_marker(&reply);
+            continue;
+        }
+        return Ok(reply);
+    }
+}
+
+/// Upload `data` to `remote_path` (client is the sender; server listens
+/// per the GridFTP receiver-listens rule).
+pub fn put_bytes(
+    session: &mut ClientSession,
+    remote_path: &str,
+    data: &[u8],
+    opts: &TransferOpts,
+) -> Result<u64> {
+    put_bytes_resume(session, remote_path, data, None, opts)
+}
+
+/// Upload with restart: `have` is what the receiver already holds (from
+/// 111 markers of a failed attempt); only the complement is sent.
+pub fn put_bytes_resume(
+    session: &mut ClientSession,
+    remote_path: &str,
+    data: &[u8],
+    have: Option<&ByteRanges>,
+    opts: &TransferOpts,
+) -> Result<u64> {
+    session.set_mode_extended()?;
+    let addr = session.pasv()?;
+    if let Some(have) = have {
+        session.command(&Command::Rest(have.to_marker()))?;
+    }
+    session.send_cmd(&Command::Stor(remote_path.into()))?;
+    let opening = session.read_reply()?;
+    if !opening.is_preliminary() {
+        return Err(ClientError::ServerError(opening));
+    }
+    // Stage the buffer in a local DSI so ranged sends reuse the DTP.
+    let staging = MemDsi::new();
+    staging.put("/buf", data);
+    let staging: Arc<dyn Dsi> = Arc::new(staging);
+    let user = UserContext::superuser();
+    let sec = client_data_security(session);
+    let mut streams: Vec<Box<dyn Link>> = Vec::with_capacity(opts.parallelism);
+    for _ in 0..opts.parallelism {
+        let tcp = TcpLink::connect(addr.to_socket_addr())
+            .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
+        streams.push(wrap_connect(tcp, &sec, &mut session.rng)?);
+    }
+    let ranges = match have {
+        Some(have) => have.missing(data.len() as u64),
+        None => vec![(0, data.len() as u64)],
+    };
+    let progress = Progress::new();
+    let send_result =
+        send_ranges(streams, &staging, &user, "/buf", &ranges, opts.block_size, &progress);
+    // Always drain the final reply, even when our own send failed —
+    // otherwise the 426 stays queued and poisons the next command.
+    let final_reply = read_until_final(session, |_| {})?;
+    if final_reply.is_error() {
+        return Err(ClientError::ServerError(final_reply));
+    }
+    let sent = send_result?;
+    Ok(sent)
+}
+
+/// Download `remote_path` into memory (client is the receiver and
+/// therefore the listener; the server connects in).
+pub fn get_bytes(
+    session: &mut ClientSession,
+    remote_path: &str,
+    opts: &TransferOpts,
+) -> Result<Vec<u8>> {
+    session.set_mode_extended()?;
+    if session.parallelism != opts.parallelism {
+        session.set_parallelism(opts.parallelism)?;
+    }
+    let size = session.size(remote_path)?;
+    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
+    session.command(&Command::Port(listener.addr()))?;
+    session.send_cmd(&Command::Retr(remote_path.into()))?;
+    // Accept the server's connections (it connects before replying 150).
+    let sec = client_data_security(session);
+    let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+    let user = UserContext::superuser();
+    let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
+    for _ in 0..opts.parallelism {
+        let tcp = listener.accept(Duration::from_secs(30))?;
+        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+    }
+    let final_reply = read_until_final(session, |_| {})?;
+    let received = receiver.finish();
+    if final_reply.is_error() {
+        return Err(ClientError::ServerError(final_reply));
+    }
+    received.map_err(ClientError::from)?;
+    let out = ig_server::dsi::read_all(staging.as_ref(), &user, "/buf", 1 << 20)?;
+    if out.len() as u64 != size {
+        return Err(ClientError::Data(format!(
+            "expected {size} bytes, received {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Partial retrieval via `ERET P <offset>,<length> <path>` — fetch just
+/// a byte range of a remote file. Blocks arrive at their *file* offsets,
+/// so the staging buffer is read back from `offset`.
+pub fn get_partial(
+    session: &mut ClientSession,
+    remote_path: &str,
+    offset: u64,
+    length: u64,
+    opts: &TransferOpts,
+) -> Result<Vec<u8>> {
+    session.set_mode_extended()?;
+    if session.parallelism != opts.parallelism {
+        session.set_parallelism(opts.parallelism)?;
+    }
+    // Fail fast on missing/forbidden paths before opening data channels.
+    let _ = session.size(remote_path)?;
+    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
+    session.command(&Command::Port(listener.addr()))?;
+    session.send_cmd(&Command::Eret {
+        module: "P".into(),
+        args: format!("{offset},{length} {remote_path}"),
+    })?;
+    let sec = client_data_security(session);
+    let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+    let user = UserContext::superuser();
+    let progress = Progress::new();
+    let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Arc::clone(&progress));
+    for _ in 0..opts.parallelism {
+        // If the server refused before dialing (550 and friends), no
+        // connection ever comes — drain the queued reply instead of
+        // hanging on accept.
+        let tcp = match listener.accept(Duration::from_secs(10)) {
+            Ok(t) => t,
+            Err(_) => {
+                let reply = read_until_final(session, |_| {})?;
+                return Err(ClientError::ServerError(reply));
+            }
+        };
+        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+    }
+    let final_reply = read_until_final(session, |_| {})?;
+    let received = receiver.finish();
+    if final_reply.is_error() {
+        return Err(ClientError::ServerError(final_reply));
+    }
+    let got = received.map_err(ClientError::from)?;
+    let data = staging.read(&user, "/buf", offset, got as usize)?;
+    Ok(data)
+}
+
+/// Listing via MLSD over the data channel.
+pub fn list(session: &mut ClientSession, path: &str) -> Result<Vec<String>> {
+    session.set_mode_extended()?;
+    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
+    session.command(&Command::Port(listener.addr()))?;
+    session.send_cmd(&Command::Mlsd(Some(path.into())))?;
+    let sec = client_data_security(session);
+    let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+    let user = UserContext::superuser();
+    let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
+    for _ in 0..session.parallelism {
+        let tcp = listener.accept(Duration::from_secs(30))?;
+        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+    }
+    let final_reply = read_until_final(session, |_| {})?;
+    let _ = receiver.finish();
+    if final_reply.is_error() {
+        return Err(ClientError::ServerError(final_reply));
+    }
+    let out = ig_server::dsi::read_all(staging.as_ref(), &user, "/buf", 1 << 20)?;
+    let text = String::from_utf8_lossy(&out);
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+/// Upload and then verify end-to-end integrity with a server-side
+/// `CKSM SHA256` (the belt-and-braces mode hosted services run).
+pub fn put_bytes_verified(
+    session: &mut ClientSession,
+    remote_path: &str,
+    data: &[u8],
+    opts: &TransferOpts,
+) -> Result<u64> {
+    let sent = put_bytes(session, remote_path, data, opts)?;
+    let remote = session.cksm(remote_path, 0, None)?;
+    let local = ig_crypto::encode::hex_encode(&ig_crypto::Sha256::digest(data));
+    if remote != local {
+        return Err(ClientError::Data(format!(
+            "checksum mismatch after upload: server {remote}, local {local}"
+        )));
+    }
+    Ok(sent)
+}
+
+/// Outcome of a third-party transfer attempt.
+#[derive(Debug)]
+pub struct ThirdPartyOutcome {
+    /// Final reply from the receiving (STOR) endpoint.
+    pub dst_reply: Reply,
+    /// Final reply from the sending (RETR) endpoint.
+    pub src_reply: Reply,
+    /// Byte ranges the receiver confirmed durable (from 111 markers) —
+    /// the checkpoint Globus Online restarts from (§VI-B).
+    pub checkpoint: ByteRanges,
+    /// Count of 112 performance markers observed from the sender.
+    pub perf_markers: usize,
+}
+
+impl ThirdPartyOutcome {
+    /// Did both ends complete?
+    pub fn is_success(&self) -> bool {
+        self.dst_reply.is_success() && self.src_reply.is_success()
+    }
+}
+
+/// Mediate a third-party transfer: `src_path` on the `src` session's
+/// server flows *directly* to `dst_path` on the `dst` session's server
+/// (§VII: "the data flows directly between two remote sites").
+///
+/// `resume_from` seeds both ends with a restart marker so only missing
+/// ranges move. Transport-level failures return `Err`; protocol-level
+/// failures (DCAU rejection, mid-transfer crash) return `Ok` with error
+/// replies inside so callers can inspect the checkpoint and retry.
+pub fn third_party(
+    src: &mut ClientSession,
+    src_path: &str,
+    dst: &mut ClientSession,
+    dst_path: &str,
+    opts: &TransferOpts,
+    resume_from: Option<&ByteRanges>,
+) -> Result<ThirdPartyOutcome> {
+    src.set_mode_extended()?;
+    dst.set_mode_extended()?;
+    if src.parallelism != opts.parallelism {
+        src.set_parallelism(opts.parallelism)?;
+    }
+    if let Some(have) = resume_from {
+        src.command(&Command::Rest(have.to_marker()))?;
+        dst.command(&Command::Rest(have.to_marker()))?;
+    }
+    // Receiver listens; sender connects (§IIC). Striped receivers return
+    // one listener per stripe via SPAS; the sender gets them all in SPOR.
+    if opts.striped {
+        let addrs = dst.spas()?;
+        src.command(&Command::Spor(addrs))?;
+    } else {
+        let addr = dst.pasv()?;
+        src.command(&Command::Port(addr))?;
+    }
+    dst.send_cmd(&Command::Stor(dst_path.into()))?;
+    let dst_opening = dst.read_reply()?;
+    if !dst_opening.is_preliminary() {
+        // Receiver refused outright (e.g. access denied).
+        return Ok(ThirdPartyOutcome {
+            dst_reply: dst_opening,
+            src_reply: Reply::new(226, "not started"),
+            checkpoint: resume_from.cloned().unwrap_or_default(),
+            perf_markers: 0,
+        });
+    }
+    src.send_cmd(&Command::Retr(src_path.into()))?;
+    let mut perf_markers = 0usize;
+    let src_reply = read_until_final(src, |r| {
+        if r.code == 112 {
+            perf_markers += 1;
+        }
+    })?;
+    let mut checkpoint = resume_from.cloned().unwrap_or_default();
+    let dst_reply = read_until_final(dst, |r| {
+        if r.code == 111 {
+            if let Ok(m) = RestartMarker::from_reply(r) {
+                checkpoint = m.ranges;
+            }
+        }
+    })?;
+    Ok(ThirdPartyOutcome { dst_reply, src_reply, checkpoint, perf_markers })
+}

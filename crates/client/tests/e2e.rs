@@ -1,0 +1,402 @@
+//! End-to-end client ↔ server tests over real TCP loopback.
+
+use ig_client::{transfer, ClientConfig, ClientSession, TransferOpts};
+use ig_gsi::ProtectionLevel;
+use ig_pki::cert::Validity;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
+use ig_protocol::command::{Command, DcauMode};
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, UserContext};
+use std::sync::Arc;
+
+const NOW: u64 = 1_000_000;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+/// One CA, one host credential, one user credential, a gridmap mapping
+/// the user to `alice`, and a server over a MemDsi.
+struct World {
+    server: Arc<GridFtpServer>,
+    client_cfg: ClientConfig,
+    dsi: Arc<MemDsi>,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = ig_crypto::rng::seeded(seed);
+    let mut ca = CertificateAuthority::create(&mut rng, dn("/O=Test CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(dn("/CN=server.example.org"), &host_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let host_cred = Credential::new(vec![host_cert], host_keys.private).unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(dn("/O=Grid/CN=Alice Smith"), &user_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let user_cred = Credential::new(vec![user_cert], user_keys.private).unwrap();
+
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+
+    let dsi = Arc::new(MemDsi::new());
+    dsi.put("/home/alice/data/hello.txt", b"hello gridftp world");
+
+    let cfg = ServerConfig::new(
+        "server.example.org",
+        host_cred,
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::clone(&dsi) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW));
+    let server = GridFtpServer::start(cfg, seed * 100).unwrap();
+    let client_cfg =
+        ClientConfig::new(user_cred, trust).with_clock(Clock::Fixed(NOW)).with_seed(seed * 7 + 1);
+    World { server, client_cfg, dsi }
+}
+
+fn login(w: &World) -> ClientSession {
+    let mut s = ClientSession::connect(w.server.addr(), w.client_cfg.clone()).unwrap();
+    s.login().unwrap();
+    s
+}
+
+#[test]
+fn login_and_quit() {
+    let w = world(1);
+    let s = login(&w);
+    s.quit().unwrap();
+}
+
+#[test]
+fn login_fails_with_untrusted_user() {
+    let w = world(2);
+    // A user from an unknown CA.
+    let mut rng = ig_crypto::rng::seeded(999);
+    let (_other_ca, other_cred) =
+        ig_gsi::context::test_support::ca_and_credential(&mut rng, "/O=Other CA", "/CN=eve");
+    let cfg = ClientConfig::new(other_cred, w.client_cfg.trust.clone())
+        .with_clock(Clock::Fixed(NOW));
+    let mut s = ClientSession::connect(w.server.addr(), cfg).unwrap();
+    let err = s.login().unwrap_err();
+    assert!(err.to_string().contains("535") || err.to_string().contains("Authentication"));
+}
+
+#[test]
+fn login_fails_without_gridmap_entry() {
+    // The paper's stale-gridmap failure: valid certificate, no mapping.
+    let mut rng = ig_crypto::rng::seeded(31);
+    let mut ca = CertificateAuthority::create(&mut rng, dn("/O=CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(dn("/CN=host"), &host_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(dn("/O=Grid/CN=Unmapped"), &user_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+    let cfg = ServerConfig::new(
+        "host",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(Gridmap::new())), // empty gridmap
+        Arc::new(MemDsi::new()),
+    )
+    .with_clock(Clock::Fixed(NOW));
+    let server = GridFtpServer::start(cfg, 44).unwrap();
+    let ccfg = ClientConfig::new(
+        Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    )
+    .with_clock(Clock::Fixed(NOW));
+    let mut s = ClientSession::connect(server.addr(), ccfg).unwrap();
+    let err = s.login().unwrap_err();
+    assert!(err.to_string().contains("Authorization failed"), "got: {err}");
+}
+
+#[test]
+fn size_and_mlst() {
+    let w = world(3);
+    let mut s = login(&w);
+    assert_eq!(s.size("/home/alice/data/hello.txt").unwrap(), 19);
+    assert!(s.size("/home/alice/missing").is_err());
+    // Confinement: bob's home is invisible.
+    assert!(s.size("/home/bob/x").is_err());
+    s.quit().unwrap();
+}
+
+#[test]
+fn get_single_stream() {
+    let w = world(4);
+    let mut s = login(&w);
+    let data = transfer::get_bytes(&mut s, "/home/alice/data/hello.txt", &TransferOpts::default())
+        .unwrap();
+    assert_eq!(data, b"hello gridftp world");
+    s.quit().unwrap();
+}
+
+#[test]
+fn get_parallel_streams() {
+    let w = world(5);
+    let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+    w.dsi.put("/home/alice/big.bin", &payload);
+    let mut s = login(&w);
+    for streams in [2usize, 4, 8] {
+        let data = transfer::get_bytes(
+            &mut s,
+            "/home/alice/big.bin",
+            &TransferOpts::default().parallel(streams).block(8 * 1024),
+        )
+        .unwrap();
+        assert_eq!(data, payload, "streams={streams}");
+    }
+    s.quit().unwrap();
+}
+
+#[test]
+fn put_then_get_roundtrip() {
+    let w = world(6);
+    let mut s = login(&w);
+    let payload: Vec<u8> = (0..50_000u32).map(|i| (i * 13 % 256) as u8).collect();
+    let sent = transfer::put_bytes(
+        &mut s,
+        "/home/alice/upload.bin",
+        &payload,
+        &TransferOpts::default().parallel(4),
+    )
+    .unwrap();
+    assert_eq!(sent, payload.len() as u64);
+    let back =
+        transfer::get_bytes(&mut s, "/home/alice/upload.bin", &TransferOpts::default()).unwrap();
+    assert_eq!(back, payload);
+    // Also verify server-side storage directly.
+    let user = UserContext::user("alice");
+    assert_eq!(w.dsi.size(&user, "/home/alice/upload.bin").unwrap(), payload.len() as u64);
+    s.quit().unwrap();
+}
+
+#[test]
+fn put_resume_sends_only_missing() {
+    let w = world(7);
+    let mut s = login(&w);
+    let payload: Vec<u8> = (0..64_000u32).map(|i| (i % 251) as u8).collect();
+    // Pretend a previous attempt delivered the first half.
+    let mut have = ig_protocol::ByteRanges::new();
+    have.add(0, 32_000);
+    // Pre-stage the first half server-side (as the failed attempt would).
+    let user = UserContext::user("alice");
+    w.dsi.write(&user, "/home/alice/resume.bin", 0, &payload[..32_000]).unwrap();
+    let sent = transfer::put_bytes_resume(
+        &mut s,
+        "/home/alice/resume.bin",
+        &payload,
+        Some(&have),
+        &TransferOpts::default().parallel(2),
+    )
+    .unwrap();
+    assert_eq!(sent, 32_000, "only the missing half goes over the wire");
+    let back =
+        transfer::get_bytes(&mut s, "/home/alice/resume.bin", &TransferOpts::default()).unwrap();
+    assert_eq!(back, payload);
+    s.quit().unwrap();
+}
+
+#[test]
+fn get_with_prot_private() {
+    let w = world(8);
+    let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 250) as u8).collect();
+    w.dsi.put("/home/alice/secret.bin", &payload);
+    let mut s = login(&w);
+    s.set_prot(ProtectionLevel::Private).unwrap();
+    let data =
+        transfer::get_bytes(&mut s, "/home/alice/secret.bin", &TransferOpts::default().parallel(2))
+            .unwrap();
+    assert_eq!(data, payload);
+    s.quit().unwrap();
+}
+
+#[test]
+fn get_with_dcau_none() {
+    let w = world(9);
+    let mut s = login(&w);
+    s.set_dcau(DcauMode::None).unwrap();
+    let data = transfer::get_bytes(&mut s, "/home/alice/data/hello.txt", &TransferOpts::default())
+        .unwrap();
+    assert_eq!(data, b"hello gridftp world");
+    s.quit().unwrap();
+}
+
+#[test]
+fn listing_via_mlsd() {
+    let w = world(10);
+    w.dsi.put("/home/alice/data/two.txt", b"22");
+    let mut s = login(&w);
+    let lines = transfer::list(&mut s, "/home/alice/data").unwrap();
+    assert!(lines.iter().any(|l| l.contains("hello.txt")));
+    assert!(lines.iter().any(|l| l.contains("two.txt")));
+    s.quit().unwrap();
+}
+
+#[test]
+fn file_management_commands() {
+    let w = world(11);
+    let mut s = login(&w);
+    s.command(&Command::Mkd("/home/alice/newdir".into())).unwrap();
+    transfer::put_bytes(&mut s, "/home/alice/newdir/f.bin", b"abc", &TransferOpts::default())
+        .unwrap();
+    assert_eq!(s.size("/home/alice/newdir/f.bin").unwrap(), 3);
+    s.command(&Command::Dele("/home/alice/newdir/f.bin".into())).unwrap();
+    assert!(s.size("/home/alice/newdir/f.bin").is_err());
+    s.command(&Command::Rmd("/home/alice/newdir".into())).unwrap();
+    // CWD/PWD.
+    s.command(&Command::Cwd("/home/alice/data".into())).unwrap();
+    let pwd = s.command(&Command::Pwd).unwrap();
+    assert!(pwd.text().contains("/home/alice/data"));
+    // Relative path resolution.
+    assert_eq!(s.size("hello.txt").unwrap(), 19);
+    s.quit().unwrap();
+}
+
+#[test]
+fn usage_is_recorded() {
+    let w = world(12);
+    let mut s = login(&w);
+    let _ = transfer::get_bytes(&mut s, "/home/alice/data/hello.txt", &TransferOpts::default())
+        .unwrap();
+    transfer::put_bytes(&mut s, "/home/alice/u.bin", b"xyzzy", &TransferOpts::default()).unwrap();
+    s.quit().unwrap();
+    let usage = &w.server.config().usage;
+    assert_eq!(usage.total_transfers(), 2);
+    assert_eq!(usage.total_bytes(), 19 + 5);
+    let recs = usage.records();
+    assert!(recs.iter().any(|r| !r.inbound && r.bytes == 19));
+    assert!(recs.iter().any(|r| r.inbound && r.bytes == 5 && r.user == "alice"));
+}
+
+#[test]
+fn concurrent_sessions() {
+    // GridFTP's "concurrency" optimization: multiple control sessions
+    // each moving files at once.
+    let w = world(13);
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 247) as u8).collect();
+    for i in 0..4 {
+        w.dsi.put(&format!("/home/alice/c{i}.bin"), &payload);
+    }
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let cfg = w.client_cfg.clone().with_seed(1000 + i as u64);
+        let addr = w.server.addr();
+        let payload = payload.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut s = ClientSession::connect(addr, cfg).unwrap();
+            s.login().unwrap();
+            let data =
+                transfer::get_bytes(&mut s, &format!("/home/alice/c{i}.bin"), &TransferOpts::default())
+                    .unwrap();
+            assert_eq!(data, payload);
+            s.quit().unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn cksm_checksums_and_verified_put() {
+    let w = world(14);
+    let mut s = login(&w);
+    let payload: Vec<u8> = (0..40_000u32).map(|i| (i * 3 % 251) as u8).collect();
+    let sent = transfer::put_bytes_verified(
+        &mut s,
+        "/home/alice/ck.bin",
+        &payload,
+        &TransferOpts::default().parallel(2),
+    )
+    .unwrap();
+    assert_eq!(sent, payload.len() as u64);
+    // Range checksum matches a local slice hash.
+    let remote = s.cksm("/home/alice/ck.bin", 100, Some(1000)).unwrap();
+    let local =
+        ig_crypto::encode::hex_encode(&ig_crypto::Sha256::digest(&payload[100..1100]));
+    assert_eq!(remote, local);
+    // Whole-file via length -1.
+    let whole = s.cksm("/home/alice/ck.bin", 0, None).unwrap();
+    assert_eq!(
+        whole,
+        ig_crypto::encode::hex_encode(&ig_crypto::Sha256::digest(&payload))
+    );
+    // Unknown algorithm refused.
+    let err = s
+        .command(&Command::Cksm {
+            algorithm: "MD5".into(),
+            offset: 0,
+            length: None,
+            path: "/home/alice/ck.bin".into(),
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("504"), "got {err}");
+    // Missing file refused.
+    assert!(s.cksm("/home/alice/none.bin", 0, None).is_err());
+    s.quit().unwrap();
+}
+
+#[test]
+fn verified_put_detects_server_side_corruption() {
+    let w = world(15);
+    let mut s = login(&w);
+    let payload = vec![7u8; 10_000];
+    transfer::put_bytes(&mut s, "/home/alice/c2.bin", &payload, &TransferOpts::default())
+        .unwrap();
+    // Corrupt the stored file behind the server's back.
+    let user = UserContext::user("alice");
+    w.dsi.write(&user, "/home/alice/c2.bin", 500, b"CORRUPTION").unwrap();
+    let remote = s.cksm("/home/alice/c2.bin", 0, None).unwrap();
+    let local = ig_crypto::encode::hex_encode(&ig_crypto::Sha256::digest(&payload));
+    assert_ne!(remote, local, "checksum must expose the corruption");
+    s.quit().unwrap();
+}
+
+#[test]
+fn eret_partial_retrieval() {
+    let w = world(16);
+    let payload: Vec<u8> = (0..80_000u32).map(|i| (i * 7 % 251) as u8).collect();
+    w.dsi.put("/home/alice/part.bin", &payload);
+    let mut s = login(&w);
+    // Interior range.
+    let mid = transfer::get_partial(&mut s, "/home/alice/part.bin", 10_000, 5_000, &TransferOpts::default())
+        .unwrap();
+    assert_eq!(mid, &payload[10_000..15_000]);
+    // Range clipped at EOF.
+    let tail = transfer::get_partial(&mut s, "/home/alice/part.bin", 79_000, 50_000, &TransferOpts::default())
+        .unwrap();
+    assert_eq!(tail, &payload[79_000..]);
+    // Offset past EOF: empty.
+    let none = transfer::get_partial(&mut s, "/home/alice/part.bin", 1_000_000, 10, &TransferOpts::default())
+        .unwrap();
+    assert!(none.is_empty());
+    // Parallel streams work for partial too.
+    let par = transfer::get_partial(
+        &mut s,
+        "/home/alice/part.bin",
+        5_000,
+        40_000,
+        &TransferOpts::default().parallel(4).block(4 * 1024),
+    )
+    .unwrap();
+    assert_eq!(par, &payload[5_000..45_000]);
+    // Unknown module refused.
+    let err = s
+        .command(&Command::Eret { module: "X".into(), args: "0,1 /home/alice/part.bin".into() })
+        .unwrap_err();
+    assert!(err.to_string().contains("504"), "got {err}");
+    // Missing file refused.
+    assert!(transfer::get_partial(&mut s, "/home/alice/none", 0, 10, &TransferOpts::default()).is_err());
+    s.quit().unwrap();
+}

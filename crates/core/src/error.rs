@@ -1,0 +1,83 @@
+//! GCMU error taxonomy.
+
+use std::fmt;
+
+/// Errors from installation and the OAuth flow.
+#[derive(Debug)]
+pub enum GcmuError {
+    /// Installation step failed.
+    Install(String),
+    /// MyProxy-layer failure.
+    MyProxy(ig_myproxy::MyProxyError),
+    /// Server-layer failure.
+    Server(ig_server::ServerError),
+    /// OAuth protocol failure (bad code, expired code, bad client).
+    OAuth(String),
+    /// PKI failure.
+    Pki(ig_pki::PkiError),
+    /// Transport failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GcmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcmuError::Install(m) => write!(f, "install failed: {m}"),
+            GcmuError::MyProxy(e) => write!(f, "myproxy: {e}"),
+            GcmuError::Server(e) => write!(f, "server: {e}"),
+            GcmuError::OAuth(m) => write!(f, "oauth: {m}"),
+            GcmuError::Pki(e) => write!(f, "pki: {e}"),
+            GcmuError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GcmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcmuError::MyProxy(e) => Some(e),
+            GcmuError::Server(e) => Some(e),
+            GcmuError::Pki(e) => Some(e),
+            GcmuError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_myproxy::MyProxyError> for GcmuError {
+    fn from(e: ig_myproxy::MyProxyError) -> Self {
+        GcmuError::MyProxy(e)
+    }
+}
+
+impl From<ig_server::ServerError> for GcmuError {
+    fn from(e: ig_server::ServerError) -> Self {
+        GcmuError::Server(e)
+    }
+}
+
+impl From<ig_pki::PkiError> for GcmuError {
+    fn from(e: ig_pki::PkiError) -> Self {
+        GcmuError::Pki(e)
+    }
+}
+
+impl From<std::io::Error> for GcmuError {
+    fn from(e: std::io::Error) -> Self {
+        GcmuError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GcmuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GcmuError::Install("no disk".into()).to_string().contains("no disk"));
+        assert!(GcmuError::OAuth("bad code".into()).to_string().contains("bad code"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # ig-gcmu — Globus Connect Multi User
+//!
+//! The paper's primary contribution (§IV): a packaging of a GridFTP
+//! server, a MyProxy Online CA and a custom authorization callout that
+//! makes secure GridFTP "instant":
+//!
+//! * [`installer`] — the programmatic equivalent of the four-command
+//!   server install (`wget … && tar xzf … && cd gcmu* && sudo ./install`):
+//!   it creates the online CA, issues the host certificate from it (no
+//!   external CA — conventional steps (e)–(g) vanish), wires the GCMU
+//!   authorization callout (no gridmap — step (h) vanishes), and starts
+//!   both services.
+//! * [`ledger`] — the §III installation procedures (conventional GSI,
+//!   GridFTP-Lite, GCMU) as data: admin steps, per-user steps, error
+//!   opportunities, capability matrix. Experiment E8 prints it.
+//! * [`oauth`] — the §VI-B/Fig 7 OAuth server (the paper's future-work
+//!   item, implemented): users type their password only on a page served
+//!   by the endpoint; third-party agents exchange an authorization code
+//!   for the short-term certificate and never see the password.
+
+pub mod error;
+pub mod installer;
+pub mod ledger;
+pub mod oauth;
+
+pub use error::GcmuError;
+pub use installer::{GcmuEndpoint, InstallOptions};
+pub use ledger::{procedure, Procedure, SetupMethod};
+pub use oauth::OAuthServer;

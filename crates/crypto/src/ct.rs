@@ -1,0 +1,47 @@
+//! Constant-time helpers for secret comparison.
+
+/// Compare two byte slices in time independent of where they differ.
+///
+/// Returns `false` immediately only when the *lengths* differ (length is
+/// not secret for MAC tags and password digests, which are fixed-size).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0xff; 64], &[0xff; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"\x00abc", b"abc\x00"));
+    }
+
+    #[test]
+    fn single_bit_difference() {
+        let a = [0u8; 32];
+        for i in 0..32 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[i] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Text codecs: hex, base64 (RFC 4648) and PEM framing.
+//!
+//! §V of the paper requires DCSC blobs to be "composed of only printable
+//! ASCII (32–126) characters, such as base64 encoding would produce", and
+//! the blob itself carries certificates and keys in PEM format. Both codecs
+//! live here.
+
+use crate::error::{CryptoError, Result};
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hex string (case-insensitive, even length).
+pub fn hex_decode(s: &str) -> Result<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(CryptoError::Decode("hex string has odd length".into()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| CryptoError::Decode(format!("bad hex char {:?}", pair[0] as char)))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| CryptoError::Decode(format!("bad hex char {:?}", pair[1] as char)))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+/// Encode bytes as standard base64 with `=` padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(B64_ALPHABET[(n >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(B64_ALPHABET[n as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn b64_value(c: u8) -> Result<u32> {
+    match c {
+        b'A'..=b'Z' => Ok((c - b'A') as u32),
+        b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(CryptoError::Decode(format!("bad base64 char {:?}", c as char))),
+    }
+}
+
+/// Decode standard base64. Whitespace (spaces, newlines) is ignored so PEM
+/// bodies decode directly.
+pub fn base64_decode(s: &str) -> Result<Vec<u8>> {
+    let filtered: Vec<u8> = s
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    if filtered.len() % 4 != 0 {
+        return Err(CryptoError::Decode("base64 length not a multiple of 4".into()));
+    }
+    let mut out = Vec::with_capacity(filtered.len() / 4 * 3);
+    for (i, quad) in filtered.chunks_exact(4).enumerate() {
+        let last = i == filtered.len() / 4 - 1;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 0 && !last {
+            return Err(CryptoError::Decode("padding in middle of base64".into()));
+        }
+        if pad > 2 || (quad[0] == b'=' || quad[1] == b'=') {
+            return Err(CryptoError::Decode("malformed base64 padding".into()));
+        }
+        if quad[2] == b'=' && quad[3] != b'=' {
+            return Err(CryptoError::Decode("malformed base64 padding".into()));
+        }
+        let v0 = b64_value(quad[0])?;
+        let v1 = b64_value(quad[1])?;
+        let v2 = if quad[2] == b'=' { 0 } else { b64_value(quad[2])? };
+        let v3 = if quad[3] == b'=' { 0 } else { b64_value(quad[3])? };
+        let n = (v0 << 18) | (v1 << 12) | (v2 << 6) | v3;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// A single PEM block: `-----BEGIN <label>----- ... -----END <label>-----`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PemBlock {
+    /// Block label, e.g. `CERTIFICATE` or `PRIVATE KEY`.
+    pub label: String,
+    /// Decoded body bytes.
+    pub data: Vec<u8>,
+}
+
+/// Encode one PEM block with 64-column wrapped base64.
+pub fn pem_encode(label: &str, data: &[u8]) -> String {
+    let b64 = base64_encode(data);
+    let mut out = String::with_capacity(b64.len() + label.len() * 2 + 40);
+    out.push_str("-----BEGIN ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    for line in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(line).expect("base64 is ascii"));
+        out.push('\n');
+    }
+    out.push_str("-----END ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    out
+}
+
+/// Parse *all* PEM blocks in `text`, in order. Text outside blocks is
+/// ignored (matching OpenSSL behaviour, which the paper's DCSC blob format
+/// relies on: "additional X.509 certificates in PEM format, unordered").
+pub fn pem_decode_all(text: &str) -> Result<Vec<PemBlock>> {
+    let mut blocks = Vec::new();
+    let mut label: Option<String> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("-----BEGIN ") {
+            let lab = rest
+                .strip_suffix("-----")
+                .ok_or_else(|| CryptoError::Decode("bad PEM BEGIN line".into()))?;
+            if label.is_some() {
+                return Err(CryptoError::Decode("nested PEM BEGIN".into()));
+            }
+            label = Some(lab.to_string());
+            body.clear();
+        } else if let Some(rest) = line.strip_prefix("-----END ") {
+            let lab = rest
+                .strip_suffix("-----")
+                .ok_or_else(|| CryptoError::Decode("bad PEM END line".into()))?;
+            match label.take() {
+                Some(ref open) if open == lab => {
+                    blocks.push(PemBlock { label: lab.to_string(), data: base64_decode(&body)? });
+                }
+                Some(open) => {
+                    return Err(CryptoError::Decode(format!(
+                        "PEM END label {lab:?} does not match BEGIN {open:?}"
+                    )))
+                }
+                None => return Err(CryptoError::Decode("PEM END without BEGIN".into())),
+            }
+        } else if label.is_some() {
+            body.push_str(line);
+        }
+    }
+    if label.is_some() {
+        return Err(CryptoError::Decode("unterminated PEM block".into()));
+    }
+    Ok(blocks)
+}
+
+/// Parse exactly one PEM block with the given label.
+pub fn pem_decode_one(text: &str, want_label: &str) -> Result<Vec<u8>> {
+    let blocks = pem_decode_all(text)?;
+    blocks
+        .into_iter()
+        .find(|b| b.label == want_label)
+        .map(|b| b.data)
+        .ok_or_else(|| CryptoError::Decode(format!("no PEM block labelled {want_label:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        let s = hex_encode(&data);
+        assert_eq!(s, "00017f80ff");
+        assert_eq!(hex_decode(&s).unwrap(), data);
+        assert_eq!(hex_decode("00017F80FF").unwrap(), data);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    // RFC 4648 §10 vectors.
+    #[test]
+    fn base64_rfc4648_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(base64_encode(plain.as_bytes()), *enc);
+            assert_eq!(base64_decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn base64_ignores_whitespace() {
+        assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Z m 9 v").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("Zm9").is_err()); // bad length
+        assert!(base64_decode("Zm9!").is_err()); // bad char
+        assert!(base64_decode("=m9v").is_err()); // leading pad
+        assert!(base64_decode("Zm==Zm9v").is_err()); // pad in middle
+        assert!(base64_decode("Zm9=Zm9v").is_err());
+    }
+
+    #[test]
+    fn base64_is_printable_ascii() {
+        // The DCSC requirement: printable ASCII 32..=126 only.
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        for c in base64_encode(&data).bytes() {
+            assert!((32..=126).contains(&c));
+        }
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        let data = vec![1u8, 2, 3, 200, 255];
+        let pem = pem_encode("CERTIFICATE", &data);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        let blocks = pem_decode_all(&pem).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].label, "CERTIFICATE");
+        assert_eq!(blocks[0].data, data);
+    }
+
+    #[test]
+    fn pem_multiple_blocks_and_noise() {
+        let text = format!(
+            "junk before\n{}middle text\n{}",
+            pem_encode("CERTIFICATE", b"cert-one"),
+            pem_encode("PRIVATE KEY", b"key-bytes")
+        );
+        let blocks = pem_decode_all(&text).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].data, b"cert-one");
+        assert_eq!(blocks[1].label, "PRIVATE KEY");
+        assert_eq!(pem_decode_one(&text, "PRIVATE KEY").unwrap(), b"key-bytes");
+        assert!(pem_decode_one(&text, "CRL").is_err());
+    }
+
+    #[test]
+    fn pem_rejects_mismatched_labels() {
+        let bad = "-----BEGIN A-----\nZm9v\n-----END B-----\n";
+        assert!(pem_decode_all(bad).is_err());
+        assert!(pem_decode_all("-----BEGIN A-----\nZm9v\n").is_err());
+        assert!(pem_decode_all("-----END A-----\n").is_err());
+    }
+
+    #[test]
+    fn pem_long_body_wraps() {
+        let data = vec![7u8; 1000];
+        let pem = pem_encode("X", &data);
+        for line in pem.lines() {
+            assert!(line.len() <= 64 || line.starts_with("-----"));
+        }
+        assert_eq!(pem_decode_one(&pem, "X").unwrap(), data);
+    }
+}

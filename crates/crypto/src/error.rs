@@ -1,0 +1,65 @@
+//! Error type shared by all ig-crypto operations.
+
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+///
+/// Every failure mode is explicit so callers (the GSI handshake, the PKI
+/// validator, the MyProxy CA) can distinguish "malformed input" from
+/// "cryptographic rejection" — the paper's security workflows depend on
+/// rejecting, not panicking on, hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Input could not be decoded (bad base64, bad hex, bad PEM framing...).
+    Decode(String),
+    /// A signature failed to verify.
+    BadSignature,
+    /// A MAC tag failed to verify.
+    BadMac,
+    /// Ciphertext or padding was malformed.
+    BadCiphertext,
+    /// A key was unsuitable for the requested operation (wrong size, zero
+    /// modulus, message larger than modulus...).
+    InvalidKey(String),
+    /// Prime/key generation exhausted its attempt budget.
+    GenerationFailed(String),
+    /// Arithmetic preconditions violated (e.g. division by zero).
+    Arithmetic(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::Decode(m) => write!(f, "decode error: {m}"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::BadMac => write!(f, "MAC verification failed"),
+            CryptoError::BadCiphertext => write!(f, "ciphertext malformed"),
+            CryptoError::InvalidKey(m) => write!(f, "invalid key: {m}"),
+            CryptoError::GenerationFailed(m) => write!(f, "generation failed: {m}"),
+            CryptoError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::Decode("bad char".into());
+        assert!(e.to_string().contains("bad char"));
+        assert_eq!(CryptoError::BadMac.to_string(), "MAC verification failed");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CryptoError::BadSignature);
+        assert!(e.to_string().contains("signature"));
+    }
+}

@@ -1,0 +1,93 @@
+//! HKDF-SHA256 (RFC 5869) — the GSI handshake key schedule.
+//!
+//! After the handshake both peers derive the four directional record keys
+//! (client→server / server→client, encryption / MAC) from the shared
+//! pre-master secret and the exchanged nonces via `extract` + `expand`.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: compress input keying material into a pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: stretch a PRK into `len` bytes bound to `info`.
+///
+/// # Panics
+/// Panics if `len > 255 * 32` (RFC 5869 limit) — callers in this codebase
+/// only ever derive a few hundred bytes.
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF expand length too large");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize().to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+/// Extract-then-expand in one call.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{hex_decode, hex_encode};
+
+    // RFC 5869 Appendix A test vectors.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0bu8; 22];
+        let salt = hex_decode("000102030405060708090a0b0c").unwrap();
+        let info = hex_decode("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex_encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_zero_salt_info() {
+        let ikm = vec![0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract(b"salt", b"key");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(expand(&prk, b"info", len).len(), len);
+        }
+        // Prefix property: shorter output is a prefix of longer output.
+        let long = expand(&prk, b"info", 96);
+        let short = expand(&prk, b"info", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let prk = extract(b"s", b"ikm");
+        assert_ne!(expand(&prk, b"c2s", 32), expand(&prk, b"s2c", 32));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the cryptographic substrate.
+
+use ig_crypto::bignum::BigUint;
+use ig_crypto::chacha20::ChaCha20;
+use ig_crypto::encode::{
+    base64_decode, base64_encode, hex_decode, hex_encode, pem_decode_all, pem_encode,
+};
+use ig_crypto::hmac::HmacSha256;
+use ig_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let back = n.to_bytes_be();
+        // Minimal representation: strip leading zeros from input.
+        let stripped: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(back, stripped);
+    }
+
+    #[test]
+    fn add_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn shl_shr_inverse(a in biguint_strategy(), bits in 0usize..200) {
+        prop_assert_eq!(a.shl(bits).shr(bits), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in biguint_strategy(), bits in 0usize..100) {
+        prop_assert_eq!(a.shl(bits), a.mul(&BigUint::one().shl(bits)));
+    }
+
+    #[test]
+    fn modpow_fermat_like(a in biguint_strategy()) {
+        // a^1 mod m == a mod m for any m >= 2
+        let m = BigUint::from_u64(1_000_003);
+        let lhs = a.modpow(&BigUint::one(), &m).unwrap();
+        prop_assert_eq!(lhs, a.rem(&m).unwrap());
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn base64_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let enc = base64_encode(&bytes);
+        prop_assert!(enc.bytes().all(|c| (32..=126).contains(&c)));
+        prop_assert_eq!(base64_decode(&enc).unwrap(), bytes);
+    }
+
+    #[test]
+    fn pem_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let pem = pem_encode("TEST BLOCK", &bytes);
+        let blocks = pem_decode_all(&pem).unwrap();
+        prop_assert_eq!(blocks.len(), 1);
+        prop_assert_eq!(&blocks[0].data, &bytes);
+    }
+
+    #[test]
+    fn chacha_involution(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let ct = ChaCha20::xor(&key, &nonce, &data);
+        prop_assert_eq!(ChaCha20::xor(&key, &nonce, &ct), data);
+    }
+
+    #[test]
+    fn chacha_chunked_equals_oneshot(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 1..400),
+        chunk in 1usize..64,
+    ) {
+        let whole = ChaCha20::xor(&key, &nonce, &data);
+        let mut cipher = ChaCha20::new(&key, &nonce);
+        let mut pieces = data.clone();
+        for c in pieces.chunks_mut(chunk) {
+            cipher.apply(c);
+        }
+        prop_assert_eq!(pieces, whole);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1000),
+        split in 0usize..1000,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_verify_accepts_own_tags(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let tag = HmacSha256::mac(&key, &data);
+        prop_assert!(HmacSha256::verify(&key, &data, &tag));
+    }
+
+    #[test]
+    fn hmac_detects_flipped_bit(
+        key in proptest::collection::vec(any::<u8>(), 1..50),
+        data in proptest::collection::vec(any::<u8>(), 1..200),
+        byte in 0usize..200,
+        bit in 0u8..8,
+    ) {
+        let byte = byte % data.len();
+        let tag = HmacSha256::mac(&key, &data);
+        let mut tampered = data.clone();
+        tampered[byte] ^= 1 << bit;
+        prop_assert!(!HmacSha256::verify(&key, &tampered, &tag));
+    }
+}
+
+/// RSA roundtrips are slow per-case, so run a handful of cases outside
+/// proptest with varied deterministic seeds.
+#[test]
+fn rsa_sign_verify_many_messages() {
+    use ig_crypto::rng::seeded;
+    use ig_crypto::RsaKeyPair;
+    let kp = RsaKeyPair::generate(&mut seeded(1234), 512).unwrap();
+    for len in [0usize, 1, 16, 100, 1000] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+        let sig = kp.private.sign(&msg).unwrap();
+        kp.public.verify(&msg, &sig).unwrap();
+        if !msg.is_empty() {
+            let mut bad = msg.clone();
+            bad[0] ^= 1;
+            assert!(kp.public.verify(&bad, &sig).is_err());
+        }
+    }
+}
+
+#[test]
+fn rsa_encrypt_decrypt_many_sizes() {
+    use ig_crypto::rng::seeded;
+    use ig_crypto::RsaKeyPair;
+    let kp = RsaKeyPair::generate(&mut seeded(77), 512).unwrap();
+    let mut rng = seeded(78);
+    let max = kp.public.byte_len() - 11;
+    for len in [0usize, 1, 16, 32, max] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 13 + 1) as u8).collect();
+        let ct = kp.public.encrypt(&mut rng, &msg).unwrap();
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+}

@@ -1,0 +1,93 @@
+//! Endpoint activation records and the password-exposure audit.
+
+use ig_myproxy::client::LogonOutput;
+use ig_pki::{Credential, SigningPolicy, TrustStore};
+
+/// Which principals observed the user's password during an activation —
+/// the E10 metric. Under password activation the paper notes the
+//  "security concerns associated with passing the username/password
+//  through a third-party site" (§VI-B); under OAuth the third party
+/// never sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PasswordAudit {
+    /// Principals (besides the user) that handled the plaintext password.
+    pub seen_by: Vec<&'static str>,
+    /// Did the hosted service persist the password? (Never — §VI-B:
+    /// "Globus Online does not store the password.")
+    pub stored_by_service: bool,
+}
+
+impl PasswordAudit {
+    /// Password flow: the user types the password into GO, which relays
+    /// it to the endpoint.
+    pub fn password_flow() -> Self {
+        PasswordAudit { seen_by: vec!["globus-online", "endpoint"], stored_by_service: false }
+    }
+
+    /// OAuth flow: the password goes straight to the endpoint's page.
+    pub fn oauth_flow() -> Self {
+        PasswordAudit { seen_by: vec!["endpoint"], stored_by_service: false }
+    }
+
+    /// Did the third-party service handle the password?
+    pub fn third_party_saw_password(&self) -> bool {
+        self.seen_by.contains(&"globus-online")
+    }
+}
+
+/// One (user, endpoint) activation: the retained short-term credential.
+#[derive(Clone)]
+pub struct Activation {
+    /// The short-lived credential GO holds on the user's behalf.
+    pub credential: Credential,
+    /// Trust roots for the endpoint.
+    pub trust: TrustStore,
+    /// How the activation happened.
+    pub audit: PasswordAudit,
+    /// UNIX seconds of activation.
+    pub activated_at: u64,
+}
+
+impl Activation {
+    /// Build from a myproxy logon.
+    pub fn from_logon(logon: &LogonOutput, audit: PasswordAudit, now: u64) -> Self {
+        let mut trust = TrustStore::new();
+        for root in &logon.trust_roots {
+            trust.add_root_with_policy(root.clone(), logon.signing_policy.clone());
+        }
+        Activation { credential: logon.credential.clone(), trust, audit, activated_at: now }
+    }
+
+    /// Build from an OAuth-issued certificate.
+    pub fn from_oauth(
+        credential: Credential,
+        root: ig_pki::Certificate,
+        policy: SigningPolicy,
+        now: u64,
+    ) -> Self {
+        let mut trust = TrustStore::new();
+        trust.add_root_with_policy(root, policy);
+        Activation { credential, trust, audit: PasswordAudit::oauth_flow(), activated_at: now }
+    }
+
+    /// Seconds of credential lifetime left at `now`.
+    pub fn remaining(&self, now: u64) -> u64 {
+        self.credential.remaining_lifetime(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audits_differ_between_flows() {
+        let pw = PasswordAudit::password_flow();
+        let oauth = PasswordAudit::oauth_flow();
+        assert!(pw.third_party_saw_password());
+        assert!(!oauth.third_party_saw_password());
+        assert!(!pw.stored_by_service);
+        assert!(!oauth.stored_by_service);
+        assert!(oauth.seen_by.len() < pw.seen_by.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! Globus Online error taxonomy.
+
+use std::fmt;
+
+/// Errors from the hosted-transfer service.
+#[derive(Debug)]
+pub enum GolError {
+    /// No such registered endpoint.
+    UnknownEndpoint(String),
+    /// The user has not activated this endpoint.
+    NotActivated { user: String, endpoint: String },
+    /// Activation failed (bad password, myproxy refusal, oauth failure).
+    ActivationFailed(String),
+    /// A transfer exhausted its retries.
+    TransferFailed { attempts: u32, last_error: String },
+    /// Neither endpoint accepts DCSC and their CAs differ.
+    NoCommonSecurity(String),
+    /// Client-layer failure.
+    Client(ig_client::ClientError),
+    /// GCMU/OAuth failure.
+    Gcmu(ig_gcmu::GcmuError),
+    /// MyProxy failure.
+    MyProxy(ig_myproxy::MyProxyError),
+}
+
+impl fmt::Display for GolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GolError::UnknownEndpoint(e) => write!(f, "unknown endpoint {e:?}"),
+            GolError::NotActivated { user, endpoint } => {
+                write!(f, "user {user} has not activated endpoint {endpoint}")
+            }
+            GolError::ActivationFailed(m) => write!(f, "activation failed: {m}"),
+            GolError::TransferFailed { attempts, last_error } => {
+                write!(f, "transfer failed after {attempts} attempts: {last_error}")
+            }
+            GolError::NoCommonSecurity(m) => write!(f, "no common data-channel security: {m}"),
+            GolError::Client(e) => write!(f, "client: {e}"),
+            GolError::Gcmu(e) => write!(f, "gcmu: {e}"),
+            GolError::MyProxy(e) => write!(f, "myproxy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GolError::Client(e) => Some(e),
+            GolError::Gcmu(e) => Some(e),
+            GolError::MyProxy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_client::ClientError> for GolError {
+    fn from(e: ig_client::ClientError) -> Self {
+        GolError::Client(e)
+    }
+}
+
+impl From<ig_gcmu::GcmuError> for GolError {
+    fn from(e: ig_gcmu::GcmuError) -> Self {
+        GolError::Gcmu(e)
+    }
+}
+
+impl From<ig_myproxy::MyProxyError> for GolError {
+    fn from(e: ig_myproxy::MyProxyError) -> Self {
+        GolError::MyProxy(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = GolError::NotActivated { user: "u".into(), endpoint: "e".into() };
+        assert!(e.to_string().contains("not activated"));
+        let e = GolError::TransferFailed { attempts: 3, last_error: "boom".into() };
+        assert!(e.to_string().contains("3 attempts"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ig-gol — Globus Online, simulated
+//!
+//! §VI: "Globus Online is a software-as-a-service (SaaS) client for
+//! GridFTP ... a third-party mediator/facilitator of file transfers
+//! between GridFTP servers." This crate reproduces the behaviours the
+//! paper describes:
+//!
+//! * **endpoint registry + activation** ([`service`], [`activation`]):
+//!   password activation runs `myproxy-logon` on the user's behalf
+//!   ("Globus Online does not store the password" — only the short-term
+//!   certificate is retained), OAuth activation never sees the password
+//!   at all (Fig 7);
+//! * **managed third-party transfers** with automatic `DCSC`
+//!   orchestration — §VIII: cross-CA operation "is particularly
+//!   important when GCMU is used via Globus Online, since all the
+//!   transfers done by Globus Online are third-party";
+//! * **fault recovery** (Fig 6): on failure GO re-authenticates with the
+//!   stored short-term credential and restarts from the last `111`
+//!   checkpoint;
+//! * **auto-tuning** ([`tuning`]): "Globus Online also has the ability
+//!   to automatically tune GridFTP transfer options";
+//! * **fleet usage synthesis** ([`usage`]): the Fig 1 time series
+//!   (servers reporting transfers/day and bytes/day).
+
+pub mod activation;
+pub mod error;
+pub mod service;
+pub mod tuning;
+pub mod usage;
+
+pub use activation::{Activation, PasswordAudit};
+pub use error::GolError;
+pub use service::{GlobusOnline, TransferRequest, TransferResult};
+pub use tuning::tune;

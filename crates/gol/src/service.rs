@@ -1,0 +1,301 @@
+//! The hosted transfer service.
+
+use crate::activation::{Activation, PasswordAudit};
+use crate::error::{GolError, Result};
+use crate::tuning::tune;
+use ig_client::{transfer, ClientConfig, ClientSession, TransferOpts};
+use ig_gcmu::{GcmuEndpoint, OAuthServer};
+use ig_pki::time::Clock;
+use ig_pki::{Credential, DistinguishedName, TrustStore};
+use ig_protocol::{ByteRanges, HostPort};
+use ig_server::Dsi;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A registered endpoint's coordinates.
+#[derive(Clone)]
+pub struct RegisteredEndpoint {
+    /// Endpoint name.
+    pub name: String,
+    /// GridFTP control address.
+    pub gridftp: HostPort,
+    /// MyProxy address.
+    pub myproxy: HostPort,
+    /// OAuth server handle, when the endpoint runs one.
+    pub oauth: Option<Arc<OAuthServer>>,
+    /// The endpoint clock (simulated deployments share it).
+    pub clock: Clock,
+    /// Storage handle (for bookkeeping like file sizes in tuning).
+    pub dsi: Option<Arc<dyn Dsi>>,
+    /// The endpoint CA's root certificate (published at registration).
+    pub ca_root: Option<ig_pki::Certificate>,
+    /// Signing policy for that root.
+    pub signing_policy: Option<ig_pki::SigningPolicy>,
+}
+
+/// One transfer request.
+#[derive(Debug, Clone)]
+pub struct TransferRequest {
+    /// Source endpoint name.
+    pub src_endpoint: String,
+    /// Source path.
+    pub src_path: String,
+    /// Destination endpoint name.
+    pub dst_endpoint: String,
+    /// Destination path.
+    pub dst_path: String,
+    /// Retries after mid-transfer failures (Fig 6 recovery).
+    pub max_retries: u32,
+    /// Override auto-tuning.
+    pub opts: Option<TransferOpts>,
+}
+
+/// The outcome of a managed transfer.
+#[derive(Debug)]
+pub struct TransferResult {
+    /// Attempts made (1 = no faults).
+    pub attempts: u32,
+    /// Bytes that crossed the wire, summed over attempts.
+    pub bytes_on_wire: u64,
+    /// Final checkpoint (complete file on success).
+    pub checkpoint: ByteRanges,
+    /// Did it complete?
+    pub completed: bool,
+}
+
+/// The Globus Online service instance.
+pub struct GlobusOnline {
+    endpoints: RwLock<HashMap<String, RegisteredEndpoint>>,
+    activations: RwLock<HashMap<(String, String), Activation>>,
+    /// Event log (human-readable; the "highly monitored" bit of §VI-A).
+    pub events: Mutex<Vec<String>>,
+    clock: Clock,
+    seed: AtomicU64,
+}
+
+impl GlobusOnline {
+    /// A fresh service.
+    pub fn new(clock: Clock, seed: u64) -> Self {
+        GlobusOnline {
+            endpoints: RwLock::new(HashMap::new()),
+            activations: RwLock::new(HashMap::new()),
+            events: Mutex::new(Vec::new()),
+            clock,
+            seed: AtomicU64::new(seed),
+        }
+    }
+
+    fn log(&self, msg: String) {
+        self.events.lock().push(msg);
+    }
+
+    fn next_seed(&self) -> u64 {
+        self.seed.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Register a GCMU endpoint ("GCMU has an option in the installation
+    /// to make the server available as an endpoint on Globus Online").
+    pub fn register_gcmu(&self, ep: &GcmuEndpoint) {
+        self.endpoints.write().insert(
+            ep.name.clone(),
+            RegisteredEndpoint {
+                name: ep.name.clone(),
+                gridftp: ep.gridftp_addr(),
+                myproxy: ep.myproxy_addr(),
+                oauth: ep.oauth.clone(),
+                clock: ep.clock,
+                dsi: Some(Arc::clone(&ep.dsi)),
+                ca_root: Some(ep.ca.root_cert()),
+                signing_policy: Some(ep.ca.signing_policy()),
+            },
+        );
+        self.log(format!("endpoint {} registered", ep.name));
+    }
+
+    /// Register a non-GCMU endpoint by raw coordinates.
+    pub fn register_raw(&self, reg: RegisteredEndpoint) {
+        self.endpoints.write().insert(reg.name.clone(), reg);
+    }
+
+    fn endpoint(&self, name: &str) -> Result<RegisteredEndpoint> {
+        self.endpoints
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| GolError::UnknownEndpoint(name.to_string()))
+    }
+
+    /// Password activation (Fig 6): the user gives GO their site
+    /// username/password; GO runs `myproxy-logon` against the endpoint
+    /// and keeps only the short-term credential.
+    pub fn activate_with_password(
+        &self,
+        go_user: &str,
+        endpoint: &str,
+        username: &str,
+        password: &str,
+        lifetime: u64,
+    ) -> Result<PasswordAudit> {
+        let ep = self.endpoint(endpoint)?;
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        let logon = ig_myproxy::myproxy_logon(
+            ep.myproxy,
+            username,
+            password,
+            lifetime,
+            TrustStore::new(),
+            true,
+            ep.clock,
+            512,
+            &mut rng,
+        )
+        .map_err(|e| GolError::ActivationFailed(e.to_string()))?;
+        let audit = PasswordAudit::password_flow();
+        let activation = Activation::from_logon(&logon, audit.clone(), self.clock.now());
+        self.activations
+            .write()
+            .insert((go_user.to_string(), endpoint.to_string()), activation);
+        self.log(format!("{go_user} activated {endpoint} via password"));
+        Ok(audit)
+    }
+
+    /// OAuth activation (Fig 7): the caller supplies the authorization
+    /// code obtained on the endpoint's own login page; GO exchanges it.
+    /// The password never transits GO.
+    pub fn activate_with_oauth(
+        &self,
+        go_user: &str,
+        endpoint: &str,
+        code: &str,
+        lifetime: u64,
+    ) -> Result<PasswordAudit> {
+        let ep = self.endpoint(endpoint)?;
+        let oauth = ep
+            .oauth
+            .as_ref()
+            .ok_or_else(|| GolError::ActivationFailed(format!("{endpoint} runs no OAuth server")))?;
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        // GO generates the key and CSR; it ends up holding the credential.
+        let keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512)
+            .map_err(|e| GolError::ActivationFailed(e.to_string()))?;
+        let csr = ig_pki::CertificateSigningRequest::create(
+            DistinguishedName::from_pairs([("CN", go_user)]),
+            &keys.private,
+        )
+        .map_err(|e| GolError::ActivationFailed(e.to_string()))?;
+        let cert = oauth
+            .exchange(code, "globus-online", &csr, lifetime)
+            .map_err(|e| GolError::ActivationFailed(e.to_string()))?;
+        // Trust roots come from the registration record.
+        let root = ep.ca_root.clone().ok_or_else(|| {
+            GolError::ActivationFailed(format!("{endpoint} registration lacks a CA root"))
+        })?;
+        let policy = ep.signing_policy.clone().unwrap_or_else(ig_pki::SigningPolicy::allow_all);
+        let credential = Credential::new(vec![cert, root.clone()], keys.private)
+            .map_err(|e| GolError::ActivationFailed(e.to_string()))?;
+        let activation = Activation::from_oauth(credential, root, policy, self.clock.now());
+        let audit = activation.audit.clone();
+        self.activations
+            .write()
+            .insert((go_user.to_string(), endpoint.to_string()), activation);
+        self.log(format!("{go_user} activated {endpoint} via OAuth"));
+        Ok(audit)
+    }
+
+    /// The stored activation for (user, endpoint).
+    pub fn activation(&self, go_user: &str, endpoint: &str) -> Result<Activation> {
+        self.activations
+            .read()
+            .get(&(go_user.to_string(), endpoint.to_string()))
+            .cloned()
+            .ok_or_else(|| GolError::NotActivated {
+                user: go_user.to_string(),
+                endpoint: endpoint.to_string(),
+            })
+    }
+
+    fn open_session(
+        &self,
+        ep: &RegisteredEndpoint,
+        act: &Activation,
+    ) -> Result<ClientSession> {
+        let cfg = ClientConfig::new(act.credential.clone(), act.trust.clone())
+            .with_clock(ep.clock)
+            .with_seed(self.next_seed());
+        let mut session = ClientSession::connect(ep.gridftp, cfg)?;
+        session.login()?;
+        Ok(session)
+    }
+
+    /// Run a managed third-party transfer with checkpoint restart.
+    ///
+    /// The §V/§VIII security arrangement is automatic: GO holds a
+    /// *different* credential per endpoint (each minted by that site's
+    /// online CA), so it installs the source-side credential as the
+    /// destination's DCSC context — "use DCSC to pass credential A to
+    /// site B, for subsequent presentation to site A".
+    pub fn submit(&self, go_user: &str, req: &TransferRequest) -> Result<TransferResult> {
+        let src_ep = self.endpoint(&req.src_endpoint)?;
+        let dst_ep = self.endpoint(&req.dst_endpoint)?;
+        let src_act = self.activation(go_user, &req.src_endpoint)?;
+        let dst_act = self.activation(go_user, &req.dst_endpoint)?;
+        let mut checkpoint: Option<ByteRanges> = None;
+        let mut bytes_on_wire = 0u64;
+        let mut attempts = 0u32;
+        let mut last_error = String::new();
+        while attempts <= req.max_retries {
+            attempts += 1;
+            // Fig 6: (re-)authenticate with the stored short-term creds.
+            let mut src = self.open_session(&src_ep, &src_act)?;
+            let mut dst = self.open_session(&dst_ep, &dst_act)?;
+            // Auto-tune from the source file size.
+            let opts = match &req.opts {
+                Some(o) => o.clone(),
+                None => tune(src.size(&req.src_path)?),
+            };
+            // Cross-CA data channels need DCSC on the receiving side.
+            let same_identity = src_act.credential.identity() == dst_act.credential.identity();
+            if !same_identity {
+                dst.install_dcsc(&src_act.credential)?;
+            }
+            let before = checkpoint.clone().map(|c| c.total()).unwrap_or(0);
+            let outcome = transfer::third_party(
+                &mut src,
+                &req.src_path,
+                &mut dst,
+                &req.dst_path,
+                &opts,
+                checkpoint.as_ref(),
+            )?;
+            bytes_on_wire += outcome.checkpoint.total().saturating_sub(before);
+            let _ = src.quit();
+            let _ = dst.quit();
+            if outcome.is_success() {
+                self.log(format!(
+                    "{go_user}: {}:{} -> {}:{} complete after {attempts} attempt(s)",
+                    req.src_endpoint, req.src_path, req.dst_endpoint, req.dst_path
+                ));
+                return Ok(TransferResult {
+                    attempts,
+                    bytes_on_wire,
+                    checkpoint: outcome.checkpoint,
+                    completed: true,
+                });
+            }
+            last_error = format!(
+                "src: {} / dst: {}",
+                outcome.src_reply, outcome.dst_reply
+            );
+            self.log(format!(
+                "{go_user}: attempt {attempts} failed ({last_error}); checkpoint {} bytes",
+                outcome.checkpoint.total()
+            ));
+            checkpoint = Some(outcome.checkpoint);
+        }
+        Err(GolError::TransferFailed { attempts, last_error })
+    }
+}

@@ -1,0 +1,154 @@
+//! Fleet usage synthesis — regenerating Fig 1.
+//!
+//! Fig 1 plots aggregate usage reported by the worldwide server fleet:
+//! "deployed on more than 5,000 servers worldwide and ... responsible for
+//! an average of more than 10 million transfers totaling approximately
+//! half a petabyte of data every day". We synthesize a reporting fleet
+//! whose steady state matches those anchors, with organic growth and a
+//! heavy-tailed per-transfer size distribution (most transfers are small
+//! files; most bytes ride in large ones — the §II "huge file vs lots of
+//! small files" split).
+
+use ig_server::usage::{TransferRecord, UsageBucket, UsageReporter};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Fleet parameters; defaults hit the paper's anchors.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetParams {
+    /// Reporting servers at the end of the window.
+    pub servers: usize,
+    /// Days simulated.
+    pub days: u32,
+    /// Mean transfers per server per day *at steady state*.
+    pub transfers_per_server_day: f64,
+    /// Fraction of transfers that are "large" (multi-GB) files.
+    pub large_fraction: f64,
+    /// Growth: fleet fraction active on day 0 (linear ramp to 1.0).
+    pub initial_activity: f64,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        // 5,000 servers * 2,000 transfers/server/day = 10M transfers/day.
+        FleetParams {
+            servers: 5_000,
+            days: 364,
+            transfers_per_server_day: 2_000.0,
+            large_fraction: 0.02,
+            initial_activity: 0.4,
+        }
+    }
+}
+
+/// Synthesize the fleet's aggregate daily usage.
+///
+/// Returns daily buckets. For tractability each *server-day* contributes
+/// one aggregate record (transfers counted in the bucket math separately
+/// would need 10M records/day); the per-day totals are what Fig 1 plots.
+pub fn synthesize_fleet<R: Rng + ?Sized>(rng: &mut R, params: &FleetParams) -> Vec<UsageBucket> {
+    const DAY: u64 = 86_400;
+    let mut buckets = Vec::with_capacity(params.days as usize);
+    for day in 0..params.days {
+        // Linear fleet ramp plus weekly rhythm (weekend dip) plus noise.
+        let ramp = params.initial_activity
+            + (1.0 - params.initial_activity) * (day as f64 / params.days.max(1) as f64);
+        let weekday = day % 7;
+        let weekly = if weekday >= 5 { 0.75 } else { 1.0 };
+        let noise = 1.0 + (rng.gen::<f64>() - 0.5) * 0.2;
+        let activity = ramp * weekly * noise;
+        let transfers =
+            (params.servers as f64 * params.transfers_per_server_day * activity) as u64;
+        // Bytes: small transfers ~20 MB mean; large ~1.5 GB mean. At the
+        // default mix this lands near the paper's ~0.5 PB/day.
+        let small = transfers as f64 * (1.0 - params.large_fraction);
+        let large = transfers as f64 * params.large_fraction;
+        let bytes = (small * 20e6 + large * 1.5e9) as u64;
+        buckets.push(UsageBucket { start: day as u64 * DAY, transfers, bytes });
+    }
+    buckets
+}
+
+/// Steady-state means over the last `window` buckets (the "average of
+/// more than 10 million transfers ... half a petabyte ... every day").
+pub fn steady_state(buckets: &[UsageBucket], window: usize) -> (f64, f64) {
+    let tail = &buckets[buckets.len().saturating_sub(window)..];
+    let n = tail.len().max(1) as f64;
+    let transfers = tail.iter().map(|b| b.transfers as f64).sum::<f64>() / n;
+    let bytes = tail.iter().map(|b| b.bytes as f64).sum::<f64>() / n;
+    (transfers, bytes)
+}
+
+/// Exercise the real reporting plumbing: spin up `servers` in-memory
+/// [`UsageReporter`]s, fan synthetic records into them, and roll them up
+/// into a central reporter (what the Globus listener does).
+pub fn rollup_fleet<R: Rng + ?Sized>(
+    rng: &mut R,
+    servers: usize,
+    records_per_server: usize,
+) -> Arc<UsageReporter> {
+    let hub = UsageReporter::new();
+    for s in 0..servers {
+        let server = UsageReporter::new();
+        for i in 0..records_per_server {
+            server.record(TransferRecord {
+                timestamp: (s * records_per_server + i) as u64,
+                bytes: rng.gen_range(1_000..100_000_000),
+                user: format!("user{}", rng.gen_range(0..50)),
+                inbound: rng.gen_bool(0.5),
+                streams: *[1u32, 2, 4, 8].iter().nth(rng.gen_range(0..4)).expect("4 options"),
+            });
+        }
+        hub.absorb(&server);
+    }
+    hub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fleet_hits_paper_anchors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let buckets = synthesize_fleet(&mut rng, &FleetParams::default());
+        assert_eq!(buckets.len(), 364);
+        let (transfers_day, bytes_day) = steady_state(&buckets, 28);
+        // ">10 million transfers" and "~half a petabyte" per day.
+        assert!(transfers_day > 7.0e6, "got {transfers_day:.2e} transfers/day");
+        assert!(transfers_day < 2.0e7);
+        assert!(bytes_day > 2.5e14, "got {bytes_day:.2e} bytes/day");
+        assert!(bytes_day < 1.0e15);
+    }
+
+    #[test]
+    fn usage_grows_over_the_window() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let buckets = synthesize_fleet(&mut rng, &FleetParams::default());
+        let early: f64 = buckets[..28].iter().map(|b| b.transfers as f64).sum();
+        let late: f64 = buckets[buckets.len() - 28..].iter().map(|b| b.transfers as f64).sum();
+        assert!(late > 1.5 * early, "growth: early {early:.2e} late {late:.2e}");
+    }
+
+    #[test]
+    fn weekend_dip_visible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = FleetParams { days: 14, initial_activity: 1.0, ..Default::default() };
+        let buckets = synthesize_fleet(&mut rng, &params);
+        let weekday_mean: f64 = (0..5).map(|d| buckets[d].transfers as f64).sum::<f64>() / 5.0;
+        let weekend_mean: f64 = (5..7).map(|d| buckets[d].transfers as f64).sum::<f64>() / 2.0;
+        assert!(weekend_mean < weekday_mean);
+    }
+
+    #[test]
+    fn rollup_aggregates_all_servers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hub = rollup_fleet(&mut rng, 20, 50);
+        assert_eq!(hub.total_transfers(), 1000);
+        assert!(hub.total_bytes() > 0);
+        let daily = hub.aggregate(100);
+        assert!(!daily.is_empty());
+    }
+}

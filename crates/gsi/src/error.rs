@@ -1,0 +1,109 @@
+//! GSI error taxonomy.
+
+use std::fmt;
+
+/// Errors from handshakes, sealing, and delegation.
+#[derive(Debug)]
+pub enum GsiError {
+    /// Malformed token or record.
+    Decode(String),
+    /// Handshake message arrived out of order.
+    UnexpectedMessage { expected: &'static str, got: String },
+    /// Peer certificate chain failed validation.
+    PeerValidation(ig_pki::PkiError),
+    /// Peer did not present a certificate but one was required.
+    PeerAnonymous,
+    /// Finished MAC mismatch — transcripts diverged (tampering or bug).
+    TranscriptMismatch,
+    /// Record sequence number mismatch (reorder/replay/drop).
+    BadSequence { expected: u64, got: u64 },
+    /// Record MAC failed.
+    RecordMac,
+    /// Record protection level below what the receiver requires.
+    InsufficientProtection { required: &'static str, got: &'static str },
+    /// Local credential missing for an operation that needs one.
+    NoCredential(String),
+    /// Underlying cryptographic failure.
+    Crypto(ig_crypto::CryptoError),
+    /// Underlying I/O failure (stream helpers only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsiError::Decode(m) => write!(f, "token decode error: {m}"),
+            GsiError::UnexpectedMessage { expected, got } => {
+                write!(f, "unexpected handshake message: expected {expected}, got {got}")
+            }
+            GsiError::PeerValidation(e) => write!(f, "peer validation failed: {e}"),
+            GsiError::PeerAnonymous => write!(f, "peer did not authenticate but auth is required"),
+            GsiError::TranscriptMismatch => write!(f, "handshake transcript mismatch"),
+            GsiError::BadSequence { expected, got } => {
+                write!(f, "record sequence error: expected {expected}, got {got}")
+            }
+            GsiError::RecordMac => write!(f, "record MAC verification failed"),
+            GsiError::InsufficientProtection { required, got } => {
+                write!(f, "record protection {got} below required {required}")
+            }
+            GsiError::NoCredential(m) => write!(f, "no credential: {m}"),
+            GsiError::Crypto(e) => write!(f, "crypto error: {e}"),
+            GsiError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GsiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GsiError::PeerValidation(e) => Some(e),
+            GsiError::Crypto(e) => Some(e),
+            GsiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_crypto::CryptoError> for GsiError {
+    fn from(e: ig_crypto::CryptoError) -> Self {
+        GsiError::Crypto(e)
+    }
+}
+
+impl From<ig_pki::PkiError> for GsiError {
+    fn from(e: ig_pki::PkiError) -> Self {
+        GsiError::PeerValidation(e)
+    }
+}
+
+impl From<std::io::Error> for GsiError {
+    fn from(e: std::io::Error) -> Self {
+        GsiError::Io(e)
+    }
+}
+
+/// Result alias for GSI operations.
+pub type Result<T> = std::result::Result<T, GsiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GsiError::BadSequence { expected: 3, got: 5 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(GsiError::PeerAnonymous.to_string().contains("auth is required"));
+        let e = GsiError::InsufficientProtection { required: "Private", got: "Clear" };
+        assert!(e.to_string().contains("Private"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = GsiError::from(ig_crypto::CryptoError::BadMac);
+        assert!(e.source().is_some());
+        let e = GsiError::from(ig_pki::PkiError::UntrustedIssuer("x".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,90 @@
+//! Key schedule: HKDF over the pre-master secret and both nonces.
+
+use ig_crypto::hkdf;
+
+/// Length of the pre-master secret in bytes.
+pub const PREMASTER_LEN: usize = 32;
+
+/// Keys for one direction of the channel.
+#[derive(Clone)]
+pub struct DirectionKeys {
+    /// ChaCha20 key for `Private` records.
+    pub enc_key: [u8; 32],
+    /// HMAC key for `Safe`/`Private` records.
+    pub mac_key: [u8; 32],
+    /// 4-byte nonce prefix; the per-record nonce is prefix || seq.
+    pub nonce_prefix: [u8; 4],
+}
+
+/// Both directions, from the initiator's point of view.
+#[derive(Clone)]
+pub struct SessionKeys {
+    /// Initiator → acceptor.
+    pub c2s: DirectionKeys,
+    /// Acceptor → initiator.
+    pub s2c: DirectionKeys,
+    /// Key for Finished MACs.
+    pub finished_key: [u8; 32],
+}
+
+impl SessionKeys {
+    /// Derive the full key block.
+    pub fn derive(client_random: &[u8], server_random: &[u8], premaster: &[u8]) -> Self {
+        let mut salt = Vec::with_capacity(client_random.len() + server_random.len());
+        salt.extend_from_slice(client_random);
+        salt.extend_from_slice(server_random);
+        let prk = hkdf::extract(&salt, premaster);
+        let block = hkdf::expand(&prk, b"ig-gsi key expansion", 32 * 5 + 4 * 2);
+        let mut c2s = DirectionKeys {
+            enc_key: [0; 32],
+            mac_key: [0; 32],
+            nonce_prefix: [0; 4],
+        };
+        let mut s2c = c2s.clone();
+        let mut finished_key = [0u8; 32];
+        c2s.enc_key.copy_from_slice(&block[0..32]);
+        c2s.mac_key.copy_from_slice(&block[32..64]);
+        s2c.enc_key.copy_from_slice(&block[64..96]);
+        s2c.mac_key.copy_from_slice(&block[96..128]);
+        finished_key.copy_from_slice(&block[128..160]);
+        c2s.nonce_prefix.copy_from_slice(&block[160..164]);
+        s2c.nonce_prefix.copy_from_slice(&block[164..168]);
+        SessionKeys { c2s, s2c, finished_key }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        let b = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        assert_eq!(a.c2s.enc_key, b.c2s.enc_key);
+        assert_eq!(a.s2c.mac_key, b.s2c.mac_key);
+        assert_eq!(a.finished_key, b.finished_key);
+        assert_eq!(a.c2s.nonce_prefix, b.c2s.nonce_prefix);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let k = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        assert_ne!(k.c2s.enc_key, k.s2c.enc_key);
+        assert_ne!(k.c2s.mac_key, k.s2c.mac_key);
+        assert_ne!(k.c2s.nonce_prefix, k.s2c.nonce_prefix);
+    }
+
+    #[test]
+    fn inputs_change_all_keys() {
+        let base = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        let diff_cr = SessionKeys::derive(&[9; 32], &[2; 32], &[3; 32]);
+        let diff_sr = SessionKeys::derive(&[1; 32], &[9; 32], &[3; 32]);
+        let diff_pm = SessionKeys::derive(&[1; 32], &[2; 32], &[9; 32]);
+        for other in [&diff_cr, &diff_sr, &diff_pm] {
+            assert_ne!(base.c2s.enc_key, other.c2s.enc_key);
+            assert_ne!(base.s2c.enc_key, other.s2c.enc_key);
+            assert_ne!(base.finished_key, other.finished_key);
+        }
+    }
+}

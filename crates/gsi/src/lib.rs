@@ -1,0 +1,41 @@
+//! # ig-gsi — a GSI-style security context for Instant GridFTP
+//!
+//! Reproduces the Grid Security Infrastructure behaviours the paper relies
+//! on (§IIC, §V):
+//!
+//! * **Token-based handshake** ([`handshake`]): mutual authentication with
+//!   X.509-style certificate chains, modelled on the GSSAPI
+//!   `init_sec_context`/`accept_sec_context` pump so the same code runs
+//!   inside `AUTH GSSAPI`/`ADAT` on the control channel *and* raw on data
+//!   channels (DCAU). Server-auth-only and anonymous-client modes cover
+//!   the MyProxy bootstrap ("authenticates ... using the user's
+//!   credentials for the site (username/password)").
+//! * **Sealed records** ([`record`]): the three RFC 2228 protection
+//!   levels — `Clear` (framing only), `Safe` (HMAC integrity), `Private`
+//!   (ChaCha20 + HMAC). The control channel defaults to `Private`
+//!   ("encrypted and integrity protected by default"); the data channel
+//!   defaults to `Clear` "because of cost" — experiment E3 measures that
+//!   cost.
+//! * **Delegation** ([`delegation`]): the acceptor generates a key pair
+//!   and CSR; the initiator signs a proxy certificate. This is what lets
+//!   a third-party-transfer server or Globus Online act on the user's
+//!   behalf (§IIC, §VI-B).
+//! * **Context configuration** ([`context::GsiConfig`]) carries the
+//!   credential and trust store; swapping them per data channel is
+//!   exactly what the DCSC command does (§V: "tell a DCSC-enabled GridFTP
+//!   endpoint to both accept and present to the other endpoint a
+//!   credential different from that used to authenticate the control
+//!   channel").
+
+pub mod context;
+pub mod delegation;
+pub mod error;
+pub mod handshake;
+pub mod keys;
+pub mod messages;
+pub mod record;
+
+pub use context::{GsiConfig, SecureContext, SecureStream};
+pub use error::GsiError;
+pub use handshake::{Acceptor, Initiator};
+pub use record::ProtectionLevel;

@@ -1,0 +1,157 @@
+//! Handshake wire messages.
+//!
+//! Tokens are JSON — transparent, deterministic, and (crucially for the
+//! control channel) they base64 cleanly into `ADAT` arguments. Binary
+//! fields ride as hex strings.
+
+use crate::error::{GsiError, Result};
+use ig_crypto::encode::{hex_decode, hex_encode};
+use ig_pki::Certificate;
+use serde::{Deserialize, Serialize};
+
+/// Serde adapter: bytes as hex strings.
+mod hexbytes {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &[u8], s: S) -> std::result::Result<S::Ok, S::Error> {
+        s.serialize_str(&hex_encode(b))
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> std::result::Result<Vec<u8>, D::Error> {
+        let s = String::deserialize(d)?;
+        hex_decode(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Serde adapter: optional bytes as hex strings.
+mod opt_hexbytes {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        b: &Option<Vec<u8>>,
+        s: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        match b {
+            Some(b) => s.serialize_some(&hex_encode(b)),
+            None => s.serialize_none(),
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> std::result::Result<Option<Vec<u8>>, D::Error> {
+        let s: Option<String> = Option::deserialize(d)?;
+        s.map(|s| hex_decode(&s).map_err(serde::de::Error::custom))
+            .transpose()
+    }
+}
+
+/// One handshake token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HandshakeMsg {
+    /// Token 1, initiator → acceptor.
+    Hello {
+        /// 32 bytes of initiator randomness.
+        #[serde(with = "hexbytes")]
+        random: Vec<u8>,
+        /// Whether the initiator intends to authenticate itself.
+        mutual: bool,
+    },
+    /// Token 2, acceptor → initiator.
+    ServerHello {
+        /// 32 bytes of acceptor randomness.
+        #[serde(with = "hexbytes")]
+        random: Vec<u8>,
+        /// Acceptor's certificate chain, leaf first.
+        chain: Vec<Certificate>,
+    },
+    /// Token 3, initiator → acceptor.
+    ClientAuth {
+        /// Initiator's chain (empty when anonymous).
+        chain: Vec<Certificate>,
+        /// Pre-master secret encrypted under the acceptor leaf key.
+        #[serde(with = "hexbytes")]
+        encrypted_premaster: Vec<u8>,
+        /// Proof of possession: signature over the bound transcript
+        /// (absent when anonymous).
+        #[serde(with = "opt_hexbytes")]
+        signature: Option<Vec<u8>>,
+    },
+    /// Token 4, acceptor → initiator.
+    ServerFinished {
+        /// HMAC over the transcript with the s2c MAC key.
+        #[serde(with = "hexbytes")]
+        mac: Vec<u8>,
+    },
+    /// Token 5, initiator → acceptor.
+    ClientFinished {
+        /// HMAC over the transcript with the c2s MAC key.
+        #[serde(with = "hexbytes")]
+        mac: Vec<u8>,
+    },
+}
+
+impl HandshakeMsg {
+    /// Short name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HandshakeMsg::Hello { .. } => "Hello",
+            HandshakeMsg::ServerHello { .. } => "ServerHello",
+            HandshakeMsg::ClientAuth { .. } => "ClientAuth",
+            HandshakeMsg::ServerFinished { .. } => "ServerFinished",
+            HandshakeMsg::ClientFinished { .. } => "ClientFinished",
+        }
+    }
+
+    /// Serialize to token bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("handshake message serialization cannot fail")
+    }
+
+    /// Parse token bytes.
+    pub fn decode(token: &[u8]) -> Result<Self> {
+        serde_json::from_slice(token)
+            .map_err(|e| GsiError::Decode(format!("bad handshake token: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_hello() {
+        let m = HandshakeMsg::Hello { random: vec![1, 2, 3], mutual: true };
+        let back = HandshakeMsg::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.name(), "Hello");
+    }
+
+    #[test]
+    fn roundtrip_client_auth_with_and_without_signature() {
+        for sig in [None, Some(vec![9u8; 64])] {
+            let m = HandshakeMsg::ClientAuth {
+                chain: vec![],
+                encrypted_premaster: vec![5; 64],
+                signature: sig.clone(),
+            };
+            let back = HandshakeMsg::decode(&m.encode()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(HandshakeMsg::decode(b"not json").is_err());
+        assert!(HandshakeMsg::decode(b"{\"Unknown\":{}}").is_err());
+    }
+
+    #[test]
+    fn tokens_are_ascii_safe_json() {
+        let m = HandshakeMsg::ServerFinished { mac: (0..=255u8).map(|b| b ^ 3).take(32).collect() };
+        let tok = m.encode();
+        assert!(tok.iter().all(|&b| (0x20..0x7f).contains(&b)));
+    }
+}

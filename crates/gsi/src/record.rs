@@ -1,0 +1,291 @@
+//! Sealed records: the RFC 2228 protection levels.
+//!
+//! Wire layout (after the transport's own length framing):
+//!
+//! ```text
+//! [ level: u8 ][ seq: u64 BE ][ body ... ][ mac: 32 bytes, Safe/Private only ]
+//! ```
+//!
+//! `Private` encrypts the body with ChaCha20 using nonce
+//! `prefix(4) || seq(8)`, then MACs header+ciphertext (encrypt-then-MAC).
+//! Sequence numbers are explicit and strictly checked, so replayed,
+//! dropped, or reordered records are detected even at `Safe` level.
+
+use crate::error::{GsiError, Result};
+use crate::keys::DirectionKeys;
+use ig_crypto::chacha20::ChaCha20;
+use ig_crypto::hmac::HmacSha256;
+
+/// RFC 2228 data-channel protection levels (the `PROT` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtectionLevel {
+    /// `PROT C` — no cryptographic protection, framing only.
+    Clear,
+    /// `PROT S` — integrity protection (HMAC).
+    Safe,
+    /// `PROT P` — confidentiality + integrity (ChaCha20 + HMAC).
+    Private,
+}
+
+impl ProtectionLevel {
+    /// The one-letter FTP code (`C`/`S`/`P`).
+    pub fn code(&self) -> char {
+        match self {
+            ProtectionLevel::Clear => 'C',
+            ProtectionLevel::Safe => 'S',
+            ProtectionLevel::Private => 'P',
+        }
+    }
+
+    /// Parse the FTP code.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'C' => Some(ProtectionLevel::Clear),
+            'S' => Some(ProtectionLevel::Safe),
+            'P' => Some(ProtectionLevel::Private),
+            // RFC 2228 also defines E (confidential-only); GridFTP maps it
+            // to Private in practice.
+            'E' => Some(ProtectionLevel::Private),
+            _ => None,
+        }
+    }
+
+    /// Stable name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtectionLevel::Clear => "Clear",
+            ProtectionLevel::Safe => "Safe",
+            ProtectionLevel::Private => "Private",
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            ProtectionLevel::Clear => 0,
+            ProtectionLevel::Safe => 1,
+            ProtectionLevel::Private => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(ProtectionLevel::Clear),
+            1 => Ok(ProtectionLevel::Safe),
+            2 => Ok(ProtectionLevel::Private),
+            other => Err(GsiError::Decode(format!("bad protection byte {other}"))),
+        }
+    }
+}
+
+/// Outgoing record sealer for one direction.
+pub struct Sealer {
+    keys: DirectionKeys,
+    seq: u64,
+}
+
+/// Incoming record opener for one direction.
+pub struct Opener {
+    keys: DirectionKeys,
+    seq: u64,
+}
+
+const HEADER_LEN: usize = 1 + 8;
+const MAC_LEN: usize = 32;
+
+fn nonce_for(prefix: &[u8; 4], seq: u64) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[..4].copy_from_slice(prefix);
+    n[4..].copy_from_slice(&seq.to_be_bytes());
+    n
+}
+
+impl Sealer {
+    /// Create a sealer starting at sequence 0.
+    pub fn new(keys: DirectionKeys) -> Self {
+        Sealer { keys, seq: 0 }
+    }
+
+    /// Seal `plaintext` at `level`, consuming one sequence number.
+    pub fn seal(&mut self, level: ProtectionLevel, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut out = Vec::with_capacity(HEADER_LEN + plaintext.len() + MAC_LEN);
+        out.push(level.to_byte());
+        out.extend_from_slice(&seq.to_be_bytes());
+        match level {
+            ProtectionLevel::Clear => {
+                out.extend_from_slice(plaintext);
+            }
+            ProtectionLevel::Safe => {
+                out.extend_from_slice(plaintext);
+                let mac = HmacSha256::mac(&self.keys.mac_key, &out);
+                out.extend_from_slice(&mac);
+            }
+            ProtectionLevel::Private => {
+                let nonce = nonce_for(&self.keys.nonce_prefix, seq);
+                let mut body = plaintext.to_vec();
+                ChaCha20::new(&self.keys.enc_key, &nonce).apply(&mut body);
+                out.extend_from_slice(&body);
+                let mac = HmacSha256::mac(&self.keys.mac_key, &out);
+                out.extend_from_slice(&mac);
+            }
+        }
+        out
+    }
+
+    /// Next sequence number (for diagnostics).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Opener {
+    /// Create an opener expecting sequence 0 first.
+    pub fn new(keys: DirectionKeys) -> Self {
+        Opener { keys, seq: 0 }
+    }
+
+    /// Open a sealed record, enforcing sequence order and MAC.
+    pub fn open(&mut self, record: &[u8]) -> Result<(ProtectionLevel, Vec<u8>)> {
+        if record.len() < HEADER_LEN {
+            return Err(GsiError::Decode("record shorter than header".into()));
+        }
+        let level = ProtectionLevel::from_byte(record[0])?;
+        let seq = u64::from_be_bytes(record[1..9].try_into().expect("9-byte header"));
+        if seq != self.seq {
+            return Err(GsiError::BadSequence { expected: self.seq, got: seq });
+        }
+        let payload = match level {
+            ProtectionLevel::Clear => record[HEADER_LEN..].to_vec(),
+            ProtectionLevel::Safe | ProtectionLevel::Private => {
+                if record.len() < HEADER_LEN + MAC_LEN {
+                    return Err(GsiError::Decode("record shorter than MAC".into()));
+                }
+                let (signed, mac) = record.split_at(record.len() - MAC_LEN);
+                if !HmacSha256::verify(&self.keys.mac_key, signed, mac) {
+                    return Err(GsiError::RecordMac);
+                }
+                let mut body = signed[HEADER_LEN..].to_vec();
+                if level == ProtectionLevel::Private {
+                    let nonce = nonce_for(&self.keys.nonce_prefix, seq);
+                    ChaCha20::new(&self.keys.enc_key, &nonce).apply(&mut body);
+                }
+                body
+            }
+        };
+        self.seq += 1;
+        Ok((level, payload))
+    }
+
+    /// Next expected sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::SessionKeys;
+
+    fn pair() -> (Sealer, Opener) {
+        let keys = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        (Sealer::new(keys.c2s.clone()), Opener::new(keys.c2s))
+    }
+
+    #[test]
+    fn level_codes() {
+        assert_eq!(ProtectionLevel::Clear.code(), 'C');
+        assert_eq!(ProtectionLevel::from_code('p'), Some(ProtectionLevel::Private));
+        assert_eq!(ProtectionLevel::from_code('E'), Some(ProtectionLevel::Private));
+        assert_eq!(ProtectionLevel::from_code('X'), None);
+        assert!(ProtectionLevel::Clear < ProtectionLevel::Safe);
+        assert!(ProtectionLevel::Safe < ProtectionLevel::Private);
+    }
+
+    #[test]
+    fn seal_open_all_levels() {
+        let (mut s, mut o) = pair();
+        for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+            let msg = format!("payload at {level:?}");
+            let rec = s.seal(level, msg.as_bytes());
+            let (got_level, got) = o.open(&rec).unwrap();
+            assert_eq!(got_level, level);
+            assert_eq!(got, msg.as_bytes());
+        }
+    }
+
+    #[test]
+    fn private_hides_plaintext() {
+        let (mut s, _) = pair();
+        let rec = s.seal(ProtectionLevel::Private, b"secret-data-here");
+        let body = &rec[9..rec.len() - 32];
+        assert_ne!(body, b"secret-data-here");
+        // Clear level leaves it visible.
+        let (mut s2, _) = pair();
+        let rec2 = s2.seal(ProtectionLevel::Clear, b"visible-data");
+        assert_eq!(&rec2[9..], b"visible-data");
+    }
+
+    #[test]
+    fn tamper_detected_on_safe_and_private() {
+        for level in [ProtectionLevel::Safe, ProtectionLevel::Private] {
+            let (mut s, mut o) = pair();
+            let mut rec = s.seal(level, b"do not touch");
+            rec[10] ^= 1;
+            assert!(matches!(o.open(&rec), Err(GsiError::RecordMac)));
+        }
+    }
+
+    #[test]
+    fn replay_and_reorder_detected() {
+        let (mut s, mut o) = pair();
+        let r0 = s.seal(ProtectionLevel::Safe, b"zero");
+        let r1 = s.seal(ProtectionLevel::Safe, b"one");
+        o.open(&r0).unwrap();
+        // Replay of r0.
+        assert!(matches!(o.open(&r0), Err(GsiError::BadSequence { .. })));
+        // r1 still fine after the failed attempt.
+        o.open(&r1).unwrap();
+        // Skipping ahead (drop) detected.
+        let _r2 = s.seal(ProtectionLevel::Safe, b"two");
+        let r3 = s.seal(ProtectionLevel::Safe, b"three");
+        assert!(matches!(o.open(&r3), Err(GsiError::BadSequence { .. })));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let keys_a = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]);
+        let keys_b = SessionKeys::derive(&[1; 32], &[2; 32], &[4; 32]);
+        let mut s = Sealer::new(keys_a.c2s);
+        let mut o = Opener::new(keys_b.c2s);
+        let rec = s.seal(ProtectionLevel::Private, b"cross-key");
+        assert!(matches!(o.open(&rec), Err(GsiError::RecordMac)));
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        let (mut s, mut o) = pair();
+        let rec = s.seal(ProtectionLevel::Safe, b"x");
+        assert!(o.open(&rec[..5]).is_err());
+        assert!(o.open(&rec[..HEADER_LEN + 3]).is_err());
+        assert!(o.open(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let (mut s, mut o) = pair();
+        let rec = s.seal(ProtectionLevel::Private, b"");
+        let (_, body) = o.open(&rec).unwrap();
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let (mut s, mut o) = pair();
+        let data: Vec<u8> = (0..1_000_00).map(|i| (i % 251) as u8).collect();
+        let rec = s.seal(ProtectionLevel::Private, &data);
+        let (_, body) = o.open(&rec).unwrap();
+        assert_eq!(body, data);
+    }
+}

@@ -1,0 +1,81 @@
+//! MyProxy error taxonomy.
+
+use std::fmt;
+
+/// Errors from the online CA, PAM stack, and logon protocol.
+#[derive(Debug)]
+pub enum MyProxyError {
+    /// Username/password rejected by every PAM backend.
+    AuthenticationFailed(String),
+    /// CSR invalid or issuance refused.
+    IssuanceRefused(String),
+    /// Malformed protocol message.
+    Decode(String),
+    /// Security-channel failure.
+    Gsi(ig_gsi::GsiError),
+    /// PKI failure.
+    Pki(ig_pki::PkiError),
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server reported an error.
+    Server(String),
+}
+
+impl fmt::Display for MyProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MyProxyError::AuthenticationFailed(m) => write!(f, "authentication failed: {m}"),
+            MyProxyError::IssuanceRefused(m) => write!(f, "issuance refused: {m}"),
+            MyProxyError::Decode(m) => write!(f, "decode error: {m}"),
+            MyProxyError::Gsi(e) => write!(f, "security: {e}"),
+            MyProxyError::Pki(e) => write!(f, "pki: {e}"),
+            MyProxyError::Io(e) => write!(f, "io: {e}"),
+            MyProxyError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MyProxyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MyProxyError::Gsi(e) => Some(e),
+            MyProxyError::Pki(e) => Some(e),
+            MyProxyError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_gsi::GsiError> for MyProxyError {
+    fn from(e: ig_gsi::GsiError) -> Self {
+        MyProxyError::Gsi(e)
+    }
+}
+
+impl From<ig_pki::PkiError> for MyProxyError {
+    fn from(e: ig_pki::PkiError) -> Self {
+        MyProxyError::Pki(e)
+    }
+}
+
+impl From<std::io::Error> for MyProxyError {
+    fn from(e: std::io::Error) -> Self {
+        MyProxyError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MyProxyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MyProxyError::AuthenticationFailed("bad password".into())
+            .to_string()
+            .contains("bad password"));
+        assert!(MyProxyError::Server("boom".into()).to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ig-myproxy — the MyProxy Online Certificate Authority
+//!
+//! §IV-A of the paper: "MyProxy Online CA ... can be run at a site and
+//! tied to the local identity domain via a PAM. It issues short-lived
+//! X.509 credentials to authenticated users." This crate reproduces the
+//! whole flow of Fig 3:
+//!
+//! 1. the user contacts the online CA with their *site* username and
+//!    password ([`client::myproxy_logon`] — the `myproxy-logon -b -T`
+//!    command of §IV-E);
+//! 2. the CA authenticates them against the local identity system
+//!    (LDAP / RADIUS / NIS / files / OTP) through a PAM-style pluggable
+//!    stack ([`pam`]);
+//! 3. on success it signs the **client-generated** key ("The software
+//!    generates the subscriber's private key locally") into a
+//!    short-lived certificate whose DN embeds the local username
+//!    ([`ca::OnlineCa`]);
+//! 4. the client also receives the CA's trust roots, eliminating the
+//!    manual trusted-certificates setup (conventional step (g)).
+
+pub mod ca;
+pub mod client;
+pub mod error;
+pub mod pam;
+pub mod protocol;
+pub mod server;
+
+pub use ca::OnlineCa;
+pub use client::{myproxy_logon, LogonOutput};
+pub use error::MyProxyError;
+pub use pam::{AuthBackend, PamStack};
+pub use server::MyProxyServer;

@@ -1,0 +1,86 @@
+//! PAM — pluggable authentication.
+//!
+//! §IV: "MyProxy Online CA in turn passes the username and password to
+//! the local authentication system such as LDAP, RADIUS, or NIS via a
+//! Pluggable Authentication Module (PAM) API to authenticate the user."
+//! [`PamStack`] tries its backends in order with *sufficient* semantics
+//! (first success wins), matching the common `auth sufficient ...`
+//! configuration.
+
+pub mod backends;
+
+use crate::error::{MyProxyError, Result};
+
+pub use backends::{FileBackend, LdapSimBackend, NisSimBackend, OtpBackend, RadiusSimBackend};
+
+/// One authentication backend (one PAM module).
+pub trait AuthBackend: Send + Sync {
+    /// Module name (for diagnostics and E11's per-backend breakdown).
+    fn name(&self) -> &'static str;
+
+    /// Check a username/password pair.
+    fn authenticate(&self, username: &str, password: &str) -> Result<()>;
+}
+
+/// An ordered stack of backends.
+pub struct PamStack {
+    backends: Vec<Box<dyn AuthBackend>>,
+}
+
+impl PamStack {
+    /// Build from an ordered backend list.
+    pub fn new(backends: Vec<Box<dyn AuthBackend>>) -> Self {
+        PamStack { backends }
+    }
+
+    /// Authenticate with "sufficient" semantics.
+    pub fn authenticate(&self, username: &str, password: &str) -> Result<()> {
+        if self.backends.is_empty() {
+            return Err(MyProxyError::AuthenticationFailed(
+                "no PAM backends configured".into(),
+            ));
+        }
+        let mut last = None;
+        for backend in &self.backends {
+            match backend.authenticate(username, password) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one backend ran"))
+    }
+
+    /// Backend names in order.
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        self.backends.iter().map(|b| b.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stack_rejects() {
+        let stack = PamStack::new(vec![]);
+        assert!(stack.authenticate("u", "p").is_err());
+    }
+
+    #[test]
+    fn sufficient_semantics() {
+        let mut file1 = FileBackend::new();
+        file1.add_user("alice", "pw-a");
+        let mut file2 = FileBackend::new();
+        file2.add_user("bob", "pw-b");
+        let stack = PamStack::new(vec![Box::new(file1), Box::new(file2)]);
+        // First backend wins.
+        stack.authenticate("alice", "pw-a").unwrap();
+        // Fallthrough to second.
+        stack.authenticate("bob", "pw-b").unwrap();
+        // Neither.
+        assert!(stack.authenticate("carol", "x").is_err());
+        // Right user, wrong password.
+        assert!(stack.authenticate("alice", "pw-b").is_err());
+        assert_eq!(stack.backend_names(), vec!["pam_files", "pam_files"]);
+    }
+}

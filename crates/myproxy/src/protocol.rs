@@ -1,0 +1,94 @@
+//! The logon wire protocol: JSON over a `Private`-sealed GSI channel.
+//!
+//! The channel is server-authenticated only — the client typically has no
+//! certificate yet (that is the whole point); it authenticates with the
+//! username/password inside the sealed request.
+
+use crate::error::{MyProxyError, Result};
+use ig_pki::{Certificate, CertificateSigningRequest};
+use serde::{Deserialize, Serialize};
+
+/// Client → server.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LogonRequest {
+    /// Site username.
+    pub username: String,
+    /// Site password (or OTP token).
+    pub password: String,
+    /// Requested credential lifetime in seconds.
+    pub lifetime: u64,
+    /// CSR for the locally generated key (§IV-A).
+    pub csr: CertificateSigningRequest,
+}
+
+/// Server → client.
+#[derive(Debug, Serialize, Deserialize)]
+pub enum LogonResponse {
+    /// Credential issued.
+    Ok {
+        /// The short-lived certificate.
+        certificate: Certificate,
+        /// Trust roots (the CA's root cert) so the client needs no
+        /// manual trusted-certificates setup.
+        trust_roots: Vec<Certificate>,
+        /// Signing-policy file body for the root.
+        signing_policy: String,
+    },
+    /// Refused (bad password, bad CSR...).
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Encode a protocol message.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("protocol message serialization cannot fail")
+}
+
+/// Decode a protocol message.
+pub fn decode<T: for<'de> Deserialize<'de>>(data: &[u8]) -> Result<T> {
+    serde_json::from_slice(data).map_err(|e| MyProxyError::Decode(format!("bad message: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_crypto::rng::seeded;
+    use ig_pki::DistinguishedName;
+
+    #[test]
+    fn request_roundtrip() {
+        let kp = ig_crypto::RsaKeyPair::generate(&mut seeded(1), 512).unwrap();
+        let csr = CertificateSigningRequest::create(
+            DistinguishedName::from_pairs([("CN", "x")]),
+            &kp.private,
+        )
+        .unwrap();
+        let req = LogonRequest {
+            username: "alice".into(),
+            password: "pw".into(),
+            lifetime: 3600,
+            csr,
+        };
+        let back: LogonRequest = decode(&encode(&req)).unwrap();
+        assert_eq!(back.username, "alice");
+        assert_eq!(back.lifetime, 3600);
+        back.csr.verify().unwrap();
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = LogonResponse::Err { message: "nope".into() };
+        let back: LogonResponse = decode(&encode(&resp)).unwrap();
+        match back {
+            LogonResponse::Err { message } => assert_eq!(message, "nope"),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<LogonRequest>(b"junk").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! The MyProxy server: accepts logon requests, runs PAM, issues certs.
+
+use crate::ca::OnlineCa;
+use crate::pam::PamStack;
+use crate::protocol::{decode, encode, LogonRequest, LogonResponse};
+use ig_gsi::context::GsiConfig;
+use ig_gsi::ProtectionLevel;
+use ig_pki::time::Clock;
+use ig_pki::{Credential, TrustStore};
+use ig_protocol::HostPort;
+use ig_xio::{secure_accept, Link, TcpLink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::{Ipv4Addr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running MyProxy Online CA service.
+pub struct MyProxyServer {
+    addr: HostPort,
+    ca: Arc<OnlineCa>,
+    stop: Arc<AtomicBool>,
+    /// Count of successful issuances (E11 metric).
+    pub issued: Arc<AtomicU64>,
+    /// Count of refused logons.
+    pub refused: Arc<AtomicU64>,
+}
+
+impl MyProxyServer {
+    /// Start serving on a loopback port.
+    ///
+    /// The server presents `host_cred` (a certificate signed by the
+    /// online CA itself — GCMU wires this up at install time).
+    pub fn start(
+        ca: Arc<OnlineCa>,
+        pam: Arc<PamStack>,
+        host_cred: Credential,
+        clock: Clock,
+        seed: u64,
+    ) -> std::io::Result<Arc<Self>> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let addr = HostPort::from_socket_addr(listener.local_addr()?)
+            .expect("loopback is IPv4");
+        let server = Arc::new(MyProxyServer {
+            addr,
+            ca: Arc::clone(&ca),
+            stop: Arc::new(AtomicBool::new(false)),
+            issued: Arc::new(AtomicU64::new(0)),
+            refused: Arc::new(AtomicU64::new(0)),
+        });
+        let server2 = Arc::clone(&server);
+        let session_seed = Arc::new(AtomicU64::new(seed));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if server2.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { break };
+                let ca = Arc::clone(&server2.ca);
+                let pam = Arc::clone(&pam);
+                let cred = host_cred.clone();
+                let issued = Arc::clone(&server2.issued);
+                let refused = Arc::clone(&server2.refused);
+                let seed = session_seed.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let cfg = GsiConfig {
+                        credential: Some(cred),
+                        trust: TrustStore::new(),
+                        require_peer_auth: false, // the password authenticates
+                        clock,
+                        insecure_skip_peer_validation: false,
+                    };
+                    let link = TcpLink::new(stream);
+                    let Ok(mut secured) =
+                        secure_accept(link, cfg, ProtectionLevel::Private, &mut rng)
+                    else {
+                        return;
+                    };
+                    let Ok(raw) = secured.recv() else { return };
+                    let response = match decode::<LogonRequest>(&raw) {
+                        Ok(req) => {
+                            // Fig 3 step 2: PAM authentication.
+                            match pam.authenticate(&req.username, &req.password) {
+                                Ok(()) => match ca.issue(&req.username, &req.csr, req.lifetime) {
+                                    Ok(certificate) => {
+                                        issued.fetch_add(1, Ordering::Relaxed);
+                                        LogonResponse::Ok {
+                                            certificate,
+                                            trust_roots: vec![ca.root_cert()],
+                                            signing_policy: ca
+                                                .signing_policy()
+                                                .to_file(&ca.root_cert().subject().to_string()),
+                                        }
+                                    }
+                                    Err(e) => {
+                                        refused.fetch_add(1, Ordering::Relaxed);
+                                        LogonResponse::Err { message: e.to_string() }
+                                    }
+                                },
+                                Err(e) => {
+                                    refused.fetch_add(1, Ordering::Relaxed);
+                                    LogonResponse::Err { message: e.to_string() }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            refused.fetch_add(1, Ordering::Relaxed);
+                            LogonResponse::Err { message: e.to_string() }
+                        }
+                    };
+                    let _ = secured.send(&encode(&response));
+                    let _ = secured.close();
+                });
+            }
+        });
+        Ok(server)
+    }
+
+    /// Address clients logon to.
+    pub fn addr(&self) -> HostPort {
+        self.addr
+    }
+
+    /// The CA behind this server.
+    pub fn ca(&self) -> &Arc<OnlineCa> {
+        &self.ca
+    }
+
+    /// Stop accepting logons.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(self.addr.to_socket_addr());
+    }
+}
+
+impl Drop for MyProxyServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,108 @@
+//! Link and route descriptions.
+
+/// A single bottleneck link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bottleneck {
+    /// Capacity in bits per second.
+    pub bandwidth_bps: f64,
+    /// Round-trip time in seconds.
+    pub rtt_s: f64,
+    /// Independent per-packet loss probability (path loss, not queueing).
+    pub loss: f64,
+    /// Router buffer as a fraction of the BDP (1.0 = one BDP of buffer).
+    pub buffer_bdp: f64,
+}
+
+impl Bottleneck {
+    /// A link with the classic one-BDP buffer.
+    pub fn new(bandwidth_bps: f64, rtt_s: f64, loss: f64) -> Self {
+        assert!(bandwidth_bps > 0.0 && rtt_s > 0.0, "link must have positive capacity and RTT");
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        Bottleneck { bandwidth_bps, rtt_s, loss, buffer_bdp: 1.0 }
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.bandwidth_bps / 8.0 * self.rtt_s
+    }
+
+    /// Bytes the link can carry per RTT.
+    pub fn bytes_per_rtt(&self) -> f64 {
+        self.bdp_bytes()
+    }
+}
+
+/// A multi-hop route; SCP's relay-through-client path (§VII: "SCP routes
+/// data through the client") is a two-link route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Links in path order.
+    pub links: Vec<Bottleneck>,
+}
+
+impl Route {
+    /// A direct route over one link.
+    pub fn direct(link: Bottleneck) -> Self {
+        Route { links: vec![link] }
+    }
+
+    /// A route through an intermediary (e.g. server → client → server).
+    pub fn via(first: Bottleneck, second: Bottleneck) -> Self {
+        Route { links: vec![first, second] }
+    }
+
+    /// Collapse to an effective single bottleneck for end-to-end flows
+    /// that are cut through (pipelined) at the relay: bandwidth is the
+    /// minimum, RTT is the sum, loss compounds.
+    pub fn effective(&self) -> Bottleneck {
+        assert!(!self.links.is_empty(), "route needs at least one link");
+        let bandwidth = self
+            .links
+            .iter()
+            .map(|l| l.bandwidth_bps)
+            .fold(f64::INFINITY, f64::min);
+        let rtt = self.links.iter().map(|l| l.rtt_s).sum();
+        let pass: f64 = self.links.iter().map(|l| 1.0 - l.loss).product();
+        let buffer = self
+            .links
+            .iter()
+            .map(|l| l.buffer_bdp)
+            .fold(f64::INFINITY, f64::min);
+        Bottleneck { bandwidth_bps: bandwidth, rtt_s: rtt, loss: 1.0 - pass, buffer_bdp: buffer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_math() {
+        let l = Bottleneck::new(1e9, 0.1, 0.0);
+        assert!((l.bdp_bytes() - 12.5e6).abs() < 1.0);
+        assert_eq!(l.bytes_per_rtt(), l.bdp_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_bandwidth_rejected() {
+        Bottleneck::new(0.0, 0.1, 0.0);
+    }
+
+    #[test]
+    fn route_effective_takes_min_bandwidth_sum_rtt() {
+        let fast = Bottleneck::new(1e10, 0.05, 1e-5);
+        let slow = Bottleneck::new(1e8, 0.02, 1e-4);
+        let eff = Route::via(fast, slow).effective();
+        assert_eq!(eff.bandwidth_bps, 1e8);
+        assert!((eff.rtt_s - 0.07).abs() < 1e-12);
+        let expect_loss = 1.0 - (1.0 - 1e-5) * (1.0 - 1e-4);
+        assert!((eff.loss - expect_loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_route_is_identity() {
+        let l = Bottleneck::new(1e9, 0.01, 0.0);
+        assert_eq!(Route::direct(l).effective(), l);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-flow TCP Reno state, advanced one RTT at a time.
+
+/// Tunables for one TCP flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpParams {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Initial congestion window in segments.
+    pub init_cwnd: u32,
+    /// Receive/congestion window cap in bytes (`None` = auto-tuned, i.e.
+    /// effectively unlimited — the GridFTP "tuned buffers" case).
+    pub window_cap_bytes: Option<u64>,
+    /// Application-level send rate cap in bits/s (`None` = unlimited).
+    /// Models a CPU-bound cipher such as SCP's.
+    pub rate_cap_bps: Option<f64>,
+}
+
+impl TcpParams {
+    /// Well-tuned endpoint: big buffers, no cipher ceiling.
+    pub fn tuned() -> Self {
+        TcpParams { mss: 1460, init_cwnd: 10, window_cap_bytes: None, rate_cap_bps: None }
+    }
+
+    /// Classic untuned SSH/SCP endpoint: a fixed 64 KiB channel window.
+    pub fn scp_like() -> Self {
+        TcpParams {
+            mss: 1460,
+            init_cwnd: 10,
+            window_cap_bytes: Some(64 * 1024),
+            // OpenSSH-era single-core cipher throughput ceiling.
+            rate_cap_bps: Some(400e6),
+        }
+    }
+
+    /// Builder: set a window cap in bytes.
+    pub fn with_window_cap(mut self, bytes: u64) -> Self {
+        self.window_cap_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: set a rate cap in bits per second.
+    pub fn with_rate_cap(mut self, bps: f64) -> Self {
+        self.rate_cap_bps = Some(bps);
+        self
+    }
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        Self::tuned()
+    }
+}
+
+/// Reno congestion-control phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Exponential window growth.
+    SlowStart,
+    /// Additive increase.
+    CongestionAvoidance,
+}
+
+/// One flow's live state.
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Parameters.
+    pub params: TcpParams,
+    /// Congestion window in segments.
+    pub cwnd: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh: f64,
+    /// Current phase.
+    pub phase: Phase,
+    /// Bytes still to deliver.
+    pub remaining: u64,
+    /// Count of loss events experienced.
+    pub loss_events: u64,
+    /// RTTs elapsed while this flow was active.
+    pub rtts: u64,
+}
+
+impl FlowState {
+    /// Fresh flow with `bytes` to send.
+    pub fn new(bytes: u64, params: TcpParams) -> Self {
+        FlowState {
+            params,
+            cwnd: params.init_cwnd as f64,
+            ssthresh: f64::INFINITY,
+            phase: Phase::SlowStart,
+            remaining: bytes,
+            loss_events: 0,
+            rtts: 0,
+        }
+    }
+
+    /// Finished?
+    pub fn done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Window cap in segments for this flow.
+    fn cap_segments(&self) -> f64 {
+        self.params
+            .window_cap_bytes
+            .map(|b| (b as f64 / self.params.mss as f64).max(1.0))
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// How many bytes this flow *wants* to send this RTT.
+    pub fn offered_bytes(&self, rtt_s: f64) -> f64 {
+        if self.done() {
+            return 0.0;
+        }
+        let window = self.cwnd.min(self.cap_segments()) * self.params.mss as f64;
+        let rate_limited = self
+            .params
+            .rate_cap_bps
+            .map(|bps| bps / 8.0 * rtt_s)
+            .unwrap_or(f64::INFINITY);
+        window.min(rate_limited).min(self.remaining as f64).max(0.0)
+    }
+
+    /// Account `delivered` bytes and grow the window (one RTT passed).
+    pub fn on_rtt_delivered(&mut self, delivered: f64) {
+        let delivered = delivered.min(self.remaining as f64);
+        self.remaining -= delivered.round() as u64;
+        self.rtts += 1;
+        match self.phase {
+            Phase::SlowStart => {
+                self.cwnd *= 2.0;
+                if self.cwnd >= self.ssthresh {
+                    self.cwnd = self.ssthresh;
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                self.cwnd += 1.0;
+            }
+        }
+        let cap = self.cap_segments();
+        if self.cwnd > cap {
+            self.cwnd = cap;
+        }
+    }
+
+    /// A loss event: Reno multiplicative decrease.
+    pub fn on_loss(&mut self) {
+        self.loss_events += 1;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+        self.phase = Phase::CongestionAvoidance;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles() {
+        let mut f = FlowState::new(u64::MAX / 2, TcpParams::tuned());
+        assert_eq!(f.phase, Phase::SlowStart);
+        let w0 = f.cwnd;
+        f.on_rtt_delivered(0.0);
+        assert_eq!(f.cwnd, w0 * 2.0);
+        f.on_rtt_delivered(0.0);
+        assert_eq!(f.cwnd, w0 * 4.0);
+    }
+
+    #[test]
+    fn loss_halves_and_switches_to_ca() {
+        let mut f = FlowState::new(u64::MAX / 2, TcpParams::tuned());
+        for _ in 0..6 {
+            f.on_rtt_delivered(0.0);
+        }
+        let before = f.cwnd;
+        f.on_loss();
+        assert_eq!(f.phase, Phase::CongestionAvoidance);
+        assert!((f.cwnd - before / 2.0).abs() < 1e-9);
+        assert_eq!(f.loss_events, 1);
+        // CA grows additively.
+        let w = f.cwnd;
+        f.on_rtt_delivered(0.0);
+        assert_eq!(f.cwnd, w + 1.0);
+    }
+
+    #[test]
+    fn window_cap_respected() {
+        let params = TcpParams::tuned().with_window_cap(14600); // 10 segments
+        let mut f = FlowState::new(u64::MAX / 2, params);
+        for _ in 0..10 {
+            f.on_rtt_delivered(0.0);
+        }
+        assert!(f.cwnd <= 10.0 + 1e-9);
+        assert!(f.offered_bytes(0.1) <= 14600.0);
+    }
+
+    #[test]
+    fn rate_cap_limits_offer() {
+        let params = TcpParams::tuned().with_rate_cap(8e6); // 1 MB/s
+        let mut f = FlowState::new(u64::MAX / 2, params);
+        for _ in 0..20 {
+            f.on_rtt_delivered(0.0);
+        }
+        // Per 100 ms RTT, at most 100 KB.
+        assert!(f.offered_bytes(0.1) <= 100_000.0 + 1.0);
+    }
+
+    #[test]
+    fn offer_bounded_by_remaining() {
+        let f = FlowState::new(500, TcpParams::tuned());
+        assert!(f.offered_bytes(0.1) <= 500.0);
+        let mut f2 = FlowState::new(500, TcpParams::tuned());
+        f2.on_rtt_delivered(500.0);
+        assert!(f2.done());
+        assert_eq!(f2.offered_bytes(0.1), 0.0);
+    }
+
+    #[test]
+    fn delivery_never_underflows() {
+        let mut f = FlowState::new(100, TcpParams::tuned());
+        f.on_rtt_delivered(1e9); // more than remaining
+        assert!(f.done());
+        assert_eq!(f.remaining, 0);
+    }
+
+    #[test]
+    fn scp_like_has_both_ceilings() {
+        let p = TcpParams::scp_like();
+        assert_eq!(p.window_cap_bytes, Some(65536));
+        assert!(p.rate_cap_bps.is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the TCP flow simulator: conservation, capacity,
+//! determinism, and monotonicity invariants.
+
+use ig_netsim::{parallel_throughput_bps, simulate, Bottleneck, FlowSpec, SimConfig, TcpParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_bytes_delivered_and_capacity_respected(
+        bw_mbps in 10.0f64..2000.0,
+        rtt_ms in 1.0f64..120.0,
+        loss_exp in 0u32..4,
+        flows in 1usize..8,
+        kib in 64u64..4096,
+        seed in any::<u64>(),
+    ) {
+        let loss = if loss_exp == 0 { 0.0 } else { 10f64.powi(-(loss_exp as i32 + 2)) };
+        let link = Bottleneck::new(bw_mbps * 1e6, rtt_ms / 1e3, loss);
+        let bytes = kib * 1024;
+        let specs = vec![FlowSpec { bytes, params: TcpParams::tuned() }; flows];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let results = simulate(&link, &specs, &SimConfig::default(), &mut rng);
+        prop_assert_eq!(results.len(), flows);
+        let makespan = results.iter().map(|r| r.duration_s).fold(0.0f64, f64::max);
+        let mut total = 0u64;
+        for r in &results {
+            // Conservation: every flow delivers exactly its payload.
+            prop_assert_eq!(r.bytes, bytes);
+            prop_assert!(r.duration_s > 0.0);
+            prop_assert!(r.duration_s <= makespan);
+            total += r.bytes;
+        }
+        // Aggregate cannot beat the link (small slack for the final
+        // partial-RTT quantization).
+        let agg_bps = total as f64 * 8.0 / makespan;
+        prop_assert!(
+            agg_bps <= bw_mbps * 1e6 * 1.30,
+            "aggregate {:.2e} exceeds capacity {:.2e}",
+            agg_bps,
+            bw_mbps * 1e6
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed(seed in any::<u64>()) {
+        let link = Bottleneck::new(1e9, 0.03, 1e-4);
+        let run = |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            parallel_throughput_bps(&link, 8 << 20, 4, TcpParams::tuned(), &mut rng)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn window_cap_never_beats_window_over_rtt(
+        cap_kib in 16u64..512,
+        rtt_ms in 5.0f64..200.0,
+    ) {
+        let link = Bottleneck::new(1e10, rtt_ms / 1e3, 0.0);
+        let params = TcpParams::tuned().with_window_cap(cap_kib * 1024);
+        let mut rng = StdRng::seed_from_u64(7);
+        let bps = parallel_throughput_bps(&link, 4 << 20, 1, params, &mut rng);
+        let ceiling = cap_kib as f64 * 1024.0 * 8.0 / (rtt_ms / 1e3);
+        prop_assert!(bps <= ceiling * 1.05, "bps {bps:.2e} ceiling {ceiling:.2e}");
+    }
+
+    #[test]
+    fn more_loss_never_helps_much(rtt_ms in 10.0f64..100.0, seed in any::<u64>()) {
+        let clean = Bottleneck::new(1e9, rtt_ms / 1e3, 0.0);
+        let lossy = Bottleneck::new(1e9, rtt_ms / 1e3, 1e-3);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let t_clean = parallel_throughput_bps(&clean, 8 << 20, 1, TcpParams::tuned(), &mut r1);
+        let t_lossy = parallel_throughput_bps(&lossy, 8 << 20, 1, TcpParams::tuned(), &mut r2);
+        // Random loss can only slow a single flow down (tiny tolerance for
+        // the stochastic congestion component on the clean run).
+        prop_assert!(t_lossy <= t_clean * 1.1, "loss helped: {t_lossy:.2e} > {t_clean:.2e}");
+    }
+
+    #[test]
+    fn more_streams_never_slower_under_loss(
+        streams in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // Parallel streams help *sustained, loss-limited* transfers (the
+        // paper's WAN case). Short transfers that finish inside slow
+        // start can regress (max-of-N straggler effect) — faithful to
+        // real TCP — so pick a payload much larger than what slow start
+        // covers, and compare means over several seeds.
+        let link = Bottleneck::new(1e9, 0.04, 1e-3);
+        let mean = |n: usize, base: u64| -> f64 {
+            (0..5)
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(base.wrapping_add(i * 7919));
+                    parallel_throughput_bps(&link, 64 << 20, n, TcpParams::tuned(), &mut rng)
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let one = mean(1, seed);
+        let many = mean(streams, seed.wrapping_add(1));
+        prop_assert!(many >= one * 0.8, "streams={streams}: {many:.2e} vs {one:.2e}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Certificate authorities.
+//!
+//! One type serves three roles from the paper:
+//! * a **well-known CA** (the conventional installation's step (e):
+//!   "obtain an X.509 host certificate from a well-known certificate
+//!   authority"),
+//! * a **site CA** issuing host certificates, and
+//! * the **MyProxy Online CA** inside GCMU, which issues *short-lived*
+//!   user certificates whose DN embeds the local username (§IV-A/C) and
+//!   carries the [`Extension::OnlineCaIssued`] marker the GCMU authz
+//!   callout keys on.
+
+use crate::cert::{Certificate, Extension, TbsCertificate, Validity};
+use crate::dn::DistinguishedName;
+use crate::error::Result;
+use ig_crypto::{RsaKeyPair, RsaPublicKey};
+use rand::Rng;
+
+/// A certificate authority: a self-signed root plus issuance state.
+pub struct CertificateAuthority {
+    name: DistinguishedName,
+    keys: RsaKeyPair,
+    root: Certificate,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Create a new root CA with a fresh key pair.
+    ///
+    /// `valid_for` is the root's lifetime in seconds starting at `now`.
+    pub fn create<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: DistinguishedName,
+        key_bits: usize,
+        now: u64,
+        valid_for: u64,
+    ) -> Result<Self> {
+        let keys = RsaKeyPair::generate(rng, key_bits)?;
+        let tbs = TbsCertificate {
+            version: 3,
+            serial: 0,
+            issuer: name.clone(),
+            subject: name.clone(),
+            validity: Validity::starting_at(now, valid_for),
+            public_key: keys.public.encode(),
+            extensions: vec![Extension::BasicConstraints { ca: true, path_len: None }],
+        };
+        let root = Certificate::sign(tbs, &keys.private)?;
+        Ok(CertificateAuthority { name, keys, root, next_serial: 1 })
+    }
+
+    /// The CA's DN.
+    pub fn name(&self) -> &DistinguishedName {
+        &self.name
+    }
+
+    /// The self-signed root certificate (what sites install as a trust
+    /// root — conventional step (g), automated away by GCMU).
+    pub fn root_cert(&self) -> &Certificate {
+        &self.root
+    }
+
+    /// The CA public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.keys.public
+    }
+
+    fn take_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    /// Issue an end-entity certificate (host or user).
+    pub fn issue(
+        &mut self,
+        subject: DistinguishedName,
+        subject_key: &RsaPublicKey,
+        validity: Validity,
+        mut extra_extensions: Vec<Extension>,
+    ) -> Result<Certificate> {
+        let mut extensions = vec![Extension::BasicConstraints { ca: false, path_len: None }];
+        extensions.append(&mut extra_extensions);
+        let tbs = TbsCertificate {
+            version: 3,
+            serial: self.take_serial(),
+            issuer: self.name.clone(),
+            subject,
+            validity,
+            public_key: subject_key.encode(),
+            extensions,
+        };
+        Certificate::sign(tbs, &self.keys.private)
+    }
+
+    /// Issue an intermediate CA certificate.
+    pub fn issue_ca(
+        &mut self,
+        subject: DistinguishedName,
+        subject_key: &RsaPublicKey,
+        validity: Validity,
+        path_len: Option<u32>,
+    ) -> Result<Certificate> {
+        let tbs = TbsCertificate {
+            version: 3,
+            serial: self.take_serial(),
+            issuer: self.name.clone(),
+            subject,
+            validity,
+            public_key: subject_key.encode(),
+            extensions: vec![Extension::BasicConstraints { ca: true, path_len }],
+        };
+        Certificate::sign(tbs, &self.keys.private)
+    }
+
+    /// Issue a *short-lived* certificate in the online-CA style of §IV:
+    /// the subject DN is `<base>/CN=<username>` regardless of what the
+    /// requester asked for, and the certificate carries the
+    /// [`Extension::OnlineCaIssued`] marker naming this endpoint.
+    pub fn issue_short_lived(
+        &mut self,
+        base: &DistinguishedName,
+        username: &str,
+        endpoint: &str,
+        subject_key: &RsaPublicKey,
+        now: u64,
+        lifetime: u64,
+    ) -> Result<Certificate> {
+        let subject = base.with("CN", username);
+        self.issue(
+            subject,
+            subject_key,
+            Validity::starting_at(now, lifetime),
+            vec![Extension::OnlineCaIssued { endpoint: endpoint.to_string() }],
+        )
+    }
+
+    /// Sign arbitrary bytes with the CA key (used by tests and the GSI
+    /// handshake transcripts; issuance should go through `issue*`).
+    pub fn sign_bytes(&self, data: &[u8]) -> Result<Vec<u8>> {
+        Ok(self.keys.private.sign(data)?)
+    }
+
+    /// Access the CA key pair (needed when a CA identity doubles as a
+    /// server credential in small test deployments).
+    pub fn keypair(&self) -> &RsaKeyPair {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_crypto::rng::seeded;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn test_ca(seed: u64, name: &str) -> CertificateAuthority {
+        CertificateAuthority::create(&mut seeded(seed), dn(name), 512, 1000, 10_000).unwrap()
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let ca = test_ca(1, "/O=Test CA");
+        let root = ca.root_cert();
+        assert!(root.is_self_signed());
+        assert!(root.is_ca());
+        root.verify_signature(ca.public_key()).unwrap();
+        root.check_validity(5000).unwrap();
+        assert!(root.check_validity(11_001).is_err());
+    }
+
+    #[test]
+    fn issue_end_entity() {
+        let mut ca = test_ca(2, "/O=Site CA");
+        let user = RsaKeyPair::generate(&mut seeded(3), 512).unwrap();
+        let cert = ca
+            .issue(dn("/O=Site/CN=host1"), &user.public, Validity::starting_at(1000, 100), vec![])
+            .unwrap();
+        cert.verify_signature(ca.public_key()).unwrap();
+        assert!(!cert.is_ca());
+        assert_eq!(cert.issuer(), ca.name());
+        assert_eq!(cert.tbs.serial, 1);
+        // Serials increment.
+        let cert2 = ca
+            .issue(dn("/O=Site/CN=host2"), &user.public, Validity::starting_at(1000, 100), vec![])
+            .unwrap();
+        assert_eq!(cert2.tbs.serial, 2);
+    }
+
+    #[test]
+    fn issue_intermediate_ca() {
+        let mut root = test_ca(4, "/O=Root");
+        let sub_keys = RsaKeyPair::generate(&mut seeded(5), 512).unwrap();
+        let sub = root
+            .issue_ca(dn("/O=Root/OU=Sub"), &sub_keys.public, Validity::starting_at(1000, 100), Some(0))
+            .unwrap();
+        assert!(sub.is_ca());
+        assert_eq!(sub.ca_path_len(), Some(0));
+        sub.verify_signature(root.public_key()).unwrap();
+    }
+
+    #[test]
+    fn short_lived_embeds_username_and_marker() {
+        let mut ca = test_ca(6, "/O=GCMU CA/OU=cluster.example.org");
+        let user_keys = RsaKeyPair::generate(&mut seeded(7), 512).unwrap();
+        let base = dn("/O=GCMU/OU=cluster.example.org");
+        let cert = ca
+            .issue_short_lived(&base, "alice", "cluster.example.org", &user_keys.public, 5000, 3600 * 12)
+            .unwrap();
+        // The DN embeds the local username (the GCMU rule, §IV-C).
+        assert_eq!(cert.subject().to_string(), "/O=GCMU/OU=cluster.example.org/CN=alice");
+        assert_eq!(cert.subject().common_name(), Some("alice"));
+        assert_eq!(cert.online_ca_endpoint(), Some("cluster.example.org"));
+        // Short lifetime: valid now, expired in 13 hours.
+        cert.check_validity(5001).unwrap();
+        assert!(cert.check_validity(5000 + 3600 * 13).is_err());
+    }
+
+    #[test]
+    fn distinct_cas_do_not_cross_verify() {
+        // The Fig 4 setup: CA-A's certs do not verify under CA-B.
+        let mut ca_a = test_ca(8, "/O=CA-A");
+        let ca_b = test_ca(9, "/O=CA-B");
+        let k = RsaKeyPair::generate(&mut seeded(10), 512).unwrap();
+        let cert = ca_a
+            .issue(dn("/CN=user"), &k.public, Validity::starting_at(1000, 100), vec![])
+            .unwrap();
+        cert.verify_signature(ca_a.public_key()).unwrap();
+        assert!(cert.verify_signature(ca_b.public_key()).is_err());
+    }
+}

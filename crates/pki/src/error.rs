@@ -1,0 +1,100 @@
+//! PKI error taxonomy.
+
+use std::fmt;
+
+/// Errors from certificate issuance, parsing and validation.
+///
+/// The validator distinguishes *why* a chain was rejected because the
+/// paper's central scenario (Fig 4) hinges on one specific failure:
+/// an endpoint receiving a certificate "issued by a CA unknown to it"
+/// must produce [`PkiError::UntrustedIssuer`], which the DCSC command
+/// (Fig 5) then repairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PkiError {
+    /// Malformed PEM/JSON/binary input.
+    Decode(String),
+    /// The certificate's signature does not verify under its issuer key.
+    BadSignature(String),
+    /// No trust root matches the chain's top issuer.
+    UntrustedIssuer(String),
+    /// Certificate used outside its validity window.
+    Expired { subject: String, not_after: u64, now: u64 },
+    /// Certificate not yet valid.
+    NotYetValid { subject: String, not_before: u64, now: u64 },
+    /// An issuing certificate lacks CA rights (basic constraints).
+    NotACa(String),
+    /// Proxy-certificate rules violated (naming, depth, or signer).
+    ProxyViolation(String),
+    /// The CA's signing policy forbids this subject name.
+    PolicyViolation { ca: String, subject: String },
+    /// Chain could not be assembled (missing intermediate, wrong order).
+    BrokenChain(String),
+    /// Gridmap lookup failed — the paper's "frequent source of errors".
+    NoGridmapEntry(String),
+    /// Underlying cryptographic failure.
+    Crypto(ig_crypto::CryptoError),
+}
+
+impl fmt::Display for PkiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkiError::Decode(m) => write!(f, "decode error: {m}"),
+            PkiError::BadSignature(m) => write!(f, "bad certificate signature: {m}"),
+            PkiError::UntrustedIssuer(m) => write!(f, "untrusted issuer: {m}"),
+            PkiError::Expired { subject, not_after, now } => {
+                write!(f, "certificate {subject} expired at {not_after} (now {now})")
+            }
+            PkiError::NotYetValid { subject, not_before, now } => {
+                write!(f, "certificate {subject} not valid until {not_before} (now {now})")
+            }
+            PkiError::NotACa(m) => write!(f, "issuer is not a CA: {m}"),
+            PkiError::ProxyViolation(m) => write!(f, "proxy certificate violation: {m}"),
+            PkiError::PolicyViolation { ca, subject } => {
+                write!(f, "signing policy of {ca} forbids subject {subject}")
+            }
+            PkiError::BrokenChain(m) => write!(f, "broken certificate chain: {m}"),
+            PkiError::NoGridmapEntry(dn) => write!(f, "no gridmap entry for {dn}"),
+            PkiError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PkiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PkiError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ig_crypto::CryptoError> for PkiError {
+    fn from(e: ig_crypto::CryptoError) -> Self {
+        PkiError::Crypto(e)
+    }
+}
+
+/// Result alias for PKI operations.
+pub type Result<T> = std::result::Result<T, PkiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PkiError::UntrustedIssuer("CA-B".into())
+            .to_string()
+            .contains("CA-B"));
+        let e = PkiError::Expired { subject: "/CN=x".into(), not_after: 10, now: 20 };
+        assert!(e.to_string().contains("expired"));
+        assert!(PkiError::NoGridmapEntry("/CN=y".into()).to_string().contains("gridmap"));
+    }
+
+    #[test]
+    fn crypto_error_wraps_with_source() {
+        use std::error::Error;
+        let e = PkiError::from(ig_crypto::CryptoError::BadSignature);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,155 @@
+//! The gridmap file — the DN → local-account mapping GCMU eliminates.
+//!
+//! §IV-C: "This mapping is typically done by looking at a Gridmap file ...
+//! This file is, however, a frequent source of errors and complaints,
+//! because of the difficulties inherent in keeping it up to date." We keep
+//! a faithful implementation as the *baseline* authorization mechanism so
+//! experiment E8 can count the per-user administration steps GCMU removes.
+
+use crate::dn::DistinguishedName;
+use crate::error::{PkiError, Result};
+use std::collections::BTreeMap;
+
+/// A gridmap: ordered DN → username entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gridmap {
+    entries: BTreeMap<String, String>,
+}
+
+impl Gridmap {
+    /// Empty gridmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a mapping. This is the manual admin step (h) of the
+    /// conventional installation ("generate mappings between users' Grid
+    /// identities ... to a local user account").
+    pub fn add(&mut self, dn: &DistinguishedName, username: &str) {
+        self.entries.insert(dn.to_string(), username.to_string());
+    }
+
+    /// Remove a mapping; true if one existed.
+    pub fn remove(&mut self, dn: &DistinguishedName) -> bool {
+        self.entries.remove(&dn.to_string()).is_some()
+    }
+
+    /// Look up the local account for a DN.
+    pub fn lookup(&self, dn: &DistinguishedName) -> Result<&str> {
+        self.entries
+            .get(&dn.to_string())
+            .map(String::as_str)
+            .ok_or_else(|| PkiError::NoGridmapEntry(dn.to_string()))
+    }
+
+    /// Number of entries (E8 counts these as per-user admin burden).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize in the classic format: `"<DN>" <username>` per line.
+    pub fn to_file(&self) -> String {
+        let mut out = String::new();
+        for (dn, user) in &self.entries {
+            out.push('"');
+            out.push_str(dn);
+            out.push_str("\" ");
+            out.push_str(user);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the classic format. Blank lines and `#` comments ignored.
+    pub fn parse_file(text: &str) -> Result<Self> {
+        let mut map = Gridmap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line.strip_prefix('"').ok_or_else(|| {
+                PkiError::Decode(format!("gridmap line {}: DN must be quoted", lineno + 1))
+            })?;
+            let (dn_str, user) = rest.split_once('"').ok_or_else(|| {
+                PkiError::Decode(format!("gridmap line {}: unterminated quote", lineno + 1))
+            })?;
+            let user = user.trim();
+            if user.is_empty() || user.contains(char::is_whitespace) {
+                return Err(PkiError::Decode(format!(
+                    "gridmap line {}: bad username {user:?}",
+                    lineno + 1
+                )));
+            }
+            let dn = DistinguishedName::parse(dn_str)?;
+            map.add(&dn, user);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn add_lookup_remove() {
+        let mut g = Gridmap::new();
+        assert!(g.is_empty());
+        let alice = dn("/O=Grid/CN=Alice Smith");
+        g.add(&alice, "asmith");
+        assert_eq!(g.lookup(&alice).unwrap(), "asmith");
+        assert_eq!(g.len(), 1);
+        // Replacement.
+        g.add(&alice, "alice2");
+        assert_eq!(g.lookup(&alice).unwrap(), "alice2");
+        assert_eq!(g.len(), 1);
+        assert!(g.remove(&alice));
+        assert!(!g.remove(&alice));
+        assert!(g.lookup(&alice).is_err());
+    }
+
+    #[test]
+    fn missing_entry_is_the_papers_error() {
+        // The stale-gridmap failure mode the paper complains about.
+        let g = Gridmap::new();
+        let err = g.lookup(&dn("/O=Grid/CN=newuser")).unwrap_err();
+        assert!(matches!(err, PkiError::NoGridmapEntry(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut g = Gridmap::new();
+        g.add(&dn("/O=Grid/CN=Alice Smith"), "asmith");
+        g.add(&dn("/O=Grid/OU=ANL/CN=Bob"), "bob");
+        let text = g.to_file();
+        assert!(text.contains("\"/O=Grid/CN=Alice Smith\" asmith"));
+        let parsed = Gridmap::parse_file(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let text = "# comment\n\n\"/O=G/CN=x\" xuser\n";
+        let g = Gridmap::parse_file(text).unwrap();
+        assert_eq!(g.lookup(&dn("/O=G/CN=x")).unwrap(), "xuser");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Gridmap::parse_file("/O=G/CN=x xuser").is_err()); // unquoted
+        assert!(Gridmap::parse_file("\"/O=G/CN=x xuser").is_err()); // unterminated
+        assert!(Gridmap::parse_file("\"/O=G/CN=x\" ").is_err()); // no user
+        assert!(Gridmap::parse_file("\"/O=G/CN=x\" two words").is_err());
+        assert!(Gridmap::parse_file("\"not-a-dn\" user").is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! # ig-pki — X.509-style public key infrastructure for Instant GridFTP
+//!
+//! Implements the PKI machinery the paper's Grid Security Infrastructure
+//! needs, from scratch on top of [`ig_crypto`]:
+//!
+//! * [`dn::DistinguishedName`] — `/O=Grid/OU=site/CN=user` style names.
+//!   GCMU "embeds the local username in the distinguished name" (§IV); the
+//!   [`dn::DistinguishedName::common_name`] accessor is what the GCMU
+//!   authorization callout parses.
+//! * [`cert::Certificate`] — signed certificates with validity windows,
+//!   basic-constraints and RFC 3820-style proxy-certificate extensions.
+//! * [`ca::CertificateAuthority`] — issues host, user, CA and short-lived
+//!   online-CA certificates (the MyProxy Online CA of §IV-A builds on it).
+//! * [`proxy`] — proxy-certificate delegation (the paper's step where
+//!   "the server performs a delegation, and both ends ... present the
+//!   user's proxy certificate", §IIC).
+//! * [`validate`] + [`store::TrustStore`] + [`policy::SigningPolicy`] —
+//!   chain validation against trust roots with CA signing policies; the
+//!   DCAU failure of Fig 4 is precisely a [`error::PkiError::UntrustedIssuer`]
+//!   from this validator.
+//! * [`gridmap::Gridmap`] — the conventional DN → local-user mapping file
+//!   that GCMU eliminates ("a frequent source of errors and complaints",
+//!   §IV-C). Kept as the baseline for experiment E8.
+//! * [`credential::Credential`] — a certificate chain plus private key;
+//!   its PEM-bundle form is byte-for-byte the payload of a `DCSC P`
+//!   command (§V-A: certificate, private key, then additional unordered
+//!   certificates).
+//!
+//! Certificate bodies are serialized as canonical JSON and signed with
+//! RSA/SHA-256 — a deliberately transparent stand-in for ASN.1 DER that
+//! preserves every behaviour the paper depends on (signature binding,
+//! chain building, DN semantics, expiry).
+
+pub mod ca;
+pub mod cert;
+pub mod credential;
+pub mod csr;
+pub mod dn;
+pub mod error;
+pub mod gridmap;
+pub mod policy;
+pub mod proxy;
+pub mod store;
+pub mod time;
+pub mod validate;
+
+pub use ca::CertificateAuthority;
+pub use cert::{Certificate, Extension, Validity};
+pub use credential::Credential;
+pub use csr::CertificateSigningRequest;
+pub use dn::DistinguishedName;
+pub use error::PkiError;
+pub use gridmap::Gridmap;
+pub use policy::SigningPolicy;
+pub use store::TrustStore;
+pub use validate::validate_chain;

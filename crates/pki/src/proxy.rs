@@ -1,0 +1,178 @@
+//! Proxy certificates (RFC 3820 style).
+//!
+//! "By default, the client presents a delegated proxy certificate" (§IIC).
+//! A proxy is signed by the *end-entity* (or a previous proxy), not by a
+//! CA; its subject must extend its issuer's subject by one `CN` component
+//! and it may constrain further delegation depth.
+
+use crate::cert::{Certificate, Extension, TbsCertificate, Validity};
+use crate::credential::Credential;
+use crate::error::{PkiError, Result};
+use ig_crypto::{RsaKeyPair, RsaPublicKey};
+use rand::Rng;
+
+/// Options for proxy issuance.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyOptions {
+    /// Lifetime in seconds (proxies are short-lived; 12h default).
+    pub lifetime: u64,
+    /// Maximum further delegations (None = unlimited).
+    pub path_len: Option<u32>,
+}
+
+impl Default for ProxyOptions {
+    fn default() -> Self {
+        ProxyOptions { lifetime: 12 * 3600, path_len: None }
+    }
+}
+
+/// Issue a proxy certificate for `proxy_key`, signed by `issuer`
+/// (an end-entity credential or a previous proxy credential).
+///
+/// The subject is `issuer.subject + /CN=<serial>` where the serial is a
+/// random u32 rendered in decimal — matching the Globus convention of
+/// numeric proxy CNs.
+pub fn issue_proxy<R: Rng + ?Sized>(
+    rng: &mut R,
+    issuer: &Credential,
+    proxy_key: &RsaPublicKey,
+    now: u64,
+    options: ProxyOptions,
+) -> Result<Certificate> {
+    let issuer_cert = issuer.leaf();
+    // Delegation depth enforcement at issuance time.
+    if let Some(Some(0)) = issuer_cert.proxy_info() {
+        return Err(PkiError::ProxyViolation(
+            "issuer proxy has path_len 0 and may not delegate further".into(),
+        ));
+    }
+    let cn: u32 = rng.gen();
+    let subject = issuer_cert.subject().with("CN", &cn.to_string());
+    let tbs = TbsCertificate {
+        version: 3,
+        serial: cn as u64,
+        issuer: issuer_cert.subject().clone(),
+        subject,
+        validity: Validity::starting_at(now, options.lifetime),
+        public_key: proxy_key.encode(),
+        extensions: vec![Extension::ProxyCertInfo { path_len: options.path_len }],
+    };
+    Certificate::sign(tbs, issuer.key())
+}
+
+/// Generate a fresh key pair and issue a proxy for it, returning the
+/// complete delegated credential (proxy + issuer chain + new key).
+///
+/// This is the client side of GSI delegation: the recipient ends up with
+/// a credential it can use on the user's behalf — what lets Globus Online
+/// "re-authenticate with the endpoints on the user's behalf and restart
+/// the transfer" (§VI-B).
+pub fn delegate<R: Rng + ?Sized>(
+    rng: &mut R,
+    issuer: &Credential,
+    key_bits: usize,
+    now: u64,
+    options: ProxyOptions,
+) -> Result<Credential> {
+    let keys = RsaKeyPair::generate(rng, key_bits)?;
+    let proxy_cert = issue_proxy(rng, issuer, &keys.public, now, options)?;
+    let mut chain = vec![proxy_cert];
+    chain.extend(issuer.chain().iter().cloned());
+    Credential::new(chain, keys.private)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::dn::DistinguishedName;
+    use ig_crypto::rng::seeded;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn user_credential(seed: u64) -> (CertificateAuthority, Credential) {
+        let mut rng = seeded(seed);
+        let mut ca =
+            CertificateAuthority::create(&mut rng, dn("/O=CA"), 512, 0, 1_000_000).unwrap();
+        let keys = RsaKeyPair::generate(&mut rng, 512).unwrap();
+        let cert = ca
+            .issue(dn("/O=Grid/CN=alice"), &keys.public, Validity::starting_at(0, 100_000), vec![])
+            .unwrap();
+        (ca, Credential::new(vec![cert], keys.private).unwrap())
+    }
+
+    #[test]
+    fn proxy_subject_extends_issuer() {
+        let (_, cred) = user_credential(1);
+        let mut rng = seeded(2);
+        let pkeys = RsaKeyPair::generate(&mut rng, 512).unwrap();
+        let proxy =
+            issue_proxy(&mut rng, &cred, &pkeys.public, 10, ProxyOptions::default()).unwrap();
+        assert!(proxy.subject().extends(cred.leaf().subject(), 1));
+        assert_eq!(proxy.issuer(), cred.leaf().subject());
+        assert!(proxy.proxy_info().is_some());
+        // Signed by the *user's* key, not a CA.
+        proxy
+            .verify_signature(cred.key().public())
+            .unwrap();
+    }
+
+    #[test]
+    fn delegate_produces_usable_credential() {
+        let (_, cred) = user_credential(3);
+        let mut rng = seeded(4);
+        let delegated = delegate(&mut rng, &cred, 512, 10, ProxyOptions::default()).unwrap();
+        // Chain: proxy, then the user's EEC.
+        assert_eq!(delegated.chain().len(), 2);
+        assert_eq!(delegated.chain()[1], cred.chain()[0]);
+        // The delegated key matches the proxy cert.
+        assert_eq!(
+            delegated.leaf().public_key().unwrap(),
+            *delegated.key().public()
+        );
+    }
+
+    #[test]
+    fn chained_delegation() {
+        let (_, cred) = user_credential(5);
+        let mut rng = seeded(6);
+        let d1 = delegate(&mut rng, &cred, 512, 10, ProxyOptions::default()).unwrap();
+        let d2 = delegate(&mut rng, &d1, 512, 20, ProxyOptions::default()).unwrap();
+        assert_eq!(d2.chain().len(), 3);
+        assert!(d2.leaf().subject().extends(cred.leaf().subject(), 2));
+    }
+
+    #[test]
+    fn path_len_zero_blocks_further_delegation() {
+        let (_, cred) = user_credential(7);
+        let mut rng = seeded(8);
+        let limited = delegate(
+            &mut rng,
+            &cred,
+            512,
+            10,
+            ProxyOptions { lifetime: 3600, path_len: Some(0) },
+        )
+        .unwrap();
+        let err = delegate(&mut rng, &limited, 512, 20, ProxyOptions::default()).unwrap_err();
+        assert!(matches!(err, PkiError::ProxyViolation(_)));
+    }
+
+    #[test]
+    fn proxy_lifetime_respected() {
+        let (_, cred) = user_credential(9);
+        let mut rng = seeded(10);
+        let proxy = issue_proxy(
+            &mut rng,
+            &cred,
+            cred.key().public(),
+            100,
+            ProxyOptions { lifetime: 50, path_len: None },
+        )
+        .unwrap();
+        proxy.check_validity(100).unwrap();
+        assert!(proxy.check_validity(151).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Time handling: everything validity-related works on plain UNIX seconds
+//! so tests and simulations can pin "now" deterministically.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds in one hour.
+pub const HOUR: u64 = 3600;
+/// Seconds in one day.
+pub const DAY: u64 = 24 * HOUR;
+/// Seconds in one (365-day) year.
+pub const YEAR: u64 = 365 * DAY;
+
+/// Current wall-clock time as UNIX seconds.
+pub fn now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("system clock before 1970")
+        .as_secs()
+}
+
+/// A clock that can be real or simulated; servers take one so the whole
+/// stack can run against simulated time in tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Use the OS clock.
+    System,
+    /// Frozen at a fixed instant.
+    Fixed(u64),
+}
+
+impl Clock {
+    /// Current time per this clock.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::System => now(),
+            Clock::Fixed(t) => *t,
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::System
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_sane() {
+        // After 2020-01-01 and before 2100.
+        let t = now();
+        assert!(t > 1_577_836_800);
+        assert!(t < 4_102_444_800);
+        assert_eq!(Clock::System.now().max(t), Clock::System.now().max(t));
+    }
+
+    #[test]
+    fn fixed_clock_is_frozen() {
+        let c = Clock::Fixed(1234);
+        assert_eq!(c.now(), 1234);
+        assert_eq!(c.now(), 1234);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(DAY, 86_400);
+        assert_eq!(YEAR, 31_536_000);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for DN parsing, gridmap files, and policy globs.
+
+use ig_pki::dn::DistinguishedName;
+use ig_pki::gridmap::Gridmap;
+use ig_pki::policy::SigningPolicy;
+use proptest::prelude::*;
+
+/// Attribute names as they appear in real DNs.
+fn attr_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("C".to_string()),
+        Just("O".to_string()),
+        Just("OU".to_string()),
+        Just("CN".to_string()),
+        Just("DC".to_string()),
+    ]
+}
+
+/// Values including slashes and backslashes that exercise escaping.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ._/\\\\-]{0,20}").unwrap()
+}
+
+fn dn_strategy() -> impl Strategy<Value = DistinguishedName> {
+    proptest::collection::vec((attr_strategy(), value_strategy()), 1..6)
+        .prop_map(DistinguishedName::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dn_display_parse_roundtrip(dn in dn_strategy()) {
+        let s = dn.to_string();
+        let parsed = DistinguishedName::parse(&s).unwrap();
+        prop_assert_eq!(parsed, dn);
+    }
+
+    #[test]
+    fn dn_with_extends(dn in dn_strategy(), cn in value_strategy()) {
+        let extended = dn.with("CN", &cn);
+        prop_assert!(extended.extends(&dn, 1));
+        prop_assert_eq!(extended.common_name(), Some(cn.as_str()));
+    }
+
+    #[test]
+    fn gridmap_roundtrip(entries in proptest::collection::vec(
+        (dn_strategy(), proptest::string::string_regex("[a-z][a-z0-9]{0,11}").unwrap()),
+        0..10,
+    )) {
+        let mut g = Gridmap::new();
+        for (dn, user) in &entries {
+            g.add(dn, user);
+        }
+        let parsed = Gridmap::parse_file(&g.to_file()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn prefix_policy_permits_extensions(dn in dn_strategy(), cn in value_strategy()) {
+        // A policy allowing "<dn>/*" must allow any extension of dn.
+        let policy = SigningPolicy::new([format!("{dn}/*")]);
+        let extended = dn.with("CN", &cn);
+        prop_assert!(policy.permits(&extended));
+    }
+
+    #[test]
+    fn exact_policy_permits_only_exact(dn in dn_strategy()) {
+        let s = dn.to_string();
+        prop_assume!(!s.contains('*'));
+        let policy = SigningPolicy::new([s]);
+        prop_assert!(policy.permits(&dn));
+        let other = dn.with("CN", "extra-component");
+        prop_assert!(!policy.permits(&other));
+    }
+
+    #[test]
+    fn policy_file_roundtrip(patterns in proptest::collection::vec(
+        proptest::string::string_regex("[a-zA-Z0-9/=*. -]{1,20}").unwrap(),
+        1..6,
+    )) {
+        let policy = SigningPolicy::new(patterns);
+        let parsed = SigningPolicy::parse_file(&policy.to_file("/O=CA"));
+        prop_assert_eq!(parsed, policy);
+    }
+}

@@ -1,0 +1,134 @@
+//! The FTP `h1,h2,h3,h4,p1,p2` host-port encoding used by
+//! `PORT`/`PASV`/`SPOR`/`SPAS`.
+
+use crate::error::{ProtocolError, Result};
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+/// An IPv4 address + port in FTP comma notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostPort {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl HostPort {
+    /// Construct directly.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        HostPort { ip, port }
+    }
+
+    /// From a socket address (IPv4 only — GridFTP-era deployments).
+    pub fn from_socket_addr(addr: SocketAddr) -> Result<Self> {
+        match addr {
+            SocketAddr::V4(v4) => Ok(HostPort { ip: *v4.ip(), port: v4.port() }),
+            SocketAddr::V6(_) => {
+                Err(ProtocolError::BadHostPort("IPv6 not supported in PORT/PASV".into()))
+            }
+        }
+    }
+
+    /// To a socket address.
+    pub fn to_socket_addr(self) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(self.ip, self.port))
+    }
+
+    /// Parse `h1,h2,h3,h4,p1,p2`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let parts: Vec<&str> = s.trim().split(',').collect();
+        if parts.len() != 6 {
+            return Err(ProtocolError::BadHostPort(format!(
+                "expected 6 comma-separated fields, got {}",
+                parts.len()
+            )));
+        }
+        let nums: Vec<u8> = parts
+            .iter()
+            .map(|p| {
+                p.trim()
+                    .parse::<u8>()
+                    .map_err(|_| ProtocolError::BadHostPort(format!("bad field {p:?}")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(HostPort {
+            ip: Ipv4Addr::new(nums[0], nums[1], nums[2], nums[3]),
+            port: (nums[4] as u16) << 8 | nums[5] as u16,
+        })
+    }
+
+    /// Parse a whitespace- or semicolon-separated list (SPOR argument /
+    /// SPAS reply body).
+    pub fn parse_list(s: &str) -> Result<Vec<Self>> {
+        s.split(|c: char| c.is_whitespace() || c == ';')
+            .filter(|t| !t.is_empty())
+            .map(Self::parse)
+            .collect()
+    }
+}
+
+impl fmt::Display for HostPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.ip.octets();
+        write!(
+            f,
+            "{},{},{},{},{},{}",
+            o[0],
+            o[1],
+            o[2],
+            o[3],
+            self.port >> 8,
+            self.port & 0xff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let hp = HostPort::parse("127,0,0,1,4,1").unwrap();
+        assert_eq!(hp.ip, Ipv4Addr::LOCALHOST);
+        assert_eq!(hp.port, 1025);
+        assert_eq!(hp.to_string(), "127,0,0,1,4,1");
+    }
+
+    #[test]
+    fn port_arithmetic() {
+        let hp = HostPort::new(Ipv4Addr::new(10, 0, 0, 1), 65535);
+        let parsed = HostPort::parse(&hp.to_string()).unwrap();
+        assert_eq!(parsed, hp);
+        let hp0 = HostPort::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert_eq!(HostPort::parse(&hp0.to_string()).unwrap().port, 0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(HostPort::parse("1,2,3,4,5").is_err());
+        assert!(HostPort::parse("1,2,3,4,5,6,7").is_err());
+        assert!(HostPort::parse("256,0,0,1,0,1").is_err());
+        assert!(HostPort::parse("a,b,c,d,e,f").is_err());
+        assert!(HostPort::parse("").is_err());
+    }
+
+    #[test]
+    fn socket_addr_roundtrip() {
+        let sa: SocketAddr = "192.168.1.10:2811".parse().unwrap();
+        let hp = HostPort::from_socket_addr(sa).unwrap();
+        assert_eq!(hp.to_socket_addr(), sa);
+        let v6: SocketAddr = "[::1]:2811".parse().unwrap();
+        assert!(HostPort::from_socket_addr(v6).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        let list = HostPort::parse_list("127,0,0,1,0,80 127,0,0,2,0,81;127,0,0,3,0,82").unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[1].port, 81);
+        assert!(HostPort::parse_list("").unwrap().is_empty());
+        assert!(HostPort::parse_list("bogus").is_err());
+    }
+}

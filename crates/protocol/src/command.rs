@@ -1,0 +1,649 @@
+//! The control-channel command grammar.
+//!
+//! Covers RFC 959 core, RFC 2228 security commands, the GridFTP
+//! extensions the paper's architecture section describes (striped
+//! `SPAS`/`SPOR`, `OPTS RETR` parallelism, `ERET`/`ESTO`), and the new
+//! `DCSC` command of §V.
+
+use crate::addr::HostPort;
+use crate::error::{ProtocolError, Result};
+use std::fmt;
+
+/// `TYPE` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeCode {
+    /// `TYPE A` — ASCII.
+    Ascii,
+    /// `TYPE I` — image/binary (the only sane choice for bulk data).
+    Image,
+}
+
+/// `MODE` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeCode {
+    /// `MODE S` — stream (plain FTP).
+    Stream,
+    /// `MODE E` — extended block (parallelism, striping, restart).
+    Extended,
+}
+
+/// `DCAU` (data channel authentication) modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcauMode {
+    /// `DCAU N` — no data-channel authentication.
+    None,
+    /// `DCAU A` — authenticate with the session (control-channel) identity.
+    Self_,
+    /// `DCAU S <subject>` — expect a specific subject.
+    Subject(String),
+}
+
+/// A parsed control-channel command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `USER <name>`
+    User(String),
+    /// `PASS <password>`
+    Pass(String),
+    /// `AUTH <mechanism>` (GridFTP uses `AUTH GSSAPI`).
+    Auth(String),
+    /// `ADAT <base64 token>` — security handshake data.
+    Adat(String),
+    /// `TYPE A|I`
+    Type(TypeCode),
+    /// `MODE S|E`
+    Mode(ModeCode),
+    /// `PASV`
+    Pasv,
+    /// `PORT h1,h2,h3,h4,p1,p2`
+    Port(HostPort),
+    /// `SPAS` — striped passive (§IIC: "an array of IP/ports is returned").
+    Spas,
+    /// `SPOR <hp> <hp> ...` — striped port.
+    Spor(Vec<HostPort>),
+    /// `RETR <path>`
+    Retr(String),
+    /// `STOR <path>`
+    Stor(String),
+    /// `ERET <module>="<args>" <path>` — extended retrieve (simplified:
+    /// module + raw remainder).
+    Eret {
+        /// Processing module name.
+        module: String,
+        /// Remainder (module args + path).
+        args: String,
+    },
+    /// `ESTO <module>="<args>" <path>` — extended store.
+    Esto {
+        /// Processing module name.
+        module: String,
+        /// Remainder.
+        args: String,
+    },
+    /// `LIST [path]`
+    List(Option<String>),
+    /// `NLST [path]`
+    Nlst(Option<String>),
+    /// `MLSD [path]` — machine-readable listing.
+    Mlsd(Option<String>),
+    /// `MLST [path]`
+    Mlst(Option<String>),
+    /// `SIZE <path>`
+    Size(String),
+    /// `MDTM <path>`
+    Mdtm(String),
+    /// `DELE <path>`
+    Dele(String),
+    /// `MKD <path>`
+    Mkd(String),
+    /// `RMD <path>`
+    Rmd(String),
+    /// `CWD <path>`
+    Cwd(String),
+    /// `CDUP`
+    Cdup,
+    /// `PWD`
+    Pwd,
+    /// `REST <marker>` — stream offset or extended-block range list.
+    Rest(String),
+    /// `PBSZ <size>` — protection buffer size (RFC 2228).
+    Pbsz(u64),
+    /// `PROT C|S|E|P` — data-channel protection level.
+    Prot(char),
+    /// `DCAU N|A|S <subject>` — data-channel authentication.
+    Dcau(DcauMode),
+    /// **`DCSC <type> [blob]`** — the paper's Data Channel Security
+    /// Context command (§V). `DCSC D` reverts to the login context;
+    /// `DCSC P <base64>` installs a credential from a PEM bundle.
+    Dcsc {
+        /// Context type: `P` or `D` (case-insensitive per §V).
+        context_type: char,
+        /// Printable-ASCII blob for `P`.
+        blob: Option<String>,
+    },
+    /// `OPTS <target> <params>` (e.g. `OPTS RETR Parallelism=8,8,8;`).
+    Opts {
+        /// Target command, e.g. `RETR`.
+        target: String,
+        /// Raw parameter string.
+        params: String,
+    },
+    /// `SITE <subcommand...>`
+    Site(String),
+    /// `FEAT`
+    Feat,
+    /// `NOOP`
+    Noop,
+    /// `ABOR`
+    Abor,
+    /// `QUIT`
+    Quit,
+    /// `ALLO <bytes>` — pre-allocation hint.
+    Allo(u64),
+    /// `CKSM <algorithm> <offset> <length> <path>` — server-side checksum
+    /// (GridFTP extension; length -1 = to EOF). Used for end-to-end
+    /// integrity verification after transfers.
+    Cksm {
+        /// Algorithm name (this implementation supports `SHA256`).
+        algorithm: String,
+        /// Start offset.
+        offset: u64,
+        /// Byte count (`None` = to end of file).
+        length: Option<u64>,
+        /// File path.
+        path: String,
+    },
+    /// `MIC <b64>` / `ENC <b64>` — a protected command envelope
+    /// (RFC 2228); payload is handled by [`crate::secure_line`].
+    Protected {
+        /// `MIC` (integrity) or `ENC` (private).
+        kind: ProtectedKind,
+        /// Base64 of the sealed record.
+        payload: String,
+    },
+    /// Anything unrecognized — servers reply 500, not panic.
+    Unknown {
+        /// Verb as received.
+        verb: String,
+        /// Raw argument.
+        arg: String,
+    },
+}
+
+/// RFC 2228 protected-envelope kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectedKind {
+    /// `MIC` — integrity protected.
+    Mic,
+    /// `ENC` — privacy protected.
+    Enc,
+}
+
+impl Command {
+    /// Parse one command line (without CRLF).
+    pub fn parse(line: &str) -> Result<Self> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, arg) = match line.split_once(' ') {
+            Some((v, a)) => (v, a.trim()),
+            None => (line, ""),
+        };
+        let verb_upper = verb.to_ascii_uppercase();
+        let need_arg = |name: &str| -> Result<String> {
+            if arg.is_empty() {
+                Err(ProtocolError::BadCommand(format!("{name} requires an argument")))
+            } else {
+                Ok(arg.to_string())
+            }
+        };
+        let opt_arg = || {
+            if arg.is_empty() {
+                None
+            } else {
+                Some(arg.to_string())
+            }
+        };
+        Ok(match verb_upper.as_str() {
+            "USER" => Command::User(need_arg("USER")?),
+            "PASS" => Command::Pass(arg.to_string()), // empty password legal
+            "AUTH" => Command::Auth(need_arg("AUTH")?),
+            "ADAT" => Command::Adat(need_arg("ADAT")?),
+            "TYPE" => match arg.to_ascii_uppercase().as_str() {
+                "A" => Command::Type(TypeCode::Ascii),
+                "I" | "L 8" => Command::Type(TypeCode::Image),
+                other => {
+                    return Err(ProtocolError::BadCommand(format!("unsupported TYPE {other:?}")))
+                }
+            },
+            "MODE" => match arg.to_ascii_uppercase().as_str() {
+                "S" => Command::Mode(ModeCode::Stream),
+                "E" => Command::Mode(ModeCode::Extended),
+                other => {
+                    return Err(ProtocolError::BadCommand(format!("unsupported MODE {other:?}")))
+                }
+            },
+            "PASV" => Command::Pasv,
+            "PORT" => Command::Port(HostPort::parse(arg)?),
+            "SPAS" => Command::Spas,
+            "SPOR" => {
+                let list = HostPort::parse_list(arg)?;
+                if list.is_empty() {
+                    return Err(ProtocolError::BadCommand("SPOR requires addresses".into()));
+                }
+                Command::Spor(list)
+            }
+            "RETR" => Command::Retr(need_arg("RETR")?),
+            "STOR" => Command::Stor(need_arg("STOR")?),
+            "ERET" | "ESTO" => {
+                let (module, rest) = arg
+                    .split_once(' ')
+                    .ok_or_else(|| ProtocolError::BadCommand(format!("{verb_upper} needs module and path")))?;
+                if verb_upper == "ERET" {
+                    Command::Eret { module: module.to_string(), args: rest.to_string() }
+                } else {
+                    Command::Esto { module: module.to_string(), args: rest.to_string() }
+                }
+            }
+            "LIST" => Command::List(opt_arg()),
+            "NLST" => Command::Nlst(opt_arg()),
+            "MLSD" => Command::Mlsd(opt_arg()),
+            "MLST" => Command::Mlst(opt_arg()),
+            "SIZE" => Command::Size(need_arg("SIZE")?),
+            "MDTM" => Command::Mdtm(need_arg("MDTM")?),
+            "DELE" => Command::Dele(need_arg("DELE")?),
+            "MKD" => Command::Mkd(need_arg("MKD")?),
+            "RMD" => Command::Rmd(need_arg("RMD")?),
+            "CWD" => Command::Cwd(need_arg("CWD")?),
+            "CDUP" => Command::Cdup,
+            "PWD" => Command::Pwd,
+            "REST" => Command::Rest(need_arg("REST")?),
+            "PBSZ" => Command::Pbsz(
+                arg.parse()
+                    .map_err(|_| ProtocolError::BadCommand(format!("bad PBSZ {arg:?}")))?,
+            ),
+            "PROT" => {
+                let c = arg
+                    .chars()
+                    .next()
+                    .ok_or_else(|| ProtocolError::BadCommand("PROT requires a level".into()))?
+                    .to_ascii_uppercase();
+                if !"CSEP".contains(c) || arg.len() != 1 {
+                    return Err(ProtocolError::BadCommand(format!("bad PROT level {arg:?}")));
+                }
+                Command::Prot(c)
+            }
+            "DCAU" => {
+                let mut it = arg.splitn(2, ' ');
+                let mode = it.next().unwrap_or("").to_ascii_uppercase();
+                match mode.as_str() {
+                    "N" => Command::Dcau(DcauMode::None),
+                    "A" => Command::Dcau(DcauMode::Self_),
+                    "S" => {
+                        let subject = it
+                            .next()
+                            .ok_or_else(|| {
+                                ProtocolError::BadCommand("DCAU S requires a subject".into())
+                            })?
+                            .to_string();
+                        Command::Dcau(DcauMode::Subject(subject))
+                    }
+                    other => {
+                        return Err(ProtocolError::BadCommand(format!("bad DCAU mode {other:?}")))
+                    }
+                }
+            }
+            "DCSC" => {
+                // §V: "DCSC context-type context-specific-blob, where
+                // context-type is a case-insensitive string".
+                let mut it = arg.splitn(2, ' ');
+                let ctype = it.next().unwrap_or("");
+                if ctype.len() != 1 {
+                    return Err(ProtocolError::BadCommand(format!(
+                        "bad DCSC context type {ctype:?}"
+                    )));
+                }
+                let context_type = ctype.chars().next().expect("len checked").to_ascii_uppercase();
+                let blob = it.next().map(str::to_string);
+                match context_type {
+                    'P' => {
+                        let blob = blob.ok_or_else(|| {
+                            ProtocolError::BadCommand("DCSC P requires a blob".into())
+                        })?;
+                        // §V: printable ASCII 32–126 only.
+                        if !blob.bytes().all(|b| (32..=126).contains(&b)) {
+                            return Err(ProtocolError::BadCommand(
+                                "DCSC blob must be printable ASCII".into(),
+                            ));
+                        }
+                        Command::Dcsc { context_type, blob: Some(blob) }
+                    }
+                    'D' => {
+                        if blob.is_some() {
+                            return Err(ProtocolError::BadCommand(
+                                "DCSC D takes no blob".into(),
+                            ));
+                        }
+                        Command::Dcsc { context_type, blob: None }
+                    }
+                    other => {
+                        return Err(ProtocolError::BadCommand(format!(
+                            "unknown DCSC context type {other:?}"
+                        )))
+                    }
+                }
+            }
+            "OPTS" => {
+                let (target, params) = arg
+                    .split_once(' ')
+                    .ok_or_else(|| ProtocolError::BadCommand("OPTS needs target and params".into()))?;
+                Command::Opts {
+                    target: target.to_ascii_uppercase(),
+                    params: params.to_string(),
+                }
+            }
+            "SITE" => Command::Site(need_arg("SITE")?),
+            "FEAT" => Command::Feat,
+            "NOOP" => Command::Noop,
+            "ABOR" => Command::Abor,
+            "QUIT" => Command::Quit,
+            "ALLO" => Command::Allo(
+                arg.parse()
+                    .map_err(|_| ProtocolError::BadCommand(format!("bad ALLO {arg:?}")))?,
+            ),
+            "CKSM" => {
+                let mut it = arg.splitn(4, ' ');
+                let algorithm = it
+                    .next()
+                    .filter(|a| !a.is_empty())
+                    .ok_or_else(|| ProtocolError::BadCommand("CKSM needs an algorithm".into()))?
+                    .to_ascii_uppercase();
+                let offset: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ProtocolError::BadCommand("CKSM needs an offset".into()))?;
+                let length_raw = it
+                    .next()
+                    .ok_or_else(|| ProtocolError::BadCommand("CKSM needs a length".into()))?;
+                let length = if length_raw == "-1" {
+                    None
+                } else {
+                    Some(length_raw.parse::<u64>().map_err(|_| {
+                        ProtocolError::BadCommand(format!("bad CKSM length {length_raw:?}"))
+                    })?)
+                };
+                let path = it
+                    .next()
+                    .filter(|p| !p.is_empty())
+                    .ok_or_else(|| ProtocolError::BadCommand("CKSM needs a path".into()))?
+                    .to_string();
+                Command::Cksm { algorithm, offset, length, path }
+            }
+            "MIC" => Command::Protected { kind: ProtectedKind::Mic, payload: need_arg("MIC")? },
+            "ENC" => Command::Protected { kind: ProtectedKind::Enc, payload: need_arg("ENC")? },
+            _ => Command::Unknown { verb: verb.to_string(), arg: arg.to_string() },
+        })
+    }
+
+    /// Parallelism requested via `OPTS RETR Parallelism=n,n,n;` — returns
+    /// the stream count if this is such a command.
+    pub fn parallelism(&self) -> Option<u32> {
+        if let Command::Opts { target, params } = self {
+            if target == "RETR" || target == "STOR" {
+                for part in params.split(';') {
+                    if let Some(values) = part.trim().strip_prefix("Parallelism=") {
+                        let first = values.split(',').next()?;
+                        return first.trim().parse().ok();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::User(u) => write!(f, "USER {u}"),
+            Command::Pass(p) => write!(f, "PASS {p}"),
+            Command::Auth(m) => write!(f, "AUTH {m}"),
+            Command::Adat(t) => write!(f, "ADAT {t}"),
+            Command::Type(TypeCode::Ascii) => write!(f, "TYPE A"),
+            Command::Type(TypeCode::Image) => write!(f, "TYPE I"),
+            Command::Mode(ModeCode::Stream) => write!(f, "MODE S"),
+            Command::Mode(ModeCode::Extended) => write!(f, "MODE E"),
+            Command::Pasv => write!(f, "PASV"),
+            Command::Port(hp) => write!(f, "PORT {hp}"),
+            Command::Spas => write!(f, "SPAS"),
+            Command::Spor(list) => {
+                write!(f, "SPOR")?;
+                for hp in list {
+                    write!(f, " {hp}")?;
+                }
+                Ok(())
+            }
+            Command::Retr(p) => write!(f, "RETR {p}"),
+            Command::Stor(p) => write!(f, "STOR {p}"),
+            Command::Eret { module, args } => write!(f, "ERET {module} {args}"),
+            Command::Esto { module, args } => write!(f, "ESTO {module} {args}"),
+            Command::List(p) => opt_cmd(f, "LIST", p),
+            Command::Nlst(p) => opt_cmd(f, "NLST", p),
+            Command::Mlsd(p) => opt_cmd(f, "MLSD", p),
+            Command::Mlst(p) => opt_cmd(f, "MLST", p),
+            Command::Size(p) => write!(f, "SIZE {p}"),
+            Command::Mdtm(p) => write!(f, "MDTM {p}"),
+            Command::Dele(p) => write!(f, "DELE {p}"),
+            Command::Mkd(p) => write!(f, "MKD {p}"),
+            Command::Rmd(p) => write!(f, "RMD {p}"),
+            Command::Cwd(p) => write!(f, "CWD {p}"),
+            Command::Cdup => write!(f, "CDUP"),
+            Command::Pwd => write!(f, "PWD"),
+            Command::Rest(m) => write!(f, "REST {m}"),
+            Command::Pbsz(n) => write!(f, "PBSZ {n}"),
+            Command::Prot(c) => write!(f, "PROT {c}"),
+            Command::Dcau(DcauMode::None) => write!(f, "DCAU N"),
+            Command::Dcau(DcauMode::Self_) => write!(f, "DCAU A"),
+            Command::Dcau(DcauMode::Subject(s)) => write!(f, "DCAU S {s}"),
+            Command::Dcsc { context_type, blob: Some(b) } => write!(f, "DCSC {context_type} {b}"),
+            Command::Dcsc { context_type, blob: None } => write!(f, "DCSC {context_type}"),
+            Command::Opts { target, params } => write!(f, "OPTS {target} {params}"),
+            Command::Site(s) => write!(f, "SITE {s}"),
+            Command::Feat => write!(f, "FEAT"),
+            Command::Noop => write!(f, "NOOP"),
+            Command::Abor => write!(f, "ABOR"),
+            Command::Quit => write!(f, "QUIT"),
+            Command::Allo(n) => write!(f, "ALLO {n}"),
+            Command::Cksm { algorithm, offset, length, path } => write!(
+                f,
+                "CKSM {algorithm} {offset} {} {path}",
+                length.map(|l| l.to_string()).unwrap_or_else(|| "-1".into())
+            ),
+            Command::Protected { kind: ProtectedKind::Mic, payload } => write!(f, "MIC {payload}"),
+            Command::Protected { kind: ProtectedKind::Enc, payload } => write!(f, "ENC {payload}"),
+            Command::Unknown { verb, arg } => {
+                if arg.is_empty() {
+                    write!(f, "{verb}")
+                } else {
+                    write!(f, "{verb} {arg}")
+                }
+            }
+        }
+    }
+}
+
+fn opt_cmd(f: &mut fmt::Formatter<'_>, verb: &str, arg: &Option<String>) -> fmt::Result {
+    match arg {
+        Some(a) => write!(f, "{verb} {a}"),
+        None => write!(f, "{verb}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(line: &str) -> Command {
+        let cmd = Command::parse(line).unwrap();
+        let printed = cmd.to_string();
+        assert_eq!(Command::parse(&printed).unwrap(), cmd, "roundtrip of {line:?}");
+        cmd
+    }
+
+    #[test]
+    fn core_commands() {
+        assert_eq!(roundtrip("USER alice"), Command::User("alice".into()));
+        assert_eq!(roundtrip("PASS secret"), Command::Pass("secret".into()));
+        assert_eq!(Command::parse("PASS").unwrap(), Command::Pass(String::new()));
+        assert_eq!(roundtrip("TYPE I"), Command::Type(TypeCode::Image));
+        assert_eq!(roundtrip("MODE E"), Command::Mode(ModeCode::Extended));
+        assert_eq!(roundtrip("PASV"), Command::Pasv);
+        assert_eq!(roundtrip("RETR /data/file.dat"), Command::Retr("/data/file.dat".into()));
+        assert_eq!(roundtrip("QUIT"), Command::Quit);
+        assert_eq!(roundtrip("PWD"), Command::Pwd);
+        assert_eq!(roundtrip("LIST"), Command::List(None));
+        assert_eq!(roundtrip("LIST /tmp"), Command::List(Some("/tmp".into())));
+    }
+
+    #[test]
+    fn case_insensitive_verbs() {
+        assert_eq!(Command::parse("retr /x").unwrap(), Command::Retr("/x".into()));
+        assert_eq!(Command::parse("Quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn security_commands() {
+        assert_eq!(roundtrip("AUTH GSSAPI"), Command::Auth("GSSAPI".into()));
+        assert_eq!(roundtrip("ADAT dG9rZW4="), Command::Adat("dG9rZW4=".into()));
+        assert_eq!(roundtrip("PBSZ 1048576"), Command::Pbsz(1048576));
+        assert_eq!(roundtrip("PROT P"), Command::Prot('P'));
+        assert_eq!(Command::parse("PROT p").unwrap(), Command::Prot('P'));
+        assert!(Command::parse("PROT X").is_err());
+        assert_eq!(roundtrip("DCAU N"), Command::Dcau(DcauMode::None));
+        assert_eq!(roundtrip("DCAU A"), Command::Dcau(DcauMode::Self_));
+        assert_eq!(
+            roundtrip("DCAU S /O=Grid/CN=alice"),
+            Command::Dcau(DcauMode::Subject("/O=Grid/CN=alice".into()))
+        );
+        assert!(Command::parse("DCAU S").is_err());
+    }
+
+    #[test]
+    fn dcsc_command() {
+        // The paper's format: DCSC context-type context-specific-blob.
+        let cmd = roundtrip("DCSC P QmFzZTY0QmxvYg==");
+        assert_eq!(
+            cmd,
+            Command::Dcsc { context_type: 'P', blob: Some("QmFzZTY0QmxvYg==".into()) }
+        );
+        // Case-insensitive context type (§V).
+        assert_eq!(
+            Command::parse("DCSC p blob").unwrap(),
+            Command::Dcsc { context_type: 'P', blob: Some("blob".into()) }
+        );
+        assert_eq!(roundtrip("DCSC D"), Command::Dcsc { context_type: 'D', blob: None });
+        assert!(Command::parse("DCSC P").is_err()); // P needs a blob
+        assert!(Command::parse("DCSC D extra").is_err()); // D takes none
+        assert!(Command::parse("DCSC X blob").is_err());
+        // Non-printable blob rejected.
+        assert!(Command::parse("DCSC P bad\u{7f}blob").is_err());
+    }
+
+    #[test]
+    fn striping_commands() {
+        assert_eq!(roundtrip("SPAS"), Command::Spas);
+        let cmd = roundtrip("SPOR 127,0,0,1,0,80 127,0,0,2,0,81");
+        match cmd {
+            Command::Spor(list) => assert_eq!(list.len(), 2),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(Command::parse("SPOR").is_err());
+    }
+
+    #[test]
+    fn opts_parallelism() {
+        let cmd = roundtrip("OPTS RETR Parallelism=8,8,8;");
+        assert_eq!(cmd.parallelism(), Some(8));
+        let cmd = Command::parse("OPTS retr Parallelism=4,4,4;").unwrap();
+        assert_eq!(cmd.parallelism(), Some(4));
+        assert_eq!(Command::parse("OPTS PASV AllowDelayed=1;").unwrap().parallelism(), None);
+        assert_eq!(Command::parse("NOOP").unwrap().parallelism(), None);
+    }
+
+    #[test]
+    fn eret_esto() {
+        let cmd = roundtrip("ERET P 0,1048576 /data/big.dat");
+        assert_eq!(
+            cmd,
+            Command::Eret { module: "P".into(), args: "0,1048576 /data/big.dat".into() }
+        );
+        assert!(Command::parse("ERET P").is_err());
+    }
+
+    #[test]
+    fn protected_envelopes() {
+        let cmd = roundtrip("ENC c2VhbGVk");
+        assert_eq!(
+            cmd,
+            Command::Protected { kind: ProtectedKind::Enc, payload: "c2VhbGVk".into() }
+        );
+        assert_eq!(
+            roundtrip("MIC bWlj"),
+            Command::Protected { kind: ProtectedKind::Mic, payload: "bWlj".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_verbs_are_preserved_not_errors() {
+        let cmd = Command::parse("XWEIRD some args").unwrap();
+        assert_eq!(cmd, Command::Unknown { verb: "XWEIRD".into(), arg: "some args".into() });
+        assert_eq!(cmd.to_string(), "XWEIRD some args");
+    }
+
+    #[test]
+    fn crlf_stripped() {
+        assert_eq!(Command::parse("NOOP\r\n").unwrap(), Command::Noop);
+        assert_eq!(Command::parse("RETR /x\r\n").unwrap(), Command::Retr("/x".into()));
+    }
+
+    #[test]
+    fn cksm_command() {
+        assert_eq!(
+            roundtrip("CKSM SHA256 0 -1 /data/f.bin"),
+            Command::Cksm {
+                algorithm: "SHA256".into(),
+                offset: 0,
+                length: None,
+                path: "/data/f.bin".into()
+            }
+        );
+        assert_eq!(
+            roundtrip("CKSM SHA256 100 200 /f"),
+            Command::Cksm {
+                algorithm: "SHA256".into(),
+                offset: 100,
+                length: Some(200),
+                path: "/f".into()
+            }
+        );
+        // Path with spaces survives (splitn(4)).
+        assert_eq!(
+            Command::parse("CKSM sha256 0 -1 /my file.bin").unwrap(),
+            Command::Cksm {
+                algorithm: "SHA256".into(),
+                offset: 0,
+                length: None,
+                path: "/my file.bin".into()
+            }
+        );
+        assert!(Command::parse("CKSM SHA256 0 -1").is_err());
+        assert!(Command::parse("CKSM SHA256 x -1 /f").is_err());
+        assert!(Command::parse("CKSM").is_err());
+    }
+
+    #[test]
+    fn rest_and_allo() {
+        assert_eq!(roundtrip("REST 1048576"), Command::Rest("1048576".into()));
+        assert_eq!(roundtrip("REST 0-500,600-700"), Command::Rest("0-500,600-700".into()));
+        assert_eq!(roundtrip("ALLO 42"), Command::Allo(42));
+        assert!(Command::parse("ALLO many").is_err());
+    }
+}

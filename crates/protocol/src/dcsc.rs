@@ -1,0 +1,156 @@
+//! DCSC payload encoding — §V-A of the paper, byte for byte.
+//!
+//! A `DCSC P` message is `DCSC P <base64-encoded-blob>` where the blob
+//! comprises:
+//!
+//! 1. an X.509 certificate in PEM format,
+//! 2. a private key in PEM format,
+//! 3. additional X.509 certificates in PEM format, unordered (optional).
+//!
+//! "The certificate in (1) must be self-signed or verifiable by using
+//! only intermediate and/or CA certificates in (3)."
+//!
+//! `DCSC D` reverts to the login context.
+
+use crate::command::Command;
+use crate::error::{ProtocolError, Result};
+use ig_crypto::encode::{base64_decode, base64_encode};
+use ig_pki::Credential;
+
+/// The effect of a DCSC command on a session's data-channel context.
+#[derive(Debug)]
+pub enum DcscAction {
+    /// `DCSC P`: install this credential as the data-channel security
+    /// context (both *presented* and *accepted*).
+    Install(Box<Credential>),
+    /// `DCSC D`: revert "to whatever it was immediately after login".
+    RevertToDefault,
+}
+
+/// Encode a credential as a `DCSC P` command.
+pub fn encode_dcsc_p(credential: &Credential) -> Command {
+    let bundle = credential.to_pem_bundle();
+    Command::Dcsc { context_type: 'P', blob: Some(base64_encode(bundle.as_bytes())) }
+}
+
+/// Encode a `DCSC D` command.
+pub fn encode_dcsc_d() -> Command {
+    Command::Dcsc { context_type: 'D', blob: None }
+}
+
+/// Interpret a parsed `DCSC` command into an action.
+pub fn interpret(context_type: char, blob: Option<&str>) -> Result<DcscAction> {
+    match context_type {
+        'P' => {
+            let blob = blob.ok_or_else(|| ProtocolError::BadDcsc("P requires a blob".into()))?;
+            let bytes = base64_decode(blob)
+                .map_err(|e| ProtocolError::BadDcsc(format!("bad base64: {e}")))?;
+            let text = String::from_utf8(bytes)
+                .map_err(|_| ProtocolError::BadDcsc("blob is not UTF-8 PEM text".into()))?;
+            let credential = Credential::from_pem_bundle(&text)
+                .map_err(|e| ProtocolError::BadDcsc(format!("bad PEM bundle: {e}")))?;
+            Ok(DcscAction::Install(Box::new(credential)))
+        }
+        'D' => {
+            if blob.is_some() {
+                return Err(ProtocolError::BadDcsc("D takes no blob".into()));
+            }
+            Ok(DcscAction::RevertToDefault)
+        }
+        other => Err(ProtocolError::BadDcsc(format!("unknown context type {other:?}"))),
+    }
+}
+
+/// Size in bytes of the encoded blob for a credential (experiment E12's
+/// "DCSC blob size vs chain length").
+pub fn blob_size(credential: &Credential) -> usize {
+    base64_encode(credential.to_pem_bundle().as_bytes()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_crypto::rng::seeded;
+    use ig_pki::cert::Validity;
+    use ig_pki::{CertificateAuthority, DistinguishedName};
+
+    fn test_credential(seed: u64) -> Credential {
+        let mut rng = seeded(seed);
+        let mut ca = CertificateAuthority::create(
+            &mut rng,
+            DistinguishedName::parse("/O=CA-A").unwrap(),
+            512,
+            0,
+            1_000_000,
+        )
+        .unwrap();
+        let keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+        let cert = ca
+            .issue(
+                DistinguishedName::parse("/O=Grid/CN=alice").unwrap(),
+                &keys.public,
+                Validity::starting_at(0, 10_000),
+                vec![],
+            )
+            .unwrap();
+        Credential::new(vec![cert, ca.root_cert().clone()], keys.private).unwrap()
+    }
+
+    #[test]
+    fn dcsc_p_roundtrip() {
+        let cred = test_credential(1);
+        let cmd = encode_dcsc_p(&cred);
+        // Goes over the wire as a parseable printable-ASCII command.
+        let line = cmd.to_string();
+        let parsed = Command::parse(&line).unwrap();
+        let Command::Dcsc { context_type, blob } = parsed else {
+            panic!("not a DCSC command");
+        };
+        let action = interpret(context_type, blob.as_deref()).unwrap();
+        match action {
+            DcscAction::Install(back) => {
+                assert_eq!(back.chain(), cred.chain());
+                assert_eq!(back.key(), cred.key());
+            }
+            DcscAction::RevertToDefault => panic!("expected Install"),
+        }
+    }
+
+    #[test]
+    fn dcsc_d_roundtrip() {
+        let cmd = encode_dcsc_d();
+        assert_eq!(cmd.to_string(), "DCSC D");
+        let action = interpret('D', None).unwrap();
+        assert!(matches!(action, DcscAction::RevertToDefault));
+    }
+
+    #[test]
+    fn interpret_rejects_malformed() {
+        assert!(interpret('P', None).is_err());
+        assert!(interpret('P', Some("!!!not-base64!!!")).is_err());
+        assert!(interpret('P', Some(&base64_encode(b"not pem"))).is_err());
+        assert!(interpret('D', Some("extra")).is_err());
+        assert!(interpret('Q', None).is_err());
+        // Valid base64 of a PEM bundle missing the key.
+        let cred = test_credential(2);
+        let cert_only = base64_encode(cred.leaf().to_pem().as_bytes());
+        assert!(interpret('P', Some(&cert_only)).is_err());
+    }
+
+    #[test]
+    fn blob_grows_with_chain_length() {
+        let cred = test_credential(3);
+        let short = Credential::new(vec![cred.leaf().clone()], cred.key().clone()).unwrap();
+        assert!(blob_size(&cred) > blob_size(&short));
+    }
+
+    #[test]
+    fn blob_is_printable_ascii() {
+        // §V's explicit constraint.
+        let cred = test_credential(4);
+        let Command::Dcsc { blob: Some(blob), .. } = encode_dcsc_p(&cred) else {
+            panic!("expected DCSC P");
+        };
+        assert!(blob.bytes().all(|b| (32..=126).contains(&b)));
+    }
+}

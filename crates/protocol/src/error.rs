@@ -1,0 +1,52 @@
+//! Protocol parse/framing errors.
+
+use std::fmt;
+
+/// Errors from parsing commands, replies, blocks or markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A command line could not be parsed.
+    BadCommand(String),
+    /// A reply could not be parsed.
+    BadReply(String),
+    /// A host-port string could not be parsed.
+    BadHostPort(String),
+    /// A MODE E block was malformed.
+    BadBlock(String),
+    /// A marker or range string was malformed.
+    BadMarker(String),
+    /// A DCSC blob was malformed.
+    BadDcsc(String),
+    /// Control-channel protection failure.
+    Secure(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadCommand(m) => write!(f, "bad command: {m}"),
+            ProtocolError::BadReply(m) => write!(f, "bad reply: {m}"),
+            ProtocolError::BadHostPort(m) => write!(f, "bad host-port: {m}"),
+            ProtocolError::BadBlock(m) => write!(f, "bad MODE E block: {m}"),
+            ProtocolError::BadMarker(m) => write!(f, "bad marker: {m}"),
+            ProtocolError::BadDcsc(m) => write!(f, "bad DCSC payload: {m}"),
+            ProtocolError::Secure(m) => write!(f, "control-channel protection: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ProtocolError::BadCommand("x".into()).to_string().contains("bad command"));
+        assert!(ProtocolError::BadDcsc("y".into()).to_string().contains("DCSC"));
+    }
+}

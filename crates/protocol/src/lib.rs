@@ -1,0 +1,41 @@
+//! # ig-protocol — the GridFTP wire protocol
+//!
+//! RFC 959 (FTP) + RFC 2228 (security extensions) + GFD.020 (GridFTP
+//! extensions) + the paper's new `DCSC` command (§V), as parsers,
+//! serializers and framing:
+//!
+//! * [`command::Command`] — the control-channel command grammar,
+//!   including `SPAS`/`SPOR` (striping), `OPTS RETR` (parallelism),
+//!   `PBSZ`/`PROT`/`DCAU` (data-channel security), `REST` (restart) and
+//!   **`DCSC P|D`** — the paper's contribution.
+//! * [`reply::Reply`] — three-digit replies with RFC 959 multiline
+//!   framing, plus GridFTP's in-transfer `111` restart and `112`
+//!   performance markers ([`markers`]).
+//! * [`mode_e`] — extended-block-mode framing: every block carries a
+//!   64-bit offset + length so blocks can fly over any number of parallel
+//!   streams and be reassembled at the receiver; `EOD`/`EOF-count`
+//!   descriptors close the channels deterministically.
+//! * [`ranges::ByteRanges`] — coalesced byte-range arithmetic backing
+//!   restart markers ("increased reliability via restart markers", §I).
+//! * [`dcsc`] — `DCSC P` blob encoding: base64 over the PEM bundle
+//!   (certificate, private key, extra chain certs), exactly §V-A.
+//! * [`secure_line`] — RFC 2228 control-channel protection (`MIC`/`ENC`
+//!   commands, `63x` replies): "the control channel is encrypted and
+//!   integrity protected by default" (§IIC).
+
+pub mod addr;
+pub mod command;
+pub mod dcsc;
+pub mod error;
+pub mod markers;
+pub mod mode_e;
+pub mod ranges;
+pub mod reply;
+pub mod secure_line;
+
+pub use addr::HostPort;
+pub use command::{Command, DcauMode, ModeCode, TypeCode};
+pub use error::ProtocolError;
+pub use mode_e::Block;
+pub use ranges::ByteRanges;
+pub use reply::Reply;

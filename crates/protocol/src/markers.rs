@@ -1,0 +1,141 @@
+//! In-transfer control-channel markers: `111` restart markers and `112`
+//! performance markers, as emitted by Globus GridFTP during transfers.
+
+use crate::error::{ProtocolError, Result};
+use crate::ranges::ByteRanges;
+use crate::reply::Reply;
+
+/// A `111 Range Marker` — receiver-side stable-storage ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartMarker {
+    /// Ranges known durable.
+    pub ranges: ByteRanges,
+}
+
+impl RestartMarker {
+    /// Build the `111` reply.
+    pub fn to_reply(&self) -> Reply {
+        Reply::new(111, format!("Range Marker {}", self.ranges.to_marker()))
+    }
+
+    /// Parse from a `111` reply.
+    pub fn from_reply(reply: &Reply) -> Result<Self> {
+        if reply.code != 111 {
+            return Err(ProtocolError::BadMarker(format!("code {} is not 111", reply.code)));
+        }
+        let text = reply
+            .text()
+            .strip_prefix("Range Marker ")
+            .ok_or_else(|| ProtocolError::BadMarker(format!("bad 111 text {:?}", reply.text())))?;
+        Ok(RestartMarker { ranges: ByteRanges::parse_marker(text)? })
+    }
+}
+
+/// A `112-Perf Marker` — throughput progress for monitoring/auto-tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfMarker {
+    /// Seconds since transfer start.
+    pub timestamp: f64,
+    /// Stripe index this marker reports on.
+    pub stripe_index: u32,
+    /// Total stripe count.
+    pub total_stripes: u32,
+    /// Bytes transferred on this stripe so far.
+    pub stripe_bytes: u64,
+}
+
+impl PerfMarker {
+    /// Build the multiline `112` reply in Globus format.
+    pub fn to_reply(&self) -> Reply {
+        Reply::multiline(
+            112,
+            vec![
+                "Perf Marker".to_string(),
+                format!(" Timestamp:  {:.1}", self.timestamp),
+                format!(" Stripe Index: {}", self.stripe_index),
+                format!(" Stripe Bytes Transferred: {}", self.stripe_bytes),
+                format!(" Total Stripe Count: {}", self.total_stripes),
+                "End.".to_string(),
+            ],
+        )
+    }
+
+    /// Parse from a `112` reply.
+    pub fn from_reply(reply: &Reply) -> Result<Self> {
+        if reply.code != 112 {
+            return Err(ProtocolError::BadMarker(format!("code {} is not 112", reply.code)));
+        }
+        let mut timestamp = None;
+        let mut stripe_index = None;
+        let mut stripe_bytes = None;
+        let mut total_stripes = None;
+        for line in &reply.lines {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("Timestamp:") {
+                timestamp = v.trim().parse::<f64>().ok();
+            } else if let Some(v) = line.strip_prefix("Stripe Index:") {
+                stripe_index = v.trim().parse::<u32>().ok();
+            } else if let Some(v) = line.strip_prefix("Stripe Bytes Transferred:") {
+                stripe_bytes = v.trim().parse::<u64>().ok();
+            } else if let Some(v) = line.strip_prefix("Total Stripe Count:") {
+                total_stripes = v.trim().parse::<u32>().ok();
+            }
+        }
+        match (timestamp, stripe_index, stripe_bytes, total_stripes) {
+            (Some(t), Some(i), Some(b), Some(n)) => Ok(PerfMarker {
+                timestamp: t,
+                stripe_index: i,
+                total_stripes: n,
+                stripe_bytes: b,
+            }),
+            _ => Err(ProtocolError::BadMarker("112 reply missing fields".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_marker_roundtrip() {
+        let mut ranges = ByteRanges::new();
+        ranges.add(0, 1048576);
+        ranges.add(2097152, 3145728);
+        let m = RestartMarker { ranges };
+        let reply = m.to_reply();
+        assert_eq!(reply.code, 111);
+        assert!(reply.text().starts_with("Range Marker 0-1048576,"));
+        assert_eq!(RestartMarker::from_reply(&reply).unwrap(), m);
+    }
+
+    #[test]
+    fn restart_marker_rejects_wrong_code() {
+        assert!(RestartMarker::from_reply(&Reply::new(226, "done")).is_err());
+        assert!(RestartMarker::from_reply(&Reply::new(111, "nope")).is_err());
+    }
+
+    #[test]
+    fn perf_marker_roundtrip() {
+        let m = PerfMarker {
+            timestamp: 12.5,
+            stripe_index: 2,
+            total_stripes: 4,
+            stripe_bytes: 123456789,
+        };
+        let reply = m.to_reply();
+        assert_eq!(reply.code, 112);
+        let back = PerfMarker::from_reply(&reply).unwrap();
+        assert_eq!(back, m);
+        // Survives wire framing too.
+        let rewire = Reply::parse(&reply.to_wire()).unwrap();
+        assert_eq!(PerfMarker::from_reply(&rewire).unwrap(), m);
+    }
+
+    #[test]
+    fn perf_marker_rejects_incomplete() {
+        let r = Reply::multiline(112, vec!["Perf Marker".into(), " Timestamp: 1.0".into(), "End.".into()]);
+        assert!(PerfMarker::from_reply(&r).is_err());
+        assert!(PerfMarker::from_reply(&Reply::new(111, "x")).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! MODE E — extended block mode framing.
+//!
+//! Every block carries `descriptor (1) || count (8 BE) || offset (8 BE)`
+//! followed by `count` payload bytes. Because each block is
+//! self-describing, blocks may travel over any of the parallel data
+//! connections and arrive in any order — this is what makes GridFTP's
+//! "high-performance data transfer by using striping and parallel
+//! streams" (§I) possible while still reassembling an exact file.
+//!
+//! Descriptor bits follow GridFTP usage:
+//! * `EOD` (0x08) — last block on *this* connection;
+//! * `EOF_COUNT` (0x40) — the `offset` field carries the total number of
+//!   EODs the receiver should expect (sent once, on one connection);
+//! * `RESTART` (0x10) — payload is a restart-marker range list;
+//! * `SUSPECT` (0x20) — block may be corrupt (failure injection).
+
+use crate::error::{ProtocolError, Result};
+
+/// Descriptor bit: end of data on this connection.
+pub const EOD: u8 = 0x08;
+/// Descriptor bit: offset field = expected EOD count.
+pub const EOF_COUNT: u8 = 0x40;
+/// Descriptor bit: restart marker payload.
+pub const RESTART: u8 = 0x10;
+/// Descriptor bit: suspected error in this block.
+pub const SUSPECT: u8 = 0x20;
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 1 + 8 + 8;
+
+/// One extended-mode block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Descriptor bits.
+    pub descriptor: u8,
+    /// File offset of the payload (or EOD count for `EOF_COUNT` blocks).
+    pub offset: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Block {
+    /// A plain data block.
+    pub fn data(offset: u64, payload: Vec<u8>) -> Self {
+        Block { descriptor: 0, offset, payload }
+    }
+
+    /// An end-of-data block (empty payload).
+    pub fn eod() -> Self {
+        Block { descriptor: EOD, offset: 0, payload: Vec::new() }
+    }
+
+    /// An EOF-count block announcing how many EODs will arrive in total.
+    pub fn eof_count(count: u64) -> Self {
+        Block { descriptor: EOF_COUNT, offset: count, payload: Vec::new() }
+    }
+
+    /// A restart-marker block carrying a range list.
+    pub fn restart_marker(ranges: &crate::ranges::ByteRanges) -> Self {
+        Block { descriptor: RESTART, offset: 0, payload: ranges.to_marker().into_bytes() }
+    }
+
+    /// Is the EOD bit set?
+    pub fn is_eod(&self) -> bool {
+        self.descriptor & EOD != 0
+    }
+
+    /// Is this an EOF-count block?
+    pub fn is_eof_count(&self) -> bool {
+        self.descriptor & EOF_COUNT != 0
+    }
+
+    /// Is this a restart marker?
+    pub fn is_restart(&self) -> bool {
+        self.descriptor & RESTART != 0
+    }
+
+    /// Parse the restart ranges out of a restart-marker block.
+    pub fn restart_ranges(&self) -> Result<crate::ranges::ByteRanges> {
+        if !self.is_restart() {
+            return Err(ProtocolError::BadBlock("not a restart-marker block".into()));
+        }
+        let text = std::str::from_utf8(&self.payload)
+            .map_err(|_| ProtocolError::BadBlock("restart payload not UTF-8".into()))?;
+        crate::ranges::ByteRanges::parse_marker(text)
+    }
+
+    /// Serialize: header + payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.push(self.descriptor);
+        out.extend_from_slice(&(self.payload.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.offset.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse one block from a complete message.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(ProtocolError::BadBlock(format!(
+                "message of {} bytes shorter than header",
+                data.len()
+            )));
+        }
+        let descriptor = data[0];
+        let count = u64::from_be_bytes(data[1..9].try_into().expect("sized"));
+        let offset = u64::from_be_bytes(data[9..17].try_into().expect("sized"));
+        let body = &data[HEADER_LEN..];
+        if body.len() as u64 != count {
+            return Err(ProtocolError::BadBlock(format!(
+                "declared {count} payload bytes but message carries {}",
+                body.len()
+            )));
+        }
+        Ok(Block { descriptor, offset, payload: body.to_vec() })
+    }
+}
+
+/// Split a buffer into data blocks of at most `block_size` bytes starting
+/// at file offset `base`, round-robin ready for parallel streams.
+pub fn fragment(base: u64, data: &[u8], block_size: usize) -> Vec<Block> {
+    assert!(block_size > 0, "block size must be positive");
+    let mut out = Vec::with_capacity(data.len().div_ceil(block_size));
+    let mut off = 0usize;
+    while off < data.len() {
+        let end = (off + block_size).min(data.len());
+        out.push(Block::data(base + off as u64, data[off..end].to_vec()));
+        off = end;
+    }
+    out
+}
+
+/// Reassembles blocks (possibly out of order, from many connections) into
+/// a contiguous buffer and tracks completion.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    data: Vec<u8>,
+    received: crate::ranges::ByteRanges,
+    eods_seen: u64,
+    eods_expected: Option<u64>,
+}
+
+impl Reassembler {
+    /// New empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one block.
+    pub fn push(&mut self, block: &Block) -> Result<()> {
+        if block.is_eof_count() {
+            self.eods_expected = Some(block.offset);
+            return Ok(());
+        }
+        if block.is_eod() {
+            self.eods_seen += 1;
+        }
+        if block.is_restart() || block.payload.is_empty() {
+            return Ok(());
+        }
+        let start = block.offset as usize;
+        let end = start
+            .checked_add(block.payload.len())
+            .ok_or_else(|| ProtocolError::BadBlock("offset overflow".into()))?;
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[start..end].copy_from_slice(&block.payload);
+        self.received.add(block.offset, end as u64);
+        Ok(())
+    }
+
+    /// All connections closed (every expected EOD seen)?
+    pub fn channels_done(&self) -> bool {
+        match self.eods_expected {
+            Some(expect) => self.eods_seen >= expect,
+            None => false,
+        }
+    }
+
+    /// Received ranges so far (for emitting restart markers).
+    pub fn received(&self) -> &crate::ranges::ByteRanges {
+        &self.received
+    }
+
+    /// Bytes received so far.
+    pub fn bytes(&self) -> u64 {
+        self.received.total()
+    }
+
+    /// Finish, checking contiguity against the expected length.
+    pub fn into_data(self, expected_len: u64) -> Result<Vec<u8>> {
+        if !self.received.is_complete(expected_len) {
+            return Err(ProtocolError::BadBlock(format!(
+                "incomplete reassembly: have {}, missing {:?}",
+                self.received.to_marker(),
+                self.received.missing(expected_len)
+            )));
+        }
+        Ok(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_encode_decode_roundtrip() {
+        let b = Block::data(1 << 40, vec![1, 2, 3, 4, 5]);
+        let enc = b.encode();
+        assert_eq!(enc.len(), HEADER_LEN + 5);
+        assert_eq!(Block::decode(&enc).unwrap(), b);
+        let eod = Block::eod();
+        assert_eq!(Block::decode(&eod.encode()).unwrap(), eod);
+        assert!(eod.is_eod());
+        let eofc = Block::eof_count(8);
+        let dec = Block::decode(&eofc.encode()).unwrap();
+        assert!(dec.is_eof_count());
+        assert_eq!(dec.offset, 8);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Block::decode(&[]).is_err());
+        assert!(Block::decode(&[0; 10]).is_err());
+        let mut enc = Block::data(0, vec![1, 2, 3]).encode();
+        enc.pop(); // truncate payload
+        assert!(Block::decode(&enc).is_err());
+        enc.extend_from_slice(&[9, 9]); // now too long
+        assert!(Block::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn fragment_covers_exactly() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let blocks = fragment(1000, &data, 33);
+        assert_eq!(blocks.len(), 4); // 33+33+33+1
+        assert_eq!(blocks[0].offset, 1000);
+        assert_eq!(blocks[3].offset, 1099);
+        assert_eq!(blocks[3].payload.len(), 1);
+        let total: usize = blocks.iter().map(|b| b.payload.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fragment_empty_is_empty() {
+        assert!(fragment(0, &[], 10).is_empty());
+    }
+
+    #[test]
+    fn reassemble_in_order() {
+        let data: Vec<u8> = (0..255u8).collect();
+        let mut r = Reassembler::new();
+        for b in fragment(0, &data, 16) {
+            r.push(&b).unwrap();
+        }
+        r.push(&Block::eof_count(1)).unwrap();
+        r.push(&Block::eod()).unwrap();
+        assert!(r.channels_done());
+        assert_eq!(r.into_data(255).unwrap(), data);
+    }
+
+    #[test]
+    fn reassemble_out_of_order_multi_stream() {
+        // Simulate 4 parallel streams delivering interleaved.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let blocks = fragment(0, &data, 64);
+        let mut r = Reassembler::new();
+        // Stripe blocks across 4 "streams", reversed within each stream.
+        for stream in 0..4 {
+            let mine: Vec<&Block> = blocks.iter().skip(stream).step_by(4).collect();
+            for b in mine.iter().rev() {
+                r.push(b).unwrap();
+            }
+            r.push(&Block::eod()).unwrap();
+        }
+        r.push(&Block::eof_count(4)).unwrap();
+        assert!(r.channels_done());
+        assert_eq!(r.bytes(), 1000);
+        assert_eq!(r.into_data(1000).unwrap(), data);
+    }
+
+    #[test]
+    fn incomplete_reassembly_is_an_error() {
+        let data: Vec<u8> = vec![7; 100];
+        let blocks = fragment(0, &data, 10);
+        let mut r = Reassembler::new();
+        for (i, b) in blocks.iter().enumerate() {
+            if i != 3 {
+                r.push(b).unwrap(); // drop block 3
+            }
+        }
+        let err = r.into_data(100).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn channels_done_requires_eof_count() {
+        let mut r = Reassembler::new();
+        r.push(&Block::eod()).unwrap();
+        assert!(!r.channels_done()); // no EOF_COUNT yet
+        r.push(&Block::eof_count(1)).unwrap();
+        assert!(r.channels_done());
+    }
+
+    #[test]
+    fn restart_marker_blocks() {
+        let mut ranges = crate::ranges::ByteRanges::new();
+        ranges.add(0, 4096);
+        ranges.add(8192, 16384);
+        let b = Block::restart_marker(&ranges);
+        assert!(b.is_restart());
+        let parsed = Block::decode(&b.encode()).unwrap().restart_ranges().unwrap();
+        assert_eq!(parsed, ranges);
+        assert!(Block::data(0, vec![1]).restart_ranges().is_err());
+    }
+
+    #[test]
+    fn restart_blocks_do_not_pollute_data() {
+        let mut r = Reassembler::new();
+        let mut ranges = crate::ranges::ByteRanges::new();
+        ranges.add(0, 10);
+        r.push(&Block::restart_marker(&ranges)).unwrap();
+        assert_eq!(r.bytes(), 0);
+    }
+
+    #[test]
+    fn overlapping_blocks_idempotent() {
+        // Retransmission after restart may resend overlapping data.
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut r = Reassembler::new();
+        for b in fragment(0, &data, 30) {
+            r.push(&b).unwrap();
+        }
+        for b in fragment(30, &data[30..70], 20) {
+            r.push(&b).unwrap();
+        }
+        assert_eq!(r.into_data(100).unwrap(), data);
+    }
+}

@@ -1,0 +1,257 @@
+//! Coalesced byte ranges — the arithmetic behind restart markers.
+//!
+//! GridFTP's "increased reliability via restart markers" (§I) works by
+//! the receiver periodically reporting which byte ranges have hit stable
+//! storage; after a failure the sender resends only the complement. In
+//! MODE E blocks arrive out of order across parallel streams, so ranges
+//! must coalesce.
+
+use crate::error::{ProtocolError, Result};
+use std::fmt;
+
+/// A set of disjoint, coalesced `[start, end)` byte ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteRanges {
+    /// Sorted, disjoint, non-adjacent ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl ByteRanges {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging as needed. Empty ranges ignored.
+    pub fn add(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all ranges overlapping or adjacent.
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut remove_from = None;
+        let mut remove_count = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < new_start {
+                i += 1;
+                continue;
+            }
+            if s > new_end {
+                break;
+            }
+            // Overlapping or adjacent: merge.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            if remove_from.is_none() {
+                remove_from = Some(i);
+            }
+            remove_count += 1;
+            i += 1;
+        }
+        match remove_from {
+            Some(from) => {
+                self.ranges.drain(from..from + remove_count);
+                self.ranges.insert(from, (new_start, new_end));
+            }
+            None => {
+                let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
+                self.ranges.insert(pos, (new_start, new_end));
+            }
+        }
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True when `[0, len)` is fully covered (ranges beyond `len` are
+    /// irrelevant; since ranges are coalesced, coverage of `[0, len)`
+    /// means the *first* range spans it).
+    pub fn is_complete(&self, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        self.ranges.first().is_some_and(|&(s, e)| s == 0 && e >= len)
+    }
+
+    /// The ranges.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Missing ranges below `len` — what a restarted transfer must resend.
+    pub fn missing(&self, len: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for &(s, e) in &self.ranges {
+            if s >= len {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(len)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < len {
+            out.push((cursor, len));
+        }
+        out
+    }
+
+    /// Highest contiguous prefix end (stream-mode restart offset).
+    pub fn contiguous_prefix(&self) -> u64 {
+        match self.ranges.first() {
+            Some(&(0, e)) => e,
+            _ => 0,
+        }
+    }
+
+    /// Render in GridFTP marker form: `0-1024,2048-4096`.
+    pub fn to_marker(&self) -> String {
+        self.ranges
+            .iter()
+            .map(|(s, e)| format!("{s}-{e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse the marker form.
+    pub fn parse_marker(s: &str) -> Result<Self> {
+        let mut out = ByteRanges::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (a, b) = part
+                .split_once('-')
+                .ok_or_else(|| ProtocolError::BadMarker(format!("range {part:?} missing '-'")))?;
+            let start: u64 = a
+                .trim()
+                .parse()
+                .map_err(|_| ProtocolError::BadMarker(format!("bad start {a:?}")))?;
+            let end: u64 = b
+                .trim()
+                .parse()
+                .map_err(|_| ProtocolError::BadMarker(format!("bad end {b:?}")))?;
+            if end < start {
+                return Err(ProtocolError::BadMarker(format!("inverted range {part:?}")));
+            }
+            out.add(start, end);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ByteRanges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_coalesce() {
+        let mut r = ByteRanges::new();
+        r.add(0, 100);
+        r.add(200, 300);
+        assert_eq!(r.ranges(), &[(0, 100), (200, 300)]);
+        // Bridge the gap.
+        r.add(100, 200);
+        assert_eq!(r.ranges(), &[(0, 300)]);
+        assert_eq!(r.total(), 300);
+    }
+
+    #[test]
+    fn overlapping_adds() {
+        let mut r = ByteRanges::new();
+        r.add(50, 150);
+        r.add(100, 200);
+        r.add(0, 60);
+        assert_eq!(r.ranges(), &[(0, 200)]);
+        // Fully contained add is a no-op.
+        r.add(10, 20);
+        assert_eq!(r.ranges(), &[(0, 200)]);
+        // Superset add swallows.
+        r.add(0, 500);
+        assert_eq!(r.ranges(), &[(0, 500)]);
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let mut r = ByteRanges::new();
+        r.add(0, 10);
+        r.add(10, 20);
+        assert_eq!(r.ranges(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn out_of_order_parallel_stream_arrivals() {
+        // MODE E blocks land out of order.
+        let mut r = ByteRanges::new();
+        for (s, e) in [(300u64, 400u64), (0, 100), (200, 300), (100, 200)] {
+            r.add(s, e);
+        }
+        assert!(r.is_complete(400));
+        assert_eq!(r.contiguous_prefix(), 400);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut r = ByteRanges::new();
+        r.add(5, 5);
+        assert_eq!(r.total(), 0);
+        assert!(r.is_complete(0));
+        assert!(!r.is_complete(1));
+        assert_eq!(r.contiguous_prefix(), 0);
+        assert_eq!(r.missing(10), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn missing_computation() {
+        let mut r = ByteRanges::new();
+        r.add(0, 100);
+        r.add(200, 300);
+        r.add(350, 380);
+        assert_eq!(r.missing(400), vec![(100, 200), (300, 350), (380, 400)]);
+        assert_eq!(r.missing(250), vec![(100, 200)]);
+        assert_eq!(r.missing(50), Vec::<(u64, u64)>::new());
+        // Prefix gap.
+        let mut r2 = ByteRanges::new();
+        r2.add(100, 200);
+        assert_eq!(r2.missing(200), vec![(0, 100)]);
+        assert_eq!(r2.contiguous_prefix(), 0);
+    }
+
+    #[test]
+    fn marker_roundtrip() {
+        let mut r = ByteRanges::new();
+        r.add(0, 1024);
+        r.add(2048, 4096);
+        let m = r.to_marker();
+        assert_eq!(m, "0-1024,2048-4096");
+        assert_eq!(ByteRanges::parse_marker(&m).unwrap(), r);
+    }
+
+    #[test]
+    fn marker_parse_rejects_malformed() {
+        assert!(ByteRanges::parse_marker("10").is_err());
+        assert!(ByteRanges::parse_marker("a-b").is_err());
+        assert!(ByteRanges::parse_marker("100-50").is_err());
+        // Empty string is the empty set.
+        assert_eq!(ByteRanges::parse_marker("").unwrap(), ByteRanges::new());
+    }
+
+    #[test]
+    fn parse_coalesces_unsorted_input() {
+        let r = ByteRanges::parse_marker("200-300,0-100,100-200").unwrap();
+        assert_eq!(r.ranges(), &[(0, 300)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! RFC 2228 control-channel protection.
+//!
+//! After `AUTH GSSAPI`/`ADAT` succeeds, every command travels as
+//! `MIC <b64>` (integrity) or `ENC <b64>` (private), and every reply as
+//! `631 <b64>` (MIC) or `632`/`633 <b64>` (conf/private). §IIC: "The
+//! control channel is encrypted and integrity protected by default" —
+//! so the default wrapper here is `ENC`/`633`. Experiment E12 measures
+//! the per-command cost.
+
+use crate::command::{Command, ProtectedKind};
+use crate::error::{ProtocolError, Result};
+use crate::reply::Reply;
+use ig_crypto::encode::{base64_decode, base64_encode};
+use ig_gsi::context::SecureContext;
+use ig_gsi::ProtectionLevel;
+
+fn level_for(kind: ProtectedKind) -> ProtectionLevel {
+    match kind {
+        ProtectedKind::Mic => ProtectionLevel::Safe,
+        ProtectedKind::Enc => ProtectionLevel::Private,
+    }
+}
+
+/// Wrap a command line in a protected envelope.
+pub fn protect_command(ctx: &mut SecureContext, kind: ProtectedKind, cmd: &Command) -> Command {
+    let line = cmd.to_string();
+    let record = ctx.seal(level_for(kind), line.as_bytes());
+    Command::Protected { kind, payload: base64_encode(&record) }
+}
+
+/// Unwrap a protected command envelope back into the inner command.
+pub fn unprotect_command(ctx: &mut SecureContext, cmd: &Command) -> Result<Command> {
+    let Command::Protected { kind, payload } = cmd else {
+        return Err(ProtocolError::Secure("not a MIC/ENC envelope".into()));
+    };
+    let record =
+        base64_decode(payload).map_err(|e| ProtocolError::Secure(format!("bad base64: {e}")))?;
+    let plain = ctx
+        .open_expecting(&record, level_for(*kind))
+        .map_err(|e| ProtocolError::Secure(e.to_string()))?;
+    let line = String::from_utf8(plain)
+        .map_err(|_| ProtocolError::Secure("protected payload not UTF-8".into()))?;
+    Command::parse(&line)
+}
+
+/// Reply code for a protected reply envelope.
+fn reply_code_for(kind: ProtectedKind) -> u16 {
+    match kind {
+        ProtectedKind::Mic => 631,
+        ProtectedKind::Enc => 633,
+    }
+}
+
+/// Wrap a reply in a protected envelope (`631`/`633`).
+pub fn protect_reply(ctx: &mut SecureContext, kind: ProtectedKind, reply: &Reply) -> Reply {
+    let record = ctx.seal(level_for(kind), reply.to_wire().as_bytes());
+    Reply::new(reply_code_for(kind), base64_encode(&record))
+}
+
+/// Unwrap a `631`/`633` protected reply.
+pub fn unprotect_reply(ctx: &mut SecureContext, reply: &Reply) -> Result<Reply> {
+    let kind = match reply.code {
+        631 => ProtectedKind::Mic,
+        633 => ProtectedKind::Enc,
+        other => {
+            return Err(ProtocolError::Secure(format!("code {other} is not a protected reply")))
+        }
+    };
+    let record = base64_decode(reply.text())
+        .map_err(|e| ProtocolError::Secure(format!("bad base64: {e}")))?;
+    let plain = ctx
+        .open_expecting(&record, level_for(kind))
+        .map_err(|e| ProtocolError::Secure(e.to_string()))?;
+    let text = String::from_utf8(plain)
+        .map_err(|_| ProtocolError::Secure("protected payload not UTF-8".into()))?;
+    Reply::parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_crypto::rng::seeded;
+    use ig_gsi::context::test_support::{ca_and_credential, config_with};
+    use ig_gsi::context::SecureContext;
+    use ig_gsi::handshake::pump;
+
+    fn contexts() -> (SecureContext, SecureContext) {
+        contexts_seeded(55)
+    }
+
+    fn contexts_seeded(seed: u64) -> (SecureContext, SecureContext) {
+        let mut rng = seeded(seed);
+        let (ca, server_cred) = ca_and_credential(&mut rng, "/O=CA", "/CN=server");
+        let (ca2, client_cred) = ca_and_credential(&mut rng, "/O=CA2", "/CN=client");
+        let server_cfg = config_with(Some(server_cred), &[&ca, &ca2], true);
+        let client_cfg = config_with(Some(client_cred), &[&ca, &ca2], true);
+        let (ie, ae) = pump(client_cfg, server_cfg, &mut rng).unwrap();
+        (
+            SecureContext::from_established(ie),
+            SecureContext::from_established(ae),
+        )
+    }
+
+    #[test]
+    fn protected_command_roundtrip_enc_and_mic() {
+        let (mut client, mut server) = contexts();
+        for kind in [ProtectedKind::Enc, ProtectedKind::Mic] {
+            let inner = Command::Retr("/data/secret.dat".into());
+            let wrapped = protect_command(&mut client, kind, &inner);
+            // Wire form is a legal command whose arg is base64.
+            let line = wrapped.to_string();
+            let reparsed = Command::parse(&line).unwrap();
+            let unwrapped = unprotect_command(&mut server, &reparsed).unwrap();
+            assert_eq!(unwrapped, inner);
+        }
+    }
+
+    #[test]
+    fn enc_hides_the_command() {
+        let (mut client, _) = contexts();
+        let wrapped =
+            protect_command(&mut client, ProtectedKind::Enc, &Command::Pass("hunter2".into()));
+        let line = wrapped.to_string();
+        assert!(!line.contains("hunter2"));
+        assert!(!line.contains("PASS "));
+    }
+
+    #[test]
+    fn protected_reply_roundtrip() {
+        let (mut client, mut server) = contexts();
+        let inner = Reply::new(226, "Transfer complete.");
+        let wrapped = protect_reply(&mut server, ProtectedKind::Enc, &inner);
+        assert_eq!(wrapped.code, 633);
+        let unwrapped = unprotect_reply(&mut client, &wrapped).unwrap();
+        assert_eq!(unwrapped, inner);
+        // MIC path and multiline.
+        let ml = Reply::multiline(211, vec!["a".into(), "b".into()]);
+        let wrapped = protect_reply(&mut server, ProtectedKind::Mic, &ml);
+        assert_eq!(wrapped.code, 631);
+        assert_eq!(unprotect_reply(&mut client, &wrapped).unwrap(), ml);
+    }
+
+    #[test]
+    fn tampered_envelope_rejected() {
+        let (mut client, mut server) = contexts();
+        let wrapped = protect_command(&mut client, ProtectedKind::Enc, &Command::Noop);
+        let Command::Protected { kind, payload } = wrapped else { unreachable!() };
+        let mut bytes = base64_decode(&payload).unwrap();
+        bytes[12] ^= 0xff;
+        let tampered = Command::Protected { kind, payload: base64_encode(&bytes) };
+        assert!(unprotect_command(&mut server, &tampered).is_err());
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let (mut client_a, _) = contexts_seeded(55);
+        let (_, mut server_b) = contexts_seeded(56);
+        let wrapped = protect_command(&mut client_a, ProtectedKind::Enc, &Command::Noop);
+        assert!(unprotect_command(&mut server_b, &wrapped).is_err());
+    }
+
+    #[test]
+    fn non_envelope_inputs_rejected() {
+        let (mut client, mut server) = contexts();
+        assert!(unprotect_command(&mut server, &Command::Noop).is_err());
+        assert!(unprotect_reply(&mut client, &Reply::new(226, "x")).is_err());
+        let bogus = Command::Protected { kind: ProtectedKind::Enc, payload: "!!".into() };
+        assert!(unprotect_command(&mut server, &bogus).is_err());
+    }
+}

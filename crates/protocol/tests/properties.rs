@@ -1,0 +1,150 @@
+//! Property tests for the wire grammar and framing.
+
+use ig_protocol::command::Command;
+use ig_protocol::mode_e::{fragment, Block, Reassembler};
+use ig_protocol::{ByteRanges, HostPort, Reply};
+use proptest::prelude::*;
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Interior spaces are legal; leading/trailing whitespace is
+    // canonicalized away by the FTP argument grammar, so exclude it.
+    proptest::string::string_regex("/[a-zA-Z0-9_.-]([a-zA-Z0-9_./ -]{0,38}[a-zA-Z0-9_.-])?")
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn command_display_parse_roundtrip_core(path in path_strategy()) {
+        for cmd in [
+            Command::Retr(path.clone()),
+            Command::Stor(path.clone()),
+            Command::Size(path.clone()),
+            Command::Dele(path.clone()),
+            Command::Cwd(path.clone()),
+            Command::Mkd(path.clone()),
+        ] {
+            let line = cmd.to_string();
+            prop_assert_eq!(Command::parse(&line).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn hostport_roundtrip(a in any::<u8>(), b in any::<u8>(), c in any::<u8>(), d in any::<u8>(), port in any::<u16>()) {
+        let hp = HostPort::new(std::net::Ipv4Addr::new(a, b, c, d), port);
+        prop_assert_eq!(HostPort::parse(&hp.to_string()).unwrap(), hp);
+    }
+
+    #[test]
+    fn reply_wire_roundtrip(code in 100u16..700, lines in proptest::collection::vec(
+        proptest::string::string_regex("[a-zA-Z0-9 ,.:=_-]{0,50}").unwrap(), 1..5)) {
+        let r = Reply::multiline(code, lines);
+        prop_assert_eq!(Reply::parse(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn block_encode_decode_roundtrip(
+        descriptor in any::<u8>(),
+        offset in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let b = Block { descriptor, offset, payload };
+        prop_assert_eq!(Block::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn truncated_blocks_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..100),
+        cut in 1usize..117,
+    ) {
+        let enc = Block::data(0, payload).encode();
+        let cut = cut.min(enc.len() - 1);
+        prop_assert!(Block::decode(&enc[..cut]).is_err());
+    }
+
+    #[test]
+    fn fragment_reassemble_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        block in 1usize..600,
+        base in 0u64..1000,
+        order_seed in any::<u64>(),
+    ) {
+        let mut blocks = fragment(base, &data, block);
+        // Shuffle deterministically (multi-stream arrival order).
+        let n = blocks.len().max(1) as u64;
+        for i in (1..blocks.len()).rev() {
+            let j = ((order_seed.wrapping_mul(i as u64 + 1)) % n) as usize % (i + 1);
+            blocks.swap(i, j);
+        }
+        let mut r = Reassembler::new();
+        for b in &blocks {
+            r.push(b).unwrap();
+        }
+        prop_assert_eq!(r.bytes(), data.len() as u64);
+        // The reassembled buffer is zero-padded below `base`.
+        let out = r.into_data(base + data.len() as u64).ok();
+        match out {
+            Some(buf) if base == 0 => prop_assert_eq!(buf, data),
+            Some(buf) => {
+                prop_assert_eq!(&buf[base as usize..], &data[..]);
+            }
+            // Nonzero base leaves [0, base) uncovered: incomplete is correct.
+            None => prop_assert!(base > 0 || data.is_empty()),
+        }
+    }
+
+    #[test]
+    fn byte_ranges_match_naive_model(
+        ops in proptest::collection::vec((0u64..500, 0u64..500), 0..40),
+        len in 0u64..500,
+    ) {
+        // Model: a boolean array.
+        let mut model = vec![false; 500];
+        let mut ranges = ByteRanges::new();
+        for (a, b) in &ops {
+            let (s, e) = (*a.min(b), *a.max(b));
+            ranges.add(s, e);
+            for i in s..e {
+                model[i as usize] = true;
+            }
+        }
+        let model_total = model.iter().filter(|&&x| x).count() as u64;
+        prop_assert_eq!(ranges.total(), model_total);
+        // Ranges are sorted, disjoint, non-adjacent.
+        let rs = ranges.ranges();
+        for w in rs.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "not coalesced: {:?}", rs);
+        }
+        // Completeness agrees with the model.
+        let model_complete = model[..len as usize].iter().all(|&x| x);
+        prop_assert_eq!(ranges.is_complete(len), len == 0 || model_complete);
+        // Missing + held covers [0, len) exactly once.
+        let missing = ranges.missing(len);
+        let mut covered = vec![false; len as usize];
+        for &(s, e) in rs {
+            for i in s..e.min(len) {
+                covered[i as usize] = true;
+            }
+        }
+        for (s, e) in &missing {
+            for i in *s..*e {
+                prop_assert!(!covered[i as usize], "missing overlaps held");
+                covered[i as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&x| x), "missing+held must cover [0,len)");
+        // Marker roundtrip.
+        prop_assert_eq!(ByteRanges::parse_marker(&ranges.to_marker()).unwrap(), ranges);
+    }
+
+    #[test]
+    fn command_parse_never_panics(line in proptest::string::string_regex(".{0,120}").unwrap()) {
+        let _ = Command::parse(&line); // must not panic, err is fine
+    }
+
+    #[test]
+    fn reply_parse_never_panics(text in proptest::string::string_regex(".{0,120}").unwrap()) {
+        let _ = Reply::parse(&text);
+    }
+}

@@ -1,0 +1,147 @@
+//! Server configuration.
+
+use crate::authz::AuthzCallout;
+use crate::dsi::Dsi;
+use crate::usage::UsageReporter;
+use ig_pki::time::Clock;
+use ig_pki::{Credential, TrustStore};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Everything a GridFTP server instance needs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Endpoint name (hostname); also what the GCMU online-CA marker is
+    /// matched against.
+    pub name: String,
+    /// Host credential presented on the control channel.
+    pub credential: Credential,
+    /// Trust roots for validating clients (and data-channel peers).
+    pub trust: TrustStore,
+    /// Identity → local account mapping.
+    pub authz: Arc<dyn AuthzCallout>,
+    /// Storage backend.
+    pub dsi: Arc<dyn Dsi>,
+    /// Clock (fixed in tests, system in examples).
+    pub clock: Clock,
+    /// Whether this server understands the paper's `DCSC` command.
+    /// `false` models the "legacy GridFTP server that knows nothing
+    /// about DCSC" of §IV-B.
+    pub dcsc_enabled: bool,
+    /// Number of stripes (data movers). 1 = conventional server; >1
+    /// enables `SPAS`/`SPOR` striped transfers (Fig 2's striped layout).
+    pub stripes: usize,
+    /// Per-stripe bandwidth limit in bytes/second (models one NIC per
+    /// data mover node; `None` = unthrottled).
+    pub stripe_rate: Option<f64>,
+    /// MODE E block size in bytes.
+    pub block_size: usize,
+    /// Blocks between restart/perf markers on the control channel.
+    pub marker_interval: usize,
+    /// Usage reporting sink (Fig 1).
+    pub usage: Arc<UsageReporter>,
+    /// 220 banner text.
+    pub banner: String,
+    /// IP data-channel listeners bind to.
+    pub data_ip: Ipv4Addr,
+    /// RSA key size for delegation handshakes (small in tests).
+    pub key_bits: usize,
+    /// Optional one-shot fault injector applied to outgoing data streams
+    /// (experiment E9's mid-transfer crash).
+    pub fault: Option<std::sync::Arc<crate::fault::FaultInjector>>,
+}
+
+impl ServerConfig {
+    /// A config with sensible defaults for a single-node server.
+    pub fn new(
+        name: &str,
+        credential: Credential,
+        trust: TrustStore,
+        authz: Arc<dyn AuthzCallout>,
+        dsi: Arc<dyn Dsi>,
+    ) -> Self {
+        ServerConfig {
+            name: name.to_string(),
+            credential,
+            trust,
+            authz,
+            dsi,
+            clock: Clock::System,
+            dcsc_enabled: true,
+            stripes: 1,
+            stripe_rate: None,
+            block_size: 64 * 1024,
+            marker_interval: 16,
+            usage: UsageReporter::new(),
+            banner: format!("{name} GridFTP Server (ig-server) ready."),
+            data_ip: Ipv4Addr::LOCALHOST,
+            key_bits: 512,
+            fault: None,
+        }
+    }
+
+    /// Builder: fixed clock.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builder: disable DCSC (legacy server, §IV-B).
+    pub fn legacy(mut self) -> Self {
+        self.dcsc_enabled = false;
+        self
+    }
+
+    /// Builder: striped deployment.
+    pub fn with_stripes(mut self, stripes: usize, per_stripe_rate: Option<f64>) -> Self {
+        assert!(stripes >= 1, "need at least one stripe");
+        self.stripes = stripes;
+        self.stripe_rate = per_stripe_rate;
+        self
+    }
+
+    /// Builder: install a one-shot fault injector on outgoing data.
+    pub fn with_fault(mut self, fault: std::sync::Arc<crate::fault::FaultInjector>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder: block size.
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "block size must be positive");
+        self.block_size = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::GcmuAuthz;
+    use crate::dsi::memory::MemDsi;
+    use ig_gsi::context::test_support::ca_and_credential;
+
+    #[test]
+    fn builders() {
+        let mut rng = ig_crypto::rng::seeded(1);
+        let (ca, cred) = ca_and_credential(&mut rng, "/O=CA", "/CN=host");
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.root_cert().clone());
+        let cfg = ServerConfig::new(
+            "ep.example.org",
+            cred,
+            trust,
+            Arc::new(GcmuAuthz::new("ep.example.org")),
+            Arc::new(MemDsi::new()),
+        )
+        .legacy()
+        .with_stripes(4, Some(1e6))
+        .with_block_size(1024)
+        .with_clock(Clock::Fixed(42));
+        assert!(!cfg.dcsc_enabled);
+        assert_eq!(cfg.stripes, 4);
+        assert_eq!(cfg.block_size, 1024);
+        assert_eq!(cfg.clock.now(), 42);
+        assert!(cfg.banner.contains("ep.example.org"));
+    }
+}

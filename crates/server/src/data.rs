@@ -1,0 +1,321 @@
+//! Data-channel establishment: listeners, connectors, and DCAU wrapping.
+//!
+//! The GridFTP rule (§IIC): "the receiver [is] the listener and the
+//! sender issue[s] the TCP connect". The connector therefore plays GSI
+//! initiator and the listener GSI acceptor when DCAU is on.
+
+use crate::error::{Result, ServerError};
+use ig_gsi::context::GsiConfig;
+use ig_gsi::ProtectionLevel;
+use ig_pki::time::Clock;
+use ig_pki::{Credential, DistinguishedName, TrustStore};
+use ig_protocol::command::DcauMode;
+use ig_protocol::HostPort;
+use ig_xio::{secure_accept, secure_connect, Link, TcpLink, Throttle};
+use rand::Rng;
+use std::net::{Ipv4Addr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Security posture of a data channel, assembled per transfer from the
+/// session state (DCAU mode, PROT level, DCSC override).
+#[derive(Clone)]
+pub struct DataSecurity {
+    /// DCAU mode.
+    pub dcau: DcauMode,
+    /// `PROT` level for payload records.
+    pub prot: ProtectionLevel,
+    /// Credential to present (delegated proxy, DCSC credential, or the
+    /// client's own credential).
+    pub credential: Option<Credential>,
+    /// Trust roots to validate the peer against (DCSC-augmented when a
+    /// DCSC context is installed).
+    pub trust: TrustStore,
+    /// Clock for validity checks.
+    pub clock: Clock,
+}
+
+impl DataSecurity {
+    /// No authentication, no protection — `DCAU N` + `PROT C`.
+    pub fn open() -> Self {
+        DataSecurity {
+            dcau: DcauMode::None,
+            prot: ProtectionLevel::Clear,
+            credential: None,
+            trust: TrustStore::new(),
+            clock: Clock::System,
+        }
+    }
+
+    /// The identity the peer is expected to present: the base identity of
+    /// the configured credential. With DCSC, both endpoints hold the same
+    /// user credential, so this matches on both sides (§V).
+    pub fn expected_identity(&self) -> Option<DistinguishedName> {
+        match &self.dcau {
+            DcauMode::None => None,
+            DcauMode::Subject(s) => DistinguishedName::parse(s).ok(),
+            DcauMode::Self_ => self.credential.as_ref().map(|c| c.identity().clone()),
+        }
+    }
+
+    fn gsi_config(&self) -> Result<GsiConfig> {
+        let credential = self.credential.clone().ok_or_else(|| {
+            ServerError::Data("DCAU requested but no data-channel credential available".into())
+        })?;
+        Ok(GsiConfig {
+            credential: Some(credential),
+            trust: self.trust.clone(),
+            require_peer_auth: true,
+            clock: self.clock,
+            insecure_skip_peer_validation: false,
+        })
+    }
+}
+
+fn check_peer<L: Link>(link: &ig_xio::SecureLink<L>, expected: &Option<DistinguishedName>) -> Result<()> {
+    if let Some(expect) = expected {
+        let peer = link
+            .peer()
+            .ok_or_else(|| ServerError::Data("peer did not authenticate".into()))?;
+        if &peer.identity != expect {
+            return Err(ServerError::Data(format!(
+                "data channel peer {} does not match expected {}",
+                peer.identity, expect
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Wrap an *outgoing* (connector/sender) data connection per `sec`.
+pub fn wrap_connect<L: Link + 'static, R: Rng + ?Sized>(
+    link: L,
+    sec: &DataSecurity,
+    rng: &mut R,
+) -> Result<Box<dyn Link>> {
+    match sec.dcau {
+        DcauMode::None => Ok(Box::new(link)),
+        _ => {
+            let cfg = sec.gsi_config()?;
+            let mut secured = secure_connect(link, cfg, sec.prot, rng)
+                .map_err(|e| ServerError::Data(format!("data-channel handshake: {e}")))?;
+            check_peer(&secured, &sec.expected_identity())?;
+            secured.require_recv_level(sec.prot);
+            Ok(Box::new(secured))
+        }
+    }
+}
+
+/// Wrap an *incoming* (listener/receiver) data connection per `sec`.
+pub fn wrap_accept<L: Link + 'static, R: Rng + ?Sized>(
+    link: L,
+    sec: &DataSecurity,
+    rng: &mut R,
+) -> Result<Box<dyn Link>> {
+    match sec.dcau {
+        DcauMode::None => Ok(Box::new(link)),
+        _ => {
+            let cfg = sec.gsi_config()?;
+            let mut secured = secure_accept(link, cfg, sec.prot, rng)
+                .map_err(|e| ServerError::Data(format!("data-channel handshake: {e}")))?;
+            check_peer(&secured, &sec.expected_identity())?;
+            secured.require_recv_level(sec.prot);
+            Ok(Box::new(secured))
+        }
+    }
+}
+
+/// Optionally throttle a link (per-stripe NIC model).
+pub fn maybe_throttle(link: Box<dyn Link>, rate: Option<f64>) -> Box<dyn Link> {
+    match rate {
+        Some(bps) => Box::new(Throttle::new(link, bps, (bps / 20.0).max(16.0 * 1024.0))),
+        None => link,
+    }
+}
+
+/// A passive-mode data listener: accepts raw TCP data connections on a
+/// background thread. One listener per stripe.
+pub struct DataListener {
+    addr: HostPort,
+    rx: crossbeam::channel::Receiver<TcpLink>,
+    stop: Arc<AtomicBool>,
+}
+
+impl DataListener {
+    /// Bind on `ip` with an OS-assigned port and start accepting.
+    pub fn bind(ip: Ipv4Addr) -> Result<Self> {
+        let listener = TcpListener::bind((ip, 0))?;
+        let addr = HostPort::from_socket_addr(listener.local_addr()?)?;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(TcpLink::new(s)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(DataListener { addr, rx, stop })
+    }
+
+    /// The advertised address (what `227`/`229` replies carry).
+    pub fn addr(&self) -> HostPort {
+        self.addr
+    }
+
+    /// Wait up to `timeout` for the next data connection.
+    pub fn accept(&self, timeout: Duration) -> Result<TcpLink> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|_| ServerError::Data("timed out waiting for data connection".into()))
+    }
+
+    /// Try to get a connection without blocking.
+    pub fn try_accept(&self) -> Option<TcpLink> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Stop accepting (the accept thread exits on its next wakeup).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the blocking accept returns.
+        let _ = std::net::TcpStream::connect(self.addr.to_socket_addr());
+    }
+}
+
+impl Drop for DataListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_crypto::rng::seeded;
+    use ig_gsi::context::test_support::ca_and_credential;
+
+    #[test]
+    fn listener_accepts_connections() {
+        let l = DataListener::bind(Ipv4Addr::LOCALHOST).unwrap();
+        let addr = l.addr();
+        let t = std::thread::spawn(move || {
+            let mut c = TcpLink::connect(addr.to_socket_addr()).unwrap();
+            c.send(b"data hello").unwrap();
+        });
+        let mut conn = l.accept(Duration::from_secs(5)).unwrap();
+        assert_eq!(conn.recv().unwrap(), b"data hello");
+        t.join().unwrap();
+        assert!(l.try_accept().is_none());
+        l.shutdown();
+    }
+
+    #[test]
+    fn accept_times_out() {
+        let l = DataListener::bind(Ipv4Addr::LOCALHOST).unwrap();
+        assert!(l.accept(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn dcau_none_passthrough() {
+        let (a, mut b) = ig_xio::pipe();
+        let mut rng = seeded(1);
+        let mut wrapped = wrap_connect(a, &DataSecurity::open(), &mut rng).unwrap();
+        wrapped.send(b"raw").unwrap();
+        assert_eq!(b.recv().unwrap(), b"raw");
+    }
+
+    #[test]
+    fn dcau_self_mutual_handshake() {
+        let mut rng = seeded(2);
+        let (ca, user_cred) = ca_and_credential(&mut rng, "/O=CA", "/O=Grid/CN=alice");
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.root_cert().clone());
+        let sec = DataSecurity {
+            dcau: DcauMode::Self_,
+            prot: ProtectionLevel::Private,
+            credential: Some(user_cred),
+            trust,
+            clock: Clock::Fixed(1000),
+        };
+        let (a, b) = ig_xio::pipe();
+        let sec2 = sec.clone();
+        let acceptor = std::thread::spawn(move || {
+            let mut rng = seeded(3);
+            let mut l = wrap_accept(b, &sec2, &mut rng).unwrap();
+            assert_eq!(l.recv().unwrap(), b"sealed payload");
+            l.send(b"ack").unwrap();
+        });
+        let mut c = wrap_connect(a, &sec, &mut rng).unwrap();
+        c.send(b"sealed payload").unwrap();
+        assert_eq!(c.recv().unwrap(), b"ack");
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn dcau_detects_identity_mismatch() {
+        // Connector expects alice but acceptor presents mallory.
+        let mut rng = seeded(4);
+        let (ca, alice) = ca_and_credential(&mut rng, "/O=CA", "/O=Grid/CN=alice");
+        let mut rng_m = seeded(5);
+        let (_ca2, mallory) = {
+            // mallory's cert signed by the SAME CA so the chain validates;
+            // only the identity check should fire.
+            let keys = ig_crypto::RsaKeyPair::generate(&mut rng_m, 512).unwrap();
+            let mut ca_mut = ca;
+            let cert = ca_mut
+                .issue(
+                    DistinguishedName::parse("/O=Grid/CN=mallory").unwrap(),
+                    &keys.public,
+                    ig_pki::cert::Validity::starting_at(0, u64::MAX / 4),
+                    vec![],
+                )
+                .unwrap();
+            (ca_mut, Credential::new(vec![cert], keys.private).unwrap())
+        };
+        let mut trust = TrustStore::new();
+        trust.add_root(_ca2.root_cert().clone());
+        let sec_client = DataSecurity {
+            dcau: DcauMode::Self_,
+            prot: ProtectionLevel::Clear,
+            credential: Some(alice),
+            trust: trust.clone(),
+            clock: Clock::Fixed(1000),
+        };
+        let sec_server = DataSecurity {
+            dcau: DcauMode::Self_,
+            prot: ProtectionLevel::Clear,
+            credential: Some(mallory),
+            trust,
+            clock: Clock::Fixed(1000),
+        };
+        let (a, b) = ig_xio::pipe();
+        let t = std::thread::spawn(move || {
+            let mut rng = seeded(6);
+            wrap_accept(b, &sec_server, &mut rng)
+        });
+        let mut rng2 = seeded(7);
+        let client_res = wrap_connect(a, &sec_client, &mut rng2);
+        // Client expects alice on the far end but gets mallory.
+        assert!(client_res.is_err());
+        let _ = t.join().unwrap();
+    }
+
+    #[test]
+    fn dcau_without_credential_errors() {
+        let sec = DataSecurity { dcau: DcauMode::Self_, ..DataSecurity::open() };
+        let (a, _b) = ig_xio::pipe();
+        let mut rng = seeded(8);
+        assert!(wrap_connect(a, &sec, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! The Data Storage Interface.
+//!
+//! "Its modular architecture enables a standard GridFTP-compliant client
+//! access to any storage system that can implement its data storage
+//! interface" (§II-A). Backends implement [`Dsi`]; the DTP never touches
+//! storage directly.
+
+pub mod memory;
+pub mod posix;
+
+use crate::error::Result;
+use crate::users::UserContext;
+
+/// A directory entry for listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (not full path).
+    pub name: String,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Is this a directory?
+    pub is_dir: bool,
+}
+
+impl DirEntry {
+    /// MLSD fact line for this entry.
+    pub fn to_mlsd(&self) -> String {
+        format!(
+            "type={};size={}; {}",
+            if self.is_dir { "dir" } else { "file" },
+            self.size,
+            self.name
+        )
+    }
+}
+
+/// The storage backend interface. All paths are user-relative or
+/// absolute; implementations must route every access through
+/// [`UserContext::resolve`] so confinement is uniform.
+pub trait Dsi: Send + Sync {
+    /// Read up to `len` bytes at `offset`. Short reads only at EOF.
+    fn read(&self, user: &UserContext, path: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Write `data` at `offset`, extending (zero-filling) as needed.
+    fn write(&self, user: &UserContext, path: &str, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// File size.
+    fn size(&self, user: &UserContext, path: &str) -> Result<u64>;
+
+    /// Truncate/create a file to exactly `len` bytes.
+    fn truncate(&self, user: &UserContext, path: &str, len: u64) -> Result<()>;
+
+    /// Delete a file.
+    fn delete(&self, user: &UserContext, path: &str) -> Result<()>;
+
+    /// List a directory.
+    fn list(&self, user: &UserContext, path: &str) -> Result<Vec<DirEntry>>;
+
+    /// Create a directory (parents created as needed).
+    fn mkdir(&self, user: &UserContext, path: &str) -> Result<()>;
+
+    /// Remove an empty directory.
+    fn rmdir(&self, user: &UserContext, path: &str) -> Result<()>;
+
+    /// Does the path exist (as file or directory)?
+    fn exists(&self, user: &UserContext, path: &str) -> bool;
+}
+
+/// Read a whole file through a DSI in `chunk`-sized reads.
+pub fn read_all(dsi: &dyn Dsi, user: &UserContext, path: &str, chunk: usize) -> Result<Vec<u8>> {
+    let size = dsi.size(user, path)?;
+    let mut out = Vec::with_capacity(size as usize);
+    let mut offset = 0u64;
+    while offset < size {
+        let want = chunk.min((size - offset) as usize);
+        let part = dsi.read(user, path, offset, want)?;
+        if part.is_empty() {
+            break;
+        }
+        offset += part.len() as u64;
+        out.extend_from_slice(&part);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlsd_format() {
+        let f = DirEntry { name: "data.bin".into(), size: 1024, is_dir: false };
+        assert_eq!(f.to_mlsd(), "type=file;size=1024; data.bin");
+        let d = DirEntry { name: "sub".into(), size: 0, is_dir: true };
+        assert_eq!(d.to_mlsd(), "type=dir;size=0; sub");
+    }
+}

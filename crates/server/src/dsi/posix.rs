@@ -1,0 +1,215 @@
+//! POSIX DSI backend: virtual paths rooted at a real directory.
+//!
+//! "POSIX-compliant file systems" are the paper's primary storage target
+//! (§II-A). The virtual path space (`/home/<user>/...`) maps onto
+//! `<base>/home/<user>/...` on disk; [`UserContext::resolve`] has already
+//! normalized away any `..`, so the mapping cannot escape the base.
+
+use super::{DirEntry, Dsi};
+use crate::error::{Result, ServerError};
+use crate::users::UserContext;
+use std::fs::{self, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A DSI over a real directory tree.
+pub struct PosixDsi {
+    base: PathBuf,
+}
+
+impl PosixDsi {
+    /// Root the virtual filesystem at `base` (created if missing).
+    pub fn new<P: AsRef<Path>>(base: P) -> Result<Self> {
+        fs::create_dir_all(&base)?;
+        Ok(PosixDsi { base: base.as_ref().to_path_buf() })
+    }
+
+    fn real(&self, user: &UserContext, path: &str) -> Result<PathBuf> {
+        let virt = user.resolve(path)?; // normalized absolute path, no `..`
+        debug_assert!(!virt.contains("/../"));
+        Ok(self.base.join(virt.trim_start_matches('/')))
+    }
+}
+
+impl Dsi for PosixDsi {
+    fn read(&self, user: &UserContext, path: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let p = self.real(user, path)?;
+        let mut f = fs::File::open(&p)
+            .map_err(|e| ServerError::Storage(format!("open {}: {e}", p.display())))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        let mut read = 0usize;
+        while read < len {
+            let n = f.read(&mut buf[read..])?;
+            if n == 0 {
+                break;
+            }
+            read += n;
+        }
+        buf.truncate(read);
+        Ok(buf)
+    }
+
+    fn write(&self, user: &UserContext, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let p = self.real(user, path)?;
+        if let Some(parent) = p.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&p)
+            .map_err(|e| ServerError::Storage(format!("open {}: {e}", p.display())))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn size(&self, user: &UserContext, path: &str) -> Result<u64> {
+        let p = self.real(user, path)?;
+        let meta = fs::metadata(&p)
+            .map_err(|e| ServerError::Storage(format!("stat {}: {e}", p.display())))?;
+        Ok(meta.len())
+    }
+
+    fn truncate(&self, user: &UserContext, path: &str, len: u64) -> Result<()> {
+        let p = self.real(user, path)?;
+        if let Some(parent) = p.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let f = OpenOptions::new().create(true).write(true).truncate(false).open(&p)?;
+        f.set_len(len)?;
+        Ok(())
+    }
+
+    fn delete(&self, user: &UserContext, path: &str) -> Result<()> {
+        let p = self.real(user, path)?;
+        fs::remove_file(&p).map_err(|e| ServerError::Storage(format!("rm {}: {e}", p.display())))
+    }
+
+    fn list(&self, user: &UserContext, path: &str) -> Result<Vec<DirEntry>> {
+        let p = self.real(user, path)?;
+        let mut out = Vec::new();
+        for entry in
+            fs::read_dir(&p).map_err(|e| ServerError::Storage(format!("ls {}: {e}", p.display())))?
+        {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            out.push(DirEntry {
+                name: entry.file_name().to_string_lossy().into_owned(),
+                size: if meta.is_dir() { 0 } else { meta.len() },
+                is_dir: meta.is_dir(),
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    fn mkdir(&self, user: &UserContext, path: &str) -> Result<()> {
+        let p = self.real(user, path)?;
+        fs::create_dir_all(&p)?;
+        Ok(())
+    }
+
+    fn rmdir(&self, user: &UserContext, path: &str) -> Result<()> {
+        let p = self.real(user, path)?;
+        fs::remove_dir(&p)
+            .map_err(|e| ServerError::Storage(format!("rmdir {}: {e}", p.display())))
+    }
+
+    fn exists(&self, user: &UserContext, path: &str) -> bool {
+        match self.real(user, path) {
+            Ok(p) => p.exists(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> (PosixDsi, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "ig-posix-dsi-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (PosixDsi::new(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (dsi, dir) = tmp();
+        let u = UserContext::superuser();
+        dsi.write(&u, "/data/f.bin", 0, b"posix bytes").unwrap();
+        assert_eq!(dsi.read(&u, "/data/f.bin", 0, 64).unwrap(), b"posix bytes");
+        assert_eq!(dsi.read(&u, "/data/f.bin", 6, 5).unwrap(), b"bytes");
+        assert_eq!(dsi.size(&u, "/data/f.bin").unwrap(), 11);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sparse_offset_writes() {
+        let (dsi, dir) = tmp();
+        let u = UserContext::superuser();
+        dsi.write(&u, "/f", 4, b"5678").unwrap();
+        dsi.write(&u, "/f", 0, b"1234").unwrap();
+        assert_eq!(dsi.read(&u, "/f", 0, 8).unwrap(), b"12345678");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn listing_and_dirs() {
+        let (dsi, dir) = tmp();
+        let u = UserContext::superuser();
+        dsi.write(&u, "/d/a.txt", 0, b"a").unwrap();
+        dsi.mkdir(&u, "/d/sub").unwrap();
+        let names: Vec<String> =
+            dsi.list(&u, "/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a.txt", "sub"]);
+        assert!(dsi.exists(&u, "/d/sub"));
+        dsi.rmdir(&u, "/d/sub").unwrap();
+        assert!(!dsi.exists(&u, "/d/sub"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn delete_and_errors() {
+        let (dsi, dir) = tmp();
+        let u = UserContext::superuser();
+        assert!(dsi.read(&u, "/missing", 0, 1).is_err());
+        dsi.write(&u, "/gone.txt", 0, b"x").unwrap();
+        dsi.delete(&u, "/gone.txt").unwrap();
+        assert!(dsi.delete(&u, "/gone.txt").is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn user_confinement_on_disk() {
+        let (dsi, dir) = tmp();
+        let root = UserContext::superuser();
+        dsi.write(&root, "/home/bob/secret", 0, b"s").unwrap();
+        let alice = UserContext::user("alice");
+        assert!(dsi.read(&alice, "/home/bob/secret", 0, 1).is_err());
+        assert!(dsi.write(&alice, "../bob/x", 0, b"no").is_err());
+        dsi.write(&alice, "ok.txt", 0, b"fine").unwrap();
+        assert!(dir.join("home/alice/ok.txt").exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let (dsi, dir) = tmp();
+        let u = UserContext::superuser();
+        dsi.write(&u, "/t", 0, b"abcdef").unwrap();
+        dsi.truncate(&u, "/t", 3).unwrap();
+        assert_eq!(dsi.size(&u, "/t").unwrap(), 3);
+        dsi.truncate(&u, "/t", 10).unwrap();
+        assert_eq!(dsi.size(&u, "/t").unwrap(), 10);
+        assert_eq!(dsi.read(&u, "/t", 0, 10).unwrap(), b"abc\0\0\0\0\0\0\0");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,451 @@
+//! The Data Transfer Process: MODE E senders and receivers.
+//!
+//! The sender fans blocks out round-robin over N parallel streams from a
+//! bounded queue (so a slow stream backpressures the reader); the
+//! receiver runs one thread per accepted connection, all writing through
+//! the DSI at block offsets — order never matters. This is the §II-B DTP,
+//! separated from the protocol interpreter exactly as in Fig 2.
+
+use crate::dsi::Dsi;
+use crate::error::{Result, ServerError};
+use crate::users::UserContext;
+use ig_protocol::mode_e::{self, Block};
+use ig_protocol::ByteRanges;
+use ig_xio::Link;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared live progress of a transfer (polled for markers).
+#[derive(Default)]
+pub struct Progress {
+    /// Payload bytes moved so far.
+    pub bytes: AtomicU64,
+    /// Completed byte ranges (receiver side).
+    pub ranges: Mutex<ByteRanges>,
+}
+
+impl Progress {
+    /// Fresh shared progress.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of completed ranges.
+    pub fn ranges_snapshot(&self) -> ByteRanges {
+        self.ranges.lock().clone()
+    }
+}
+
+/// Send `ranges` of `path` over `streams` as MODE E blocks.
+///
+/// Returns the payload bytes sent. Stream workers send data blocks; the
+/// first stream additionally announces the EOD count (one per stream),
+/// and every stream ends with EOD — the GridFTP close protocol.
+pub fn send_ranges(
+    streams: Vec<Box<dyn Link>>,
+    dsi: &Arc<dyn Dsi>,
+    user: &UserContext,
+    path: &str,
+    ranges: &[(u64, u64)],
+    block_size: usize,
+    progress: &Arc<Progress>,
+) -> Result<u64> {
+    assert!(!streams.is_empty(), "need at least one stream");
+    let n = streams.len();
+    // One bounded queue per stream: strict round-robin. A shared queue
+    // lets one fast worker drain everything (guaranteed on a single-core
+    // host), collapsing all traffic onto one connection.
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = crossbeam::channel::bounded::<Block>(4);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    // Stream workers.
+    let mut workers = Vec::with_capacity(n);
+    for (i, mut stream) in streams.into_iter().enumerate() {
+        let rx = rxs.remove(0);
+        let progress = Arc::clone(progress);
+        workers.push(std::thread::spawn(move || -> Result<()> {
+            // First stream announces how many EODs to expect.
+            if i == 0 {
+                stream
+                    .send(&Block::eof_count(n as u64).encode())
+                    .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
+            }
+            while let Ok(block) = rx.recv() {
+                let len = block.payload.len() as u64;
+                stream
+                    .send(&block.encode())
+                    .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
+                progress.bytes.fetch_add(len, Ordering::Relaxed);
+            }
+            stream
+                .send(&Block::eod().encode())
+                .map_err(|e| ServerError::Data(format!("send EOD: {e}")))?;
+            let _ = stream.close();
+            Ok(())
+        }));
+    }
+    // Reader: stream file ranges into the queues in block-sized pieces,
+    // strictly round-robin over streams.
+    let mut total = 0u64;
+    let read_chunk = block_size.max(64 * 1024);
+    let mut feed_err: Option<ServerError> = None;
+    let mut next_stream = 0usize;
+    'outer: for &(start, end) in ranges {
+        let mut offset = start;
+        while offset < end {
+            let want = read_chunk.min((end - offset) as usize);
+            let data = match dsi.read(user, path, offset, want) {
+                Ok(d) => d,
+                Err(e) => {
+                    feed_err = Some(e);
+                    break 'outer;
+                }
+            };
+            if data.is_empty() {
+                break; // EOF inside the range
+            }
+            let got = data.len() as u64;
+            for block in mode_e::fragment(offset, &data, block_size) {
+                if txs[next_stream].send(block).is_err() {
+                    feed_err = Some(ServerError::Data("stream workers died".into()));
+                    break 'outer;
+                }
+                next_stream = (next_stream + 1) % n;
+            }
+            offset += got;
+            total += got;
+        }
+    }
+    drop(txs); // signals workers to send EODs
+    for w in workers {
+        match w.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(ServerError::Data("stream worker panicked".into())),
+        }
+    }
+    if let Some(e) = feed_err {
+        return Err(e);
+    }
+    Ok(total)
+}
+
+/// Send an in-memory buffer as MODE E blocks over `streams`
+/// (directory listings, client-side uploads of in-memory data).
+pub fn send_buffer(
+    streams: Vec<Box<dyn Link>>,
+    data: &[u8],
+    block_size: usize,
+    progress: &Arc<Progress>,
+) -> Result<u64> {
+    send_buffer_at(streams, 0, data, block_size, progress)
+}
+
+/// Like [`send_buffer`] but places the buffer at file offset `base`
+/// (resumed uploads send only the missing tail/holes).
+pub fn send_buffer_at(
+    mut streams: Vec<Box<dyn Link>>,
+    base: u64,
+    data: &[u8],
+    block_size: usize,
+    progress: &Arc<Progress>,
+) -> Result<u64> {
+    let n = streams.len();
+    assert!(n > 0, "need at least one stream");
+    streams[0]
+        .send(&Block::eof_count(n as u64).encode())
+        .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
+    let blocks = mode_e::fragment(base, data, block_size);
+    for (i, block) in blocks.iter().enumerate() {
+        let len = block.payload.len() as u64;
+        streams[i % n]
+            .send(&block.encode())
+            .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
+        progress.bytes.fetch_add(len, Ordering::Relaxed);
+    }
+    for stream in streams.iter_mut() {
+        stream
+            .send(&Block::eod().encode())
+            .map_err(|e| ServerError::Data(format!("send EOD: {e}")))?;
+        let _ = stream.close();
+    }
+    Ok(data.len() as u64)
+}
+
+/// Shared receiver state across connection threads.
+struct RecvShared {
+    dsi: Arc<dyn Dsi>,
+    user: UserContext,
+    path: String,
+    progress: Arc<Progress>,
+    eods: AtomicU64,
+    eof_expected: AtomicU64, // 0 = unknown yet
+    error: Mutex<Option<String>>,
+}
+
+/// Receiver for one transfer: feed it connections as they arrive.
+pub struct Receiver {
+    shared: Arc<RecvShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Receiver {
+    /// Start receiving into `path` (created/extended as blocks land).
+    pub fn new(
+        dsi: Arc<dyn Dsi>,
+        user: UserContext,
+        path: &str,
+        progress: Arc<Progress>,
+    ) -> Self {
+        // Ensure the destination exists even for zero-byte transfers.
+        if !dsi.exists(&user, path) {
+            let _ = dsi.truncate(&user, path, 0);
+        }
+        Receiver {
+            shared: Arc::new(RecvShared {
+                dsi,
+                user,
+                path: path.to_string(),
+                progress,
+                eods: AtomicU64::new(0),
+                eof_expected: AtomicU64::new(0),
+                error: Mutex::new(None),
+            }),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Handle one data connection on a background thread.
+    pub fn add_stream(&self, mut link: Box<dyn Link>) {
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::spawn(move || {
+            loop {
+                let msg = match link.recv() {
+                    Ok(m) => m,
+                    Err(e) => {
+                        // EOF without EOD = abnormal close.
+                        let mut err = shared.error.lock();
+                        if err.is_none() {
+                            *err = Some(format!("data connection dropped: {e}"));
+                        }
+                        return;
+                    }
+                };
+                let block = match Block::decode(&msg) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        let mut err = shared.error.lock();
+                        if err.is_none() {
+                            *err = Some(format!("bad block: {e}"));
+                        }
+                        return;
+                    }
+                };
+                if block.is_eof_count() {
+                    shared.eof_expected.store(block.offset, Ordering::SeqCst);
+                    continue;
+                }
+                if !block.payload.is_empty() && !block.is_restart() {
+                    let end = block.offset + block.payload.len() as u64;
+                    if let Err(e) =
+                        shared.dsi.write(&shared.user, &shared.path, block.offset, &block.payload)
+                    {
+                        let mut err = shared.error.lock();
+                        if err.is_none() {
+                            *err = Some(format!("storage write: {e}"));
+                        }
+                        return;
+                    }
+                    shared.progress.bytes.fetch_add(block.payload.len() as u64, Ordering::Relaxed);
+                    shared.progress.ranges.lock().add(block.offset, end);
+                }
+                if block.is_eod() {
+                    shared.eods.fetch_add(1, Ordering::SeqCst);
+                    let _ = link.close();
+                    return;
+                }
+            }
+        });
+        self.threads.lock().push(handle);
+    }
+
+    /// All announced connections closed cleanly?
+    pub fn done(&self) -> bool {
+        let expected = self.shared.eof_expected.load(Ordering::SeqCst);
+        expected > 0 && self.shared.eods.load(Ordering::SeqCst) >= expected
+    }
+
+    /// Any stream-level error so far.
+    pub fn error(&self) -> Option<String> {
+        self.shared.error.lock().clone()
+    }
+
+    /// Wait for completion (all threads joined). Returns bytes received.
+    pub fn finish(self) -> Result<u64> {
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+        if let Some(e) = self.shared.error.lock().clone() {
+            return Err(ServerError::Data(e));
+        }
+        if !self.done() {
+            return Err(ServerError::Data("transfer ended before all EODs arrived".into()));
+        }
+        Ok(self.shared.progress.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsi::memory::MemDsi;
+    use ig_xio::pipe;
+
+    fn setup(data: &[u8]) -> (Arc<dyn Dsi>, UserContext) {
+        let dsi = MemDsi::new();
+        dsi.put("/src.bin", data);
+        (Arc::new(dsi) as Arc<dyn Dsi>, UserContext::superuser())
+    }
+
+    /// Wire a sender and receiver together over N in-process pipes.
+    fn transfer(data: &[u8], streams: usize, block: usize) -> Vec<u8> {
+        let (dsi, user) = setup(data);
+        let dst_dsi: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let progress_rx = Progress::new();
+        let receiver = Receiver::new(Arc::clone(&dst_dsi), user.clone(), "/dst.bin", Arc::clone(&progress_rx));
+        let mut sender_links: Vec<Box<dyn Link>> = Vec::new();
+        for _ in 0..streams {
+            let (a, b) = pipe();
+            sender_links.push(Box::new(a));
+            receiver.add_stream(Box::new(b));
+        }
+        let progress_tx = Progress::new();
+        let len = data.len() as u64;
+        let sent = send_ranges(
+            sender_links,
+            &dsi,
+            &user,
+            "/src.bin",
+            &[(0, len)],
+            block,
+            &progress_tx,
+        )
+        .unwrap();
+        assert_eq!(sent, len);
+        assert_eq!(progress_tx.bytes(), len);
+        let received = receiver.finish().unwrap();
+        assert_eq!(received, len);
+        crate::dsi::read_all(dst_dsi.as_ref(), &user, "/dst.bin", 1 << 16).unwrap()
+    }
+
+    #[test]
+    fn single_stream_transfer() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(transfer(&data, 1, 1024), data);
+    }
+
+    #[test]
+    fn parallel_streams_transfer() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 7 % 253) as u8).collect();
+        for streams in [2usize, 4, 8] {
+            assert_eq!(transfer(&data, streams, 4096), data, "streams={streams}");
+        }
+    }
+
+    #[test]
+    fn tiny_file_many_streams() {
+        // Fewer blocks than streams: some streams carry only EOD.
+        let data = b"tiny".to_vec();
+        assert_eq!(transfer(&data, 8, 1024), data);
+    }
+
+    #[test]
+    fn empty_file() {
+        let data = Vec::new();
+        assert_eq!(transfer(&data, 4, 1024), data);
+    }
+
+    #[test]
+    fn partial_range_send() {
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let (dsi, user) = setup(&data);
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let progress = Progress::new();
+        let receiver = Receiver::new(Arc::clone(&dst), user.clone(), "/out", Arc::clone(&progress));
+        let (a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        let sent = send_ranges(
+            vec![Box::new(a)],
+            &dsi,
+            &user,
+            "/src.bin",
+            &[(100, 200), (300, 400)],
+            64,
+            &Progress::new(),
+        )
+        .unwrap();
+        assert_eq!(sent, 200);
+        receiver.finish().unwrap();
+        // Ranges landed at their original offsets.
+        let ranges = progress.ranges_snapshot();
+        assert_eq!(ranges.ranges(), &[(100, 200), (300, 400)]);
+        assert_eq!(dst.read(&user, "/out", 100, 100).unwrap(), &data[100..200]);
+    }
+
+    #[test]
+    fn receiver_reports_dropped_connection() {
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let user = UserContext::superuser();
+        let receiver = Receiver::new(dst, user, "/out", Progress::new());
+        let (a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        // Send one data block then drop without EOD.
+        let mut a: Box<dyn Link> = Box::new(a);
+        a.send(&Block::eof_count(1).encode()).unwrap();
+        a.send(&Block::data(0, vec![1, 2, 3]).encode()).unwrap();
+        drop(a);
+        let err = receiver.finish().unwrap_err();
+        assert!(err.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn receiver_rejects_garbage_blocks() {
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
+        let (mut a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        a.send(b"definitely not a block").unwrap();
+        let err = receiver.finish().unwrap_err();
+        assert!(err.to_string().contains("bad block"));
+    }
+
+    #[test]
+    fn missing_source_file_errors() {
+        let dsi: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let user = UserContext::superuser();
+        let (a, b) = pipe();
+        drop(b);
+        let err = send_ranges(
+            vec![Box::new(a)],
+            &dsi,
+            &user,
+            "/missing",
+            &[(0, 100)],
+            64,
+            &Progress::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no such file") || err.to_string().contains("data"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault injection: kill a transfer after N payload bytes.
+//!
+//! Experiment E9 reproduces Fig 6's recovery story: "If any failure
+//! occurs during the transfer, Globus Online will use the short-term
+//! certificate to reauthenticate with the endpoints on the user's behalf
+//! and restart the transfer from the last checkpoint." The injector
+//! models a mid-transfer server/network crash: it fires once, the
+//! transfer's data connections die, and the *retry* sails through.
+
+use ig_xio::Link;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A one-shot byte-budget fault.
+pub struct FaultInjector {
+    remaining: AtomicI64,
+    armed: AtomicBool,
+    fired: AtomicBool,
+}
+
+impl FaultInjector {
+    /// Fail the first send that pushes the cumulative payload past
+    /// `after_bytes`.
+    pub fn after_bytes(after_bytes: u64) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            remaining: AtomicI64::new(after_bytes as i64),
+            armed: AtomicBool::new(true),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    /// Account `n` bytes; `true` means "fail now".
+    pub fn should_fail(&self, n: usize) -> bool {
+        if !self.armed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let left = self.remaining.fetch_sub(n as i64, Ordering::SeqCst);
+        if left - (n as i64) < 0 {
+            // Only the first crosser fires; everyone else proceeds.
+            if self.armed.swap(false, Ordering::SeqCst) {
+                self.fired.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Has the fault fired yet?
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+}
+
+/// A link wrapper that consults a [`FaultInjector`] on every send.
+pub struct FaultLink<L: Link> {
+    inner: L,
+    injector: Arc<FaultInjector>,
+}
+
+impl<L: Link> FaultLink<L> {
+    /// Wrap `inner`.
+    pub fn new(inner: L, injector: Arc<FaultInjector>) -> Self {
+        FaultLink { inner, injector }
+    }
+}
+
+impl<L: Link> Link for FaultLink<L> {
+    fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.injector.should_fail(data.len()) {
+            // Simulate the crash: drop the connection underneath us too.
+            let _ = self.inner.close();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: connection lost",
+            ));
+        }
+        self.inner.send(data)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.recv()
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ig_xio::pipe;
+
+    #[test]
+    fn fires_once_at_budget() {
+        let inj = FaultInjector::after_bytes(100);
+        let (a, mut b) = pipe();
+        let mut f = FaultLink::new(a, Arc::clone(&inj));
+        f.send(&[0u8; 60]).unwrap();
+        assert!(!inj.fired());
+        let err = f.send(&[0u8; 60]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(inj.fired());
+        // Peer sees the close.
+        assert_eq!(b.recv().unwrap(), vec![0u8; 60]);
+        assert!(b.recv().is_err());
+    }
+
+    #[test]
+    fn subsequent_traffic_passes() {
+        let inj = FaultInjector::after_bytes(10);
+        // First link takes the hit...
+        let (a, _b) = pipe();
+        let mut f1 = FaultLink::new(a, Arc::clone(&inj));
+        assert!(f1.send(&[0u8; 20]).is_err());
+        // ...retry on a fresh link succeeds.
+        let (a2, mut b2) = pipe();
+        let mut f2 = FaultLink::new(a2, Arc::clone(&inj));
+        f2.send(&[0u8; 1000]).unwrap();
+        assert_eq!(b2.recv().unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn zero_budget_fails_immediately() {
+        let inj = FaultInjector::after_bytes(0);
+        let (a, _b) = pipe();
+        let mut f = FaultLink::new(a, inj);
+        assert!(f.send(&[1]).is_err());
+    }
+
+    #[test]
+    fn only_one_stream_fires_under_contention() {
+        let inj = FaultInjector::after_bytes(1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut fails = 0;
+                for _ in 0..100 {
+                    if inj.should_fail(64) {
+                        fails += 1;
+                    }
+                }
+                fails
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1, "exactly one send should fail");
+    }
+}

@@ -1,0 +1,185 @@
+//! Server front door: TCP accept loop + in-process session entry.
+
+use crate::config::ServerConfig;
+use crate::error::Result;
+use crate::session::run_session;
+use ig_protocol::HostPort;
+use ig_xio::{Link, TcpLink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running GridFTP server.
+pub struct GridFtpServer {
+    config: Arc<ServerConfig>,
+    addr: HostPort,
+    stop: Arc<AtomicBool>,
+    seed: AtomicU64,
+}
+
+impl GridFtpServer {
+    /// Bind the control channel on `config.data_ip:0` and start serving.
+    ///
+    /// `seed` makes all session randomness deterministic (each session
+    /// derives `seed + n`).
+    pub fn start(config: ServerConfig, seed: u64) -> Result<Arc<Self>> {
+        let listener = TcpListener::bind((config.data_ip, 0))?;
+        let addr = HostPort::from_socket_addr(listener.local_addr()?)?;
+        let server = Arc::new(GridFtpServer {
+            config: Arc::new(config),
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            seed: AtomicU64::new(seed),
+        });
+        let server2 = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if server2.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let cfg = Arc::clone(&server2.config);
+                        let session_seed = server2.seed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::spawn(move || {
+                            let rng = StdRng::seed_from_u64(session_seed);
+                            let link: Box<dyn Link> = Box::new(TcpLink::new(s));
+                            let _ = run_session(link, cfg, rng);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(server)
+    }
+
+    /// Control-channel address clients connect to.
+    pub fn addr(&self) -> HostPort {
+        self.addr
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Stop accepting new sessions (existing sessions run to completion).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(self.addr.to_socket_addr());
+    }
+}
+
+impl Drop for GridFtpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run a single session over an arbitrary [`Link`] (in-process pipes) —
+/// used by tests and the simulator without touching real sockets.
+pub fn serve_link<R: Rng + Send + 'static>(
+    link: Box<dyn Link>,
+    config: Arc<ServerConfig>,
+    rng: R,
+) -> std::thread::JoinHandle<Result<()>> {
+    std::thread::spawn(move || run_session(link, config, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::GcmuAuthz;
+    use crate::dsi::memory::MemDsi;
+    use ig_gsi::context::test_support::ca_and_credential;
+    use ig_pki::time::Clock;
+    use ig_pki::TrustStore;
+    use ig_protocol::Reply;
+
+    fn test_config() -> ServerConfig {
+        let mut rng = ig_crypto::rng::seeded(500);
+        let (ca, cred) = ca_and_credential(&mut rng, "/O=Host CA", "/CN=ep.example.org");
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.root_cert().clone());
+        ServerConfig::new(
+            "ep.example.org",
+            cred,
+            trust,
+            Arc::new(GcmuAuthz::new("ep.example.org")),
+            Arc::new(MemDsi::new()),
+        )
+        .with_clock(Clock::Fixed(1000))
+    }
+
+    fn roundtrip(link: &mut Box<dyn Link>, cmd: &str) -> Reply {
+        link.send(cmd.as_bytes()).unwrap();
+        Reply::parse(&String::from_utf8(link.recv().unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn banner_feat_noop_quit_over_pipe() {
+        let (a, b) = ig_xio::pipe();
+        let mut client: Box<dyn Link> = Box::new(a);
+        let handle = serve_link(Box::new(b), Arc::new(test_config()), ig_crypto::rng::seeded(1));
+        let banner = Reply::parse(&String::from_utf8(client.recv().unwrap()).unwrap()).unwrap();
+        assert_eq!(banner.code, 220);
+        let feat = roundtrip(&mut client, "FEAT");
+        assert_eq!(feat.code, 211);
+        assert!(feat.lines.iter().any(|l| l.contains("DCSC")));
+        let noop = roundtrip(&mut client, "NOOP");
+        assert_eq!(noop.code, 200);
+        // Unauthenticated data command refused.
+        let retr = roundtrip(&mut client, "RETR /x");
+        assert_eq!(retr.code, 530);
+        // Garbage command gets 500, not a hangup.
+        let bad = roundtrip(&mut client, "TYPE Q");
+        assert_eq!(bad.code, 500);
+        let bye = roundtrip(&mut client, "QUIT");
+        assert_eq!(bye.code, 221);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn legacy_server_rejects_dcsc_in_feat() {
+        let (a, b) = ig_xio::pipe();
+        let mut client: Box<dyn Link> = Box::new(a);
+        let cfg = test_config().legacy();
+        let handle = serve_link(Box::new(b), Arc::new(cfg), ig_crypto::rng::seeded(2));
+        let _banner = client.recv().unwrap();
+        let feat = roundtrip(&mut client, "FEAT");
+        assert!(!feat.lines.iter().any(|l| l.contains("DCSC")));
+        let bye = roundtrip(&mut client, "QUIT");
+        assert_eq!(bye.code, 221);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_server_starts_and_stops() {
+        let server = GridFtpServer::start(test_config(), 42).unwrap();
+        let addr = server.addr();
+        let mut link = TcpLink::connect(addr.to_socket_addr()).unwrap();
+        let banner = Reply::parse(&String::from_utf8(link.recv().unwrap()).unwrap()).unwrap();
+        assert_eq!(banner.code, 220);
+        link.send(b"QUIT").unwrap();
+        let bye = Reply::parse(&String::from_utf8(link.recv().unwrap()).unwrap()).unwrap();
+        assert_eq!(bye.code, 221);
+        server.shutdown();
+    }
+
+    #[test]
+    fn adat_without_auth_rejected() {
+        let (a, b) = ig_xio::pipe();
+        let mut client: Box<dyn Link> = Box::new(a);
+        let handle = serve_link(Box::new(b), Arc::new(test_config()), ig_crypto::rng::seeded(3));
+        let _ = client.recv().unwrap();
+        let r = roundtrip(&mut client, "ADAT aGVsbG8=");
+        assert_eq!(r.code, 503);
+        let r = roundtrip(&mut client, "AUTH KERBEROS");
+        assert_eq!(r.code, 504);
+        roundtrip(&mut client, "QUIT");
+        handle.join().unwrap().unwrap();
+    }
+}

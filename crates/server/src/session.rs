@@ -1,0 +1,970 @@
+//! The server protocol interpreter (PI): one control-channel session.
+//!
+//! Message mapping: every inbound [`Link`] message is one command line;
+//! every outbound message is one complete (possibly multiline) reply.
+//! After `AUTH GSSAPI`/`ADAT` completes, commands arrive inside
+//! `ENC`/`MIC` envelopes and replies leave the same way (§IIC: control
+//! channel protected by default).
+
+use crate::config::ServerConfig;
+use crate::data::{maybe_throttle, wrap_accept, wrap_connect, DataListener, DataSecurity};
+use crate::dtp::{send_ranges, Progress, Receiver};
+use crate::error::{Result, ServerError};
+use crate::usage::TransferRecord;
+use crate::users::UserContext;
+use ig_crypto::encode::{base64_decode, base64_encode};
+use ig_gsi::context::{GsiConfig, SecureContext};
+use ig_gsi::delegation::{self, PendingDelegation};
+use ig_gsi::handshake::{Acceptor, Step};
+use ig_gsi::ProtectionLevel;
+use ig_pki::validate::ValidatedIdentity;
+use ig_pki::Credential;
+use ig_protocol::command::{Command, DcauMode, ModeCode, ProtectedKind};
+use ig_protocol::markers::{PerfMarker, RestartMarker};
+use ig_protocol::secure_line;
+use ig_protocol::{dcsc, ByteRanges, HostPort, Reply};
+use ig_xio::Link;
+use rand::Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stall timeout for data-channel activity.
+const DATA_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Marker emission period during transfers.
+const MARKER_PERIOD: Duration = Duration::from_millis(50);
+
+enum LoopControl {
+    Continue,
+    Quit,
+}
+
+/// Per-session state.
+pub struct Session<R: Rng> {
+    config: Arc<ServerConfig>,
+    rng: R,
+    ctx: Option<SecureContext>,
+    acceptor: Option<Acceptor>,
+    identity: Option<ValidatedIdentity>,
+    user: Option<UserContext>,
+    delegated: Option<Credential>,
+    pending_deleg: Option<PendingDelegation>,
+    dcsc: Option<Credential>,
+    mode: ModeCode,
+    parallelism: usize,
+    prot: ProtectionLevel,
+    dcau: DcauMode,
+    restart: Option<ByteRanges>,
+    listeners: Vec<DataListener>,
+    port_targets: Vec<HostPort>,
+    cwd: String,
+}
+
+fn send_reply(
+    ctx: &mut Option<SecureContext>,
+    link: &mut Box<dyn Link>,
+    wrap: bool,
+    reply: &Reply,
+) -> Result<()> {
+    let wire = if wrap {
+        let ctx = ctx.as_mut().expect("wrap only after auth");
+        secure_line::protect_reply(ctx, ProtectedKind::Enc, reply).to_wire()
+    } else {
+        reply.to_wire()
+    };
+    link.send(wire.as_bytes())
+        .map_err(|e| ServerError::Data(format!("control send: {e}")))
+}
+
+/// Run one session to completion over `link`.
+pub fn run_session<R: Rng>(
+    mut link: Box<dyn Link>,
+    config: Arc<ServerConfig>,
+    rng: R,
+) -> Result<()> {
+    let banner = Reply::service_ready(&config.banner);
+    let mut session = Session {
+        config,
+        rng,
+        ctx: None,
+        acceptor: None,
+        identity: None,
+        user: None,
+        delegated: None,
+        pending_deleg: None,
+        dcsc: None,
+        mode: ModeCode::Stream,
+        parallelism: 1,
+        prot: ProtectionLevel::Clear,
+        dcau: DcauMode::Self_,
+        restart: None,
+        listeners: Vec::new(),
+        port_targets: Vec::new(),
+        cwd: "/".to_string(),
+    };
+    send_reply(&mut session.ctx, &mut link, false, &banner)?;
+    loop {
+        let msg = match link.recv() {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // client went away
+        };
+        let line = match String::from_utf8(msg) {
+            Ok(l) => l,
+            Err(_) => {
+                send_reply(
+                    &mut session.ctx,
+                    &mut link,
+                    false,
+                    &Reply::syntax_error("Command not UTF-8."),
+                )?;
+                continue;
+            }
+        };
+        let parsed = Command::parse(&line);
+        let cmd = match parsed {
+            Ok(c) => c,
+            Err(e) => {
+                send_reply(
+                    &mut session.ctx,
+                    &mut link,
+                    false,
+                    &Reply::syntax_error(&format!("Syntax error: {e}")),
+                )?;
+                continue;
+            }
+        };
+        // Unwrap RFC 2228 envelopes.
+        let (cmd, wrapped) = match &cmd {
+            Command::Protected { .. } => {
+                if session.ctx.is_none() {
+                    send_reply(
+                        &mut session.ctx,
+                        &mut link,
+                        false,
+                        &Reply::new(503, "Protected commands require completed AUTH."),
+                    )?;
+                    continue;
+                }
+                let ctx = session.ctx.as_mut().expect("checked above");
+                match secure_line::unprotect_command(ctx, &cmd) {
+                    Ok(inner) => (inner, true),
+                    Err(e) => {
+                        send_reply(
+                            &mut session.ctx,
+                            &mut link,
+                            false,
+                            &Reply::new(535, format!("Protection error: {e}")),
+                        )?;
+                        continue;
+                    }
+                }
+            }
+            _ => (cmd, false),
+        };
+        match session.handle(&mut link, cmd, wrapped) {
+            Ok(LoopControl::Continue) => {}
+            Ok(LoopControl::Quit) => return Ok(()),
+            Err(e) => {
+                // Session-fatal error: try to notify, then drop.
+                let _ = send_reply(
+                    &mut session.ctx,
+                    &mut link,
+                    false,
+                    &Reply::new(421, format!("Service error: {e}")),
+                );
+                return Err(e);
+            }
+        }
+    }
+}
+
+impl<R: Rng> Session<R> {
+    fn reply(&mut self, link: &mut Box<dyn Link>, wrap: bool, reply: Reply) -> Result<()> {
+        send_reply(&mut self.ctx, link, wrap, &reply)
+    }
+
+    fn authed(&self) -> bool {
+        self.user.is_some()
+    }
+
+    fn resolve_path(&self, path: &str) -> String {
+        if path.starts_with('/') {
+            path.to_string()
+        } else if self.cwd == "/" {
+            format!("/{path}")
+        } else {
+            format!("{}/{path}", self.cwd)
+        }
+    }
+
+    /// Assemble the data-channel security posture. §V: a DCSC context
+    /// replaces both the presented credential and (via its self-signed
+    /// chain certs) the accepted trust anchors; `DCSC D` has cleared
+    /// `self.dcsc`, falling back to the login (delegated) credential.
+    fn data_security(&self) -> DataSecurity {
+        let (credential, trust) = match &self.dcsc {
+            Some(cred) => (
+                Some(cred.clone()),
+                self.config.trust.with_extra_roots(cred.chain().iter()),
+            ),
+            None => (self.delegated.clone(), self.config.trust.clone()),
+        };
+        DataSecurity {
+            dcau: self.dcau.clone(),
+            prot: self.prot,
+            credential,
+            trust,
+            clock: self.config.clock,
+        }
+    }
+
+    fn handle(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        cmd: Command,
+        wrap: bool,
+    ) -> Result<LoopControl> {
+        // Commands allowed before authentication.
+        match &cmd {
+            Command::Quit => {
+                self.reply(link, wrap, Reply::goodbye())?;
+                return Ok(LoopControl::Quit);
+            }
+            Command::Noop => {
+                self.reply(link, wrap, Reply::ok("NOOP ok."))?;
+                return Ok(LoopControl::Continue);
+            }
+            Command::Feat => {
+                let mut lines = vec!["Features:".to_string()];
+                for f in [
+                    "AUTH GSSAPI",
+                    "MODE E",
+                    "PARALLEL",
+                    "SPAS",
+                    "SPOR",
+                    "ERET",
+                    "ESTO",
+                    "SIZE",
+                    "MLST type*;size*;",
+                    "REST STREAM",
+                    "CKSM SHA256",
+                    "PBSZ",
+                    "PROT",
+                    "DCAU",
+                ] {
+                    lines.push(format!(" {f}"));
+                }
+                if self.config.dcsc_enabled {
+                    lines.push(" DCSC P,D".to_string());
+                }
+                lines.push("End".to_string());
+                self.reply(link, wrap, Reply::multiline(211, lines))?;
+                return Ok(LoopControl::Continue);
+            }
+            Command::Auth(mech) => {
+                if mech.to_ascii_uppercase() != "GSSAPI" {
+                    self.reply(link, wrap, Reply::new(504, "Only GSSAPI is supported."))?;
+                    return Ok(LoopControl::Continue);
+                }
+                let cfg = GsiConfig {
+                    credential: Some(self.config.credential.clone()),
+                    trust: self.config.trust.clone(),
+                    require_peer_auth: true,
+                    clock: self.config.clock,
+                    insecure_skip_peer_validation: false,
+                };
+                match Acceptor::new(cfg) {
+                    Ok(a) => {
+                        self.acceptor = Some(a);
+                        self.reply(link, wrap, Reply::new(334, "Using authentication type GSSAPI; ADAT must follow."))?;
+                    }
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::new(431, format!("Security init failed: {e}")))?;
+                    }
+                }
+                return Ok(LoopControl::Continue);
+            }
+            Command::Adat(b64) => {
+                return self.handle_adat(link, wrap, b64.clone());
+            }
+            _ => {}
+        }
+        if !self.authed() {
+            self.reply(
+                link,
+                wrap,
+                Reply::not_logged_in("Please authenticate with AUTH GSSAPI first."),
+            )?;
+            return Ok(LoopControl::Continue);
+        }
+        // Authenticated command set.
+        match cmd {
+            Command::User(_) | Command::Pass(_) => {
+                self.reply(link, wrap, Reply::new(230, "Already authenticated via GSI."))?;
+            }
+            Command::Type(_t) => {
+                self.reply(link, wrap, Reply::ok("Type set."))?;
+            }
+            Command::Mode(m) => {
+                self.mode = m;
+                self.reply(link, wrap, Reply::ok("Mode set."))?;
+            }
+            Command::Pbsz(_) => {
+                self.reply(link, wrap, Reply::ok("PBSZ=0."))?;
+            }
+            Command::Prot(level) => {
+                match ProtectionLevel::from_code(level) {
+                    Some(p) => {
+                        self.prot = p;
+                        self.reply(link, wrap, Reply::ok("Protection level set."))?;
+                    }
+                    None => {
+                        self.reply(link, wrap, Reply::new(536, "Unsupported protection level."))?;
+                    }
+                }
+            }
+            Command::Dcau(mode) => {
+                self.dcau = mode;
+                self.reply(link, wrap, Reply::ok("DCAU set."))?;
+            }
+            Command::Dcsc { context_type, blob } => {
+                if !self.config.dcsc_enabled {
+                    // The legacy-server behaviour of §IV-B.
+                    self.reply(link, wrap, Reply::syntax_error("DCSC not understood."))?;
+                    return Ok(LoopControl::Continue);
+                }
+                match dcsc::interpret(context_type, blob.as_deref()) {
+                    Ok(dcsc::DcscAction::Install(cred)) => {
+                        self.dcsc = Some(*cred);
+                        self.reply(link, wrap, Reply::ok("Data channel security context installed."))?;
+                    }
+                    Ok(dcsc::DcscAction::RevertToDefault) => {
+                        self.dcsc = None;
+                        self.reply(link, wrap, Reply::ok("Data channel security context reverted."))?;
+                    }
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::syntax_error(&format!("Bad DCSC: {e}")))?;
+                    }
+                }
+            }
+            Command::Opts { .. } => {
+                if let Some(p) = cmd.parallelism() {
+                    self.parallelism = (p as usize).max(1);
+                    self.reply(link, wrap, Reply::ok("Parallelism set."))?;
+                } else {
+                    self.reply(link, wrap, Reply::ok("Option ignored."))?;
+                }
+            }
+            Command::Pasv => {
+                self.listeners.clear();
+                self.port_targets.clear();
+                let l = DataListener::bind(self.config.data_ip)?;
+                let addr = l.addr();
+                self.listeners.push(l);
+                self.reply(
+                    link,
+                    wrap,
+                    Reply::new(227, format!("Entering Passive Mode ({addr})")),
+                )?;
+            }
+            Command::Spas => {
+                if self.config.stripes < 2 {
+                    self.reply(link, wrap, Reply::syntax_error("Server is not striped."))?;
+                    return Ok(LoopControl::Continue);
+                }
+                self.listeners.clear();
+                self.port_targets.clear();
+                let mut lines = vec!["Entering Striped Passive Mode".to_string()];
+                for _ in 0..self.config.stripes {
+                    let l = DataListener::bind(self.config.data_ip)?;
+                    lines.push(format!(" {}", l.addr()));
+                    self.listeners.push(l);
+                }
+                self.reply(link, wrap, Reply::multiline(229, lines))?;
+            }
+            Command::Port(hp) => {
+                self.listeners.clear();
+                self.port_targets = vec![hp];
+                self.reply(link, wrap, Reply::ok("PORT ok."))?;
+            }
+            Command::Spor(list) => {
+                self.listeners.clear();
+                self.port_targets = list;
+                self.reply(link, wrap, Reply::ok("SPOR ok."))?;
+            }
+            Command::Rest(marker) => {
+                match ByteRanges::parse_marker(&marker) {
+                    Ok(r) => {
+                        self.restart = Some(r);
+                        self.reply(link, wrap, Reply::new(350, "Restart marker accepted."))?;
+                    }
+                    Err(_) => match marker.parse::<u64>() {
+                        Ok(offset) => {
+                            let mut r = ByteRanges::new();
+                            r.add(0, offset);
+                            self.restart = Some(r);
+                            self.reply(link, wrap, Reply::new(350, "Restart offset accepted."))?;
+                        }
+                        Err(_) => {
+                            self.reply(link, wrap, Reply::syntax_error("Bad REST marker."))?;
+                        }
+                    },
+                }
+            }
+            Command::Size(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                match self.config.dsi.size(&user, &p) {
+                    Ok(s) => self.reply(link, wrap, Reply::new(213, s.to_string()))?,
+                    Err(e) => self.reply(link, wrap, Reply::action_failed(&e.to_string()))?,
+                }
+            }
+            Command::Mdtm(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                if self.config.dsi.exists(&user, &p) {
+                    self.reply(link, wrap, Reply::new(213, self.config.clock.now().to_string()))?;
+                } else {
+                    self.reply(link, wrap, Reply::action_failed("No such file."))?;
+                }
+            }
+            Command::Dele(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                match self.config.dsi.delete(&user, &p) {
+                    Ok(()) => self.reply(link, wrap, Reply::new(250, "File deleted."))?,
+                    Err(e) => self.reply(link, wrap, Reply::action_failed(&e.to_string()))?,
+                }
+            }
+            Command::Mkd(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                match self.config.dsi.mkdir(&user, &p) {
+                    Ok(()) => self.reply(link, wrap, Reply::new(257, format!("\"{p}\" created.")))?,
+                    Err(e) => self.reply(link, wrap, Reply::action_failed(&e.to_string()))?,
+                }
+            }
+            Command::Rmd(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                match self.config.dsi.rmdir(&user, &p) {
+                    Ok(()) => self.reply(link, wrap, Reply::new(250, "Directory removed."))?,
+                    Err(e) => self.reply(link, wrap, Reply::action_failed(&e.to_string()))?,
+                }
+            }
+            Command::Cwd(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                if self.config.dsi.list(&user, &p).is_ok() {
+                    self.cwd = p;
+                    self.reply(link, wrap, Reply::new(250, "Directory changed."))?;
+                } else {
+                    self.reply(link, wrap, Reply::action_failed("No such directory."))?;
+                }
+            }
+            Command::Cdup => {
+                let parent = match self.cwd.rfind('/') {
+                    Some(0) | None => "/".to_string(),
+                    Some(i) => self.cwd[..i].to_string(),
+                };
+                self.cwd = parent;
+                self.reply(link, wrap, Reply::new(250, "Directory changed."))?;
+            }
+            Command::Pwd => {
+                let cwd = self.cwd.clone();
+                self.reply(link, wrap, Reply::new(257, format!("\"{cwd}\" is the current directory.")))?;
+            }
+            Command::Mlst(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(path.as_deref().unwrap_or("."));
+                match self.config.dsi.size(&user, &p) {
+                    Ok(s) => {
+                        self.reply(
+                            link,
+                            wrap,
+                            Reply::multiline(
+                                250,
+                                vec![
+                                    "Listing:".into(),
+                                    format!(" type=file;size={s}; {p}"),
+                                    "End".into(),
+                                ],
+                            ),
+                        )?;
+                    }
+                    Err(_) => {
+                        if self.config.dsi.list(&user, &p).is_ok() {
+                            self.reply(
+                                link,
+                                wrap,
+                                Reply::multiline(
+                                    250,
+                                    vec![
+                                        "Listing:".into(),
+                                        format!(" type=dir;size=0; {p}"),
+                                        "End".into(),
+                                    ],
+                                ),
+                            )?;
+                        } else {
+                            self.reply(link, wrap, Reply::action_failed("No such path."))?;
+                        }
+                    }
+                }
+            }
+            Command::List(path) | Command::Nlst(path) | Command::Mlsd(path) => {
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(path.as_deref().unwrap_or("."));
+                let entries = match self.config.dsi.list(&user, &p) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::action_failed(&e.to_string()))?;
+                        return Ok(LoopControl::Continue);
+                    }
+                };
+                let text: String =
+                    entries.iter().map(|e| format!("{}\r\n", e.to_mlsd())).collect();
+                self.run_send_transfer(link, wrap, TransferSource::Buffer(text.into_bytes()))?;
+            }
+            Command::Retr(path) => {
+                let p = self.resolve_path(&path);
+                self.run_send_transfer(link, wrap, TransferSource::File(p))?;
+            }
+            Command::Eret { module, args } => {
+                // `ERET P <offset>,<length> <path>` — partial file
+                // retrieval (the classic GridFTP ERET module).
+                if module.to_ascii_uppercase() != "P" {
+                    self.reply(link, wrap, Reply::new(504, "Only the P (partial) ERET module is supported."))?;
+                    return Ok(LoopControl::Continue);
+                }
+                let Some((range, path)) = args.split_once(' ') else {
+                    self.reply(link, wrap, Reply::syntax_error("ERET P needs <offset>,<length> <path>."))?;
+                    return Ok(LoopControl::Continue);
+                };
+                let parsed = range.split_once(',').and_then(|(o, l)| {
+                    Some((o.trim().parse::<u64>().ok()?, l.trim().parse::<u64>().ok()?))
+                });
+                let Some((offset, length)) = parsed else {
+                    self.reply(link, wrap, Reply::syntax_error("Bad ERET P range."))?;
+                    return Ok(LoopControl::Continue);
+                };
+                let p = self.resolve_path(path.trim());
+                self.run_send_transfer(link, wrap, TransferSource::Partial { path: p, offset, length })?;
+            }
+            Command::Stor(path) | Command::Esto { args: path, .. } => {
+                let p = path.split_whitespace().last().unwrap_or(&path).to_string();
+                let p = self.resolve_path(&p);
+                self.run_receive_transfer(link, wrap, &p)?;
+            }
+            Command::Allo(_) => {
+                self.reply(link, wrap, Reply::ok("ALLO noted."))?;
+            }
+            Command::Cksm { algorithm, offset, length, path } => {
+                if algorithm != "SHA256" {
+                    self.reply(link, wrap, Reply::new(504, "Only SHA256 checksums supported."))?;
+                    return Ok(LoopControl::Continue);
+                }
+                let user = self.user.clone().expect("authed");
+                let p = self.resolve_path(&path);
+                match checksum(self.config.dsi.as_ref(), &user, &p, offset, length) {
+                    Ok(hex) => self.reply(link, wrap, Reply::new(213, hex))?,
+                    Err(e) => self.reply(link, wrap, Reply::action_failed(&e.to_string()))?,
+                }
+            }
+            Command::Abor => {
+                self.reply(link, wrap, Reply::new(226, "No transfer in progress."))?;
+            }
+            Command::Site(arg) => {
+                self.handle_site(link, wrap, &arg)?;
+            }
+            Command::Unknown { verb, .. } => {
+                self.reply(link, wrap, Reply::syntax_error(&format!("Unknown command {verb}.")))?;
+            }
+            // Already handled above.
+            Command::Quit
+            | Command::Noop
+            | Command::Feat
+            | Command::Auth(_)
+            | Command::Adat(_)
+            | Command::Protected { .. } => unreachable!("handled in pre-auth dispatch"),
+        }
+        Ok(LoopControl::Continue)
+    }
+
+    fn handle_adat(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        b64: String,
+    ) -> Result<LoopControl> {
+        let Some(acceptor) = self.acceptor.as_mut() else {
+            self.reply(link, wrap, Reply::new(503, "ADAT before AUTH."))?;
+            return Ok(LoopControl::Continue);
+        };
+        let token = match base64_decode(&b64) {
+            Ok(t) => t,
+            Err(e) => {
+                self.acceptor = None;
+                self.reply(link, wrap, Reply::new(535, format!("Bad ADAT base64: {e}")))?;
+                return Ok(LoopControl::Continue);
+            }
+        };
+        match acceptor.step(&token, &mut self.rng) {
+            Ok(Step::Send(t)) => {
+                self.reply(link, wrap, Reply::adat_continue(&base64_encode(&t)))?;
+            }
+            Ok(Step::Done(est)) => {
+                self.acceptor = None;
+                let peer = match est.peer.clone() {
+                    Some(p) => p,
+                    None => {
+                        self.reply(link, wrap, Reply::new(535, "Anonymous clients not allowed."))?;
+                        return Ok(LoopControl::Continue);
+                    }
+                };
+                // Authorization callout (Fig 3 step 5).
+                match self.config.authz.authorize(&peer) {
+                    Ok(local) => {
+                        self.ctx = Some(SecureContext::from_established(est));
+                        self.user = Some(UserContext::user(&local));
+                        self.cwd = format!("/home/{local}");
+                        self.identity = Some(peer);
+                        self.reply(link, wrap, Reply::adat_done(None))?;
+                    }
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::new(535, format!("Authorization failed: {e}")))?;
+                    }
+                }
+            }
+            Ok(Step::SendAndDone(..)) => {
+                self.acceptor = None;
+                self.reply(link, wrap, Reply::new(535, "Unexpected handshake state."))?;
+            }
+            Err(e) => {
+                self.acceptor = None;
+                self.reply(link, wrap, Reply::new(535, format!("Authentication failed: {e}")))?;
+            }
+        }
+        Ok(LoopControl::Continue)
+    }
+
+    fn handle_site(&mut self, link: &mut Box<dyn Link>, wrap: bool, arg: &str) -> Result<()> {
+        let mut parts = arg.split_whitespace();
+        match (
+            parts.next().map(str::to_ascii_uppercase).as_deref(),
+            parts.next().map(str::to_ascii_uppercase).as_deref(),
+        ) {
+            (Some("DELEG"), Some("REQ")) => {
+                // Server generates a key + CSR (GSI delegation, §IIC).
+                let (req, pending) = delegation::offer(&mut self.rng, self.config.key_bits)
+                    .map_err(ServerError::Gsi)?;
+                self.pending_deleg = Some(pending);
+                self.reply(link, wrap, Reply::new(250, format!("DELEG={}", base64_encode(&req))))
+            }
+            (Some("DELEG"), Some("PUT")) => {
+                let b64 = parts.next().unwrap_or("");
+                let Some(pending) = self.pending_deleg.take() else {
+                    return self.reply(link, wrap, Reply::new(503, "No delegation in progress."));
+                };
+                let grant = match base64_decode(b64) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        return self
+                            .reply(link, wrap, Reply::syntax_error(&format!("Bad base64: {e}")))
+                    }
+                };
+                match delegation::complete(pending, &grant) {
+                    Ok(cred) => {
+                        self.delegated = Some(cred);
+                        self.reply(link, wrap, Reply::new(250, "Delegation complete."))
+                    }
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::new(535, format!("Delegation failed: {e}")))
+                    }
+                }
+            }
+            _ => self.reply(link, wrap, Reply::ok("SITE command ignored.")),
+        }
+    }
+
+    /// Build the data streams for an outgoing (sending) transfer.
+    fn open_send_streams(&mut self, sec: &DataSecurity) -> Result<Vec<Box<dyn Link>>> {
+        let mut streams: Vec<Box<dyn Link>> = Vec::new();
+        if !self.port_targets.is_empty() {
+            // Active: connect out (we are the sender, the canonical case).
+            for target in self.port_targets.clone() {
+                for _ in 0..self.parallelism {
+                    let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
+                        .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
+                    let throttled =
+                        maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    streams.push(wrap_connect(throttled, sec, &mut self.rng)?);
+                }
+            }
+        } else if !self.listeners.is_empty() {
+            // Passive sender (two-party GET): accept `parallelism`
+            // connections per listener.
+            for l in &self.listeners {
+                for _ in 0..self.parallelism {
+                    let tcp = l.accept(DATA_STALL_TIMEOUT)?;
+                    let throttled =
+                        maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    streams.push(wrap_accept(throttled, sec, &mut self.rng)?);
+                }
+            }
+        } else {
+            return Err(ServerError::Data("no data channel established (use PASV/PORT)".into()));
+        }
+        Ok(streams)
+    }
+
+    fn run_send_transfer(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        source: TransferSource,
+    ) -> Result<()> {
+        let user = self.user.clone().expect("authed");
+        let sec = self.data_security();
+        // Determine ranges before opening data channels.
+        let (ranges, total_len) = match &source {
+            TransferSource::File(path) => {
+                let size = match self.config.dsi.size(&user, path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::action_failed(&e.to_string()))?;
+                        return Ok(());
+                    }
+                };
+                let ranges = match self.restart.take() {
+                    // REST semantics for RETR: send only what the ranges say
+                    // is still missing (stream offset N = resend [N, size)).
+                    Some(have) => have.missing(size),
+                    None => vec![(0, size)],
+                };
+                (ranges, size)
+            }
+            TransferSource::Partial { path, offset, length } => {
+                let size = match self.config.dsi.size(&user, path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::action_failed(&e.to_string()))?;
+                        return Ok(());
+                    }
+                };
+                let start = (*offset).min(size);
+                let end = start.saturating_add(*length).min(size);
+                (vec![(start, end)], end - start)
+            }
+            TransferSource::Buffer(buf) => (vec![(0, buf.len() as u64)], buf.len() as u64),
+        };
+        let streams = match self.open_send_streams(&sec) {
+            Ok(s) => match &self.config.fault {
+                Some(inj) => s
+                    .into_iter()
+                    .map(|l| {
+                        Box::new(crate::fault::FaultLink::new(l, std::sync::Arc::clone(inj)))
+                            as Box<dyn Link>
+                    })
+                    .collect(),
+                None => s,
+            },
+            Err(e) => {
+                self.reply(link, wrap, Reply::new(425, format!("Cannot open data channel: {e}")))?;
+                return Ok(());
+            }
+        };
+        let stream_count = streams.len() as u32;
+        self.reply(link, wrap, Reply::opening_data())?;
+        let progress = Progress::new();
+        let progress2 = Arc::clone(&progress);
+        let dsi = Arc::clone(&self.config.dsi);
+        let user2 = user.clone();
+        let block_size = self.config.block_size;
+        let worker = std::thread::spawn(move || -> Result<u64> {
+            match source {
+                TransferSource::File(path)
+                | TransferSource::Partial { path, .. } => {
+                    send_ranges(streams, &dsi, &user2, &path, &ranges, block_size, &progress2)
+                }
+                TransferSource::Buffer(buf) => {
+                    crate::dtp::send_buffer(streams, &buf, block_size, &progress2)
+                }
+            }
+        });
+        // Poll progress, emitting 112 perf markers.
+        let start = Instant::now();
+        let mut last_bytes = 0u64;
+        let mut last_progress = Instant::now();
+        while !worker.is_finished() {
+            std::thread::sleep(MARKER_PERIOD);
+            let bytes = progress.bytes();
+            if bytes != last_bytes {
+                last_bytes = bytes;
+                last_progress = Instant::now();
+                let marker = PerfMarker {
+                    timestamp: start.elapsed().as_secs_f64(),
+                    stripe_index: 0,
+                    total_stripes: self.config.stripes as u32,
+                    stripe_bytes: bytes,
+                };
+                self.reply(link, wrap, marker.to_reply())?;
+            } else if last_progress.elapsed() > DATA_STALL_TIMEOUT {
+                break;
+            }
+        }
+        let outcome = worker
+            .join()
+            .map_err(|_| ServerError::Data("sender worker panicked".into()))?;
+        self.port_targets.clear();
+        self.listeners.clear();
+        match outcome {
+            Ok(bytes) => {
+                self.config.usage.record(TransferRecord {
+                    timestamp: self.config.clock.now(),
+                    bytes,
+                    user: user.username.clone(),
+                    inbound: false,
+                    streams: stream_count,
+                });
+                let _ = total_len;
+                self.reply(link, wrap, Reply::transfer_complete())
+            }
+            Err(e) => self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}"))),
+        }
+    }
+
+    fn run_receive_transfer(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        path: &str,
+    ) -> Result<()> {
+        let user = self.user.clone().expect("authed");
+        let sec = self.data_security();
+        let resuming = self.restart.take();
+        if resuming.is_none() {
+            // Fresh upload: start from scratch.
+            let _ = self.config.dsi.truncate(&user, path, 0);
+        }
+        self.reply(link, wrap, Reply::opening_data())?;
+        let progress = Progress::new();
+        if let Some(have) = &resuming {
+            // Seed progress with what already landed so markers are global.
+            let mut r = progress.ranges.lock();
+            for &(s, e) in have.ranges() {
+                r.add(s, e);
+            }
+        }
+        let receiver = Receiver::new(
+            Arc::clone(&self.config.dsi),
+            user.clone(),
+            path,
+            Arc::clone(&progress),
+        );
+        let start = Instant::now();
+        let mut connected = 0usize;
+        let mut last_marker = ByteRanges::new();
+        let mut last_progress = Instant::now();
+        // Accept + receive loop.
+        loop {
+            if receiver.done() || receiver.error().is_some() {
+                break;
+            }
+            if !self.port_targets.is_empty() && connected == 0 {
+                // Active receive: we connect out (unusual but legal).
+                for target in self.port_targets.clone() {
+                    for _ in 0..self.parallelism {
+                        let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
+                            .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
+                        let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                        receiver.add_stream(wrap_connect(throttled, &sec, &mut self.rng)?);
+                        connected += 1;
+                    }
+                }
+            }
+            for l in &self.listeners {
+                if let Some(tcp) = l.try_accept() {
+                    let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    match wrap_accept(throttled, &sec, &mut self.rng) {
+                        Ok(s) => {
+                            receiver.add_stream(s);
+                            connected += 1;
+                            last_progress = Instant::now();
+                        }
+                        Err(e) => {
+                            // Failed DCAU on one connection fails the transfer.
+                            self.listeners.clear();
+                            self.port_targets.clear();
+                            self.reply(
+                                link,
+                                wrap,
+                                Reply::new(425, format!("Data channel authentication failed: {e}")),
+                            )?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            // Emit 111 restart markers as new ranges land.
+            let snapshot = progress.ranges_snapshot();
+            if snapshot != last_marker {
+                last_marker = snapshot.clone();
+                last_progress = Instant::now();
+                self.reply(link, wrap, RestartMarker { ranges: snapshot }.to_reply())?;
+            } else if last_progress.elapsed() > DATA_STALL_TIMEOUT {
+                break;
+            }
+            let _ = start;
+        }
+        self.listeners.clear();
+        self.port_targets.clear();
+        match receiver.finish() {
+            Ok(bytes) => {
+                self.config.usage.record(TransferRecord {
+                    timestamp: self.config.clock.now(),
+                    bytes,
+                    user: user.username.clone(),
+                    inbound: true,
+                    streams: connected as u32,
+                });
+                self.reply(link, wrap, Reply::transfer_complete())
+            }
+            Err(e) => self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}"))),
+        }
+    }
+}
+
+enum TransferSource {
+    File(String),
+    Partial { path: String, offset: u64, length: u64 },
+    Buffer(Vec<u8>),
+}
+
+/// SHA-256 over a byte range of a DSI file, streamed in 256 KiB reads.
+fn checksum(
+    dsi: &dyn crate::dsi::Dsi,
+    user: &UserContext,
+    path: &str,
+    offset: u64,
+    length: Option<u64>,
+) -> Result<String> {
+    let size = dsi.size(user, path)?;
+    let start = offset.min(size);
+    let end = match length {
+        Some(l) => (start + l).min(size),
+        None => size,
+    };
+    let mut hasher = ig_crypto::Sha256::new();
+    let mut pos = start;
+    while pos < end {
+        let want = (256 * 1024).min((end - pos) as usize);
+        let chunk = dsi.read(user, path, pos, want)?;
+        if chunk.is_empty() {
+            break;
+        }
+        pos += chunk.len() as u64;
+        hasher.update(&chunk);
+    }
+    Ok(ig_crypto::encode::hex_encode(&hasher.finalize()))
+}

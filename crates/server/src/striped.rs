@@ -1,0 +1,89 @@
+//! Striped-transfer planning.
+//!
+//! Fig 2's striped deployment puts "one server PI on the head node of a
+//! cluster and a DTP on all other nodes". In this implementation the
+//! stripes live in one process (threads with per-stripe throttles — see
+//! [`crate::config::ServerConfig::with_stripes`]), but the *data-layout*
+//! planning is identical to the real striped server: the file is carved
+//! into per-stripe block ranges by round-robin over block index.
+
+/// The block ranges stripe `stripe` of `stripes` handles for a file of
+/// `size` bytes in `block_size` blocks: every block whose index is
+/// congruent to `stripe` (mod `stripes`).
+pub fn stripe_ranges(
+    size: u64,
+    block_size: u64,
+    stripe: usize,
+    stripes: usize,
+) -> Vec<(u64, u64)> {
+    assert!(stripes > 0 && stripe < stripes, "stripe index out of range");
+    assert!(block_size > 0, "block size must be positive");
+    let mut out = Vec::new();
+    let mut block = stripe as u64;
+    loop {
+        let start = block * block_size;
+        if start >= size {
+            break;
+        }
+        let end = (start + block_size).min(size);
+        out.push((start, end));
+        block += stripes as u64;
+    }
+    out
+}
+
+/// Total bytes across a stripe plan (sanity metric).
+pub fn plan_bytes(ranges: &[(u64, u64)]) -> u64 {
+    ranges.iter().map(|(s, e)| e - s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stripe_gets_everything() {
+        let r = stripe_ranges(1000, 100, 0, 1);
+        assert_eq!(plan_bytes(&r), 1000);
+        assert_eq!(r.first(), Some(&(0, 100)));
+        assert_eq!(r.last(), Some(&(900, 1000)));
+    }
+
+    #[test]
+    fn stripes_partition_exactly() {
+        let size = 10_000u64;
+        let block = 256u64;
+        for stripes in [2usize, 3, 4, 8] {
+            let mut covered = ig_protocol::ByteRanges::new();
+            let mut total = 0;
+            for s in 0..stripes {
+                let plan = stripe_ranges(size, block, s, stripes);
+                total += plan_bytes(&plan);
+                for (a, b) in plan {
+                    covered.add(a, b);
+                }
+            }
+            assert_eq!(total, size, "stripes={stripes}");
+            assert!(covered.is_complete(size), "stripes={stripes}");
+        }
+    }
+
+    #[test]
+    fn uneven_tail_block() {
+        // 1050 bytes, 100-byte blocks, 4 stripes: stripe 2 gets block 2
+        // (200..300) and block 6 (600..700) and block 10 (1000..1050).
+        let r = stripe_ranges(1050, 100, 2, 4);
+        assert_eq!(r, vec![(200, 300), (600, 700), (1000, 1050)]);
+    }
+
+    #[test]
+    fn empty_file() {
+        assert!(stripe_ranges(0, 100, 0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe index")]
+    fn bad_stripe_index() {
+        stripe_ranges(100, 10, 4, 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Usage reporting — the data source behind the paper's Fig 1.
+//!
+//! "The Globus GridFTP server is deployed on more than 5,000 servers
+//! worldwide and is responsible for an average of more than 10 million
+//! transfers totaling approximately half a petabyte of data every day
+//! (see Figure 1; these numbers are based on reporting from GridFTP
+//! servers that choose to enable reporting)." Every server/session
+//! records completed transfers here; experiment E1 aggregates a
+//! simulated fleet's reports into the Fig 1 time series.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One completed transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// UNIX seconds at completion.
+    pub timestamp: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Local account.
+    pub user: String,
+    /// `true` for STOR (inbound), `false` for RETR (outbound).
+    pub inbound: bool,
+    /// Number of parallel streams used.
+    pub streams: u32,
+}
+
+/// A sink for transfer records.
+#[derive(Default)]
+pub struct UsageReporter {
+    records: Mutex<Vec<TransferRecord>>,
+}
+
+/// One bucket of the aggregated series (a Fig 1 data point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageBucket {
+    /// Bucket start (UNIX seconds).
+    pub start: u64,
+    /// Transfers completed in the bucket.
+    pub transfers: u64,
+    /// Bytes moved in the bucket.
+    pub bytes: u64,
+}
+
+impl UsageReporter {
+    /// Shared reporter.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record a completed transfer.
+    pub fn record(&self, rec: TransferRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Total transfers recorded.
+    pub fn total_transfers(&self) -> u64 {
+        self.records.lock().len() as u64
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.lock().iter().map(|r| r.bytes).sum()
+    }
+
+    /// Aggregate into `bucket_secs`-wide buckets between the earliest and
+    /// latest record (inclusive); empty buckets are emitted so the series
+    /// plots cleanly.
+    pub fn aggregate(&self, bucket_secs: u64) -> Vec<UsageBucket> {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        let records = self.records.lock();
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let min = records.iter().map(|r| r.timestamp).min().expect("non-empty");
+        let max = records.iter().map(|r| r.timestamp).max().expect("non-empty");
+        let first = min / bucket_secs * bucket_secs;
+        let buckets = (max - first) / bucket_secs + 1;
+        let mut out: Vec<UsageBucket> = (0..buckets)
+            .map(|i| UsageBucket { start: first + i * bucket_secs, transfers: 0, bytes: 0 })
+            .collect();
+        for r in records.iter() {
+            let idx = ((r.timestamp - first) / bucket_secs) as usize;
+            out[idx].transfers += 1;
+            out[idx].bytes += r.bytes;
+        }
+        out
+    }
+
+    /// Snapshot of raw records (cloned).
+    pub fn records(&self) -> Vec<TransferRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Merge another reporter's records into this one (fleet roll-up).
+    pub fn absorb(&self, other: &UsageReporter) {
+        let other_records = other.records.lock().clone();
+        self.records.lock().extend(other_records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, bytes: u64) -> TransferRecord {
+        TransferRecord { timestamp: t, bytes, user: "u".into(), inbound: true, streams: 4 }
+    }
+
+    #[test]
+    fn totals() {
+        let r = UsageReporter::new();
+        assert_eq!(r.total_transfers(), 0);
+        r.record(rec(10, 100));
+        r.record(rec(20, 200));
+        assert_eq!(r.total_transfers(), 2);
+        assert_eq!(r.total_bytes(), 300);
+    }
+
+    #[test]
+    fn aggregation_with_gaps() {
+        let r = UsageReporter::new();
+        r.record(rec(5, 10));
+        r.record(rec(8, 10));
+        r.record(rec(25, 40)); // bucket 2 (20..30); bucket 1 empty
+        let buckets = r.aggregate(10);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], UsageBucket { start: 0, transfers: 2, bytes: 20 });
+        assert_eq!(buckets[1], UsageBucket { start: 10, transfers: 0, bytes: 0 });
+        assert_eq!(buckets[2], UsageBucket { start: 20, transfers: 1, bytes: 40 });
+    }
+
+    #[test]
+    fn empty_aggregate() {
+        let r = UsageReporter::new();
+        assert!(r.aggregate(60).is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_fleet() {
+        let hub = UsageReporter::new();
+        let a = UsageReporter::new();
+        let b = UsageReporter::new();
+        a.record(rec(1, 1));
+        b.record(rec(2, 2));
+        hub.absorb(&a);
+        hub.absorb(&b);
+        assert_eq!(hub.total_transfers(), 2);
+        assert_eq!(hub.total_bytes(), 3);
+    }
+}

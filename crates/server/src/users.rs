@@ -1,0 +1,111 @@
+//! Local user accounts and the session's user confinement.
+//!
+//! The real server "does a setuid to the local user id as determined by
+//! the authorization callout" (§IIC). We reproduce the observable effect:
+//! every DSI call carries a [`UserContext`] and the DSI enforces that the
+//! session only touches paths inside that user's home tree.
+
+use crate::error::{Result, ServerError};
+
+/// The local identity a session runs as after authorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserContext {
+    /// Local account name.
+    pub username: String,
+    /// Home directory (absolute, normalized, no trailing slash except root).
+    pub home: String,
+}
+
+impl UserContext {
+    /// A normal user confined to `/home/<username>`.
+    pub fn user(username: &str) -> Self {
+        UserContext { username: username.to_string(), home: format!("/home/{username}") }
+    }
+
+    /// An unconfined context (tests, single-user servers).
+    pub fn superuser() -> Self {
+        UserContext { username: "root".to_string(), home: "/".to_string() }
+    }
+
+    /// Normalize a path: resolve `.`/`..`, collapse slashes; relative
+    /// paths are resolved against the home directory.
+    ///
+    /// # Errors
+    /// Rejects paths whose `..` escape the filesystem root.
+    pub fn normalize(&self, path: &str) -> Result<String> {
+        let absolute = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("{}/{}", self.home.trim_end_matches('/'), path)
+        };
+        let mut stack: Vec<&str> = Vec::new();
+        for comp in absolute.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    if stack.pop().is_none() {
+                        return Err(ServerError::AccessDenied(format!(
+                            "path {path:?} escapes the root"
+                        )));
+                    }
+                }
+                c => stack.push(c),
+            }
+        }
+        Ok(format!("/{}", stack.join("/")))
+    }
+
+    /// Normalize and confine: the resulting path must be inside `home`.
+    pub fn resolve(&self, path: &str) -> Result<String> {
+        let normalized = self.normalize(path)?;
+        if self.home == "/" {
+            return Ok(normalized);
+        }
+        let home = self.home.trim_end_matches('/');
+        if normalized == home || normalized.starts_with(&format!("{home}/")) {
+            Ok(normalized)
+        } else {
+            Err(ServerError::AccessDenied(format!(
+                "user {} may not access {normalized} (home {})",
+                self.username, self.home
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_paths() {
+        let u = UserContext::user("alice");
+        assert_eq!(u.normalize("/a/b/c").unwrap(), "/a/b/c");
+        assert_eq!(u.normalize("/a//b/./c/").unwrap(), "/a/b/c");
+        assert_eq!(u.normalize("/a/b/../c").unwrap(), "/a/c");
+        assert_eq!(u.normalize("relative.txt").unwrap(), "/home/alice/relative.txt");
+        assert_eq!(u.normalize("/").unwrap(), "/");
+        assert!(u.normalize("/../etc").is_err());
+    }
+
+    #[test]
+    fn confinement() {
+        let u = UserContext::user("alice");
+        assert_eq!(u.resolve("/home/alice/data.txt").unwrap(), "/home/alice/data.txt");
+        assert_eq!(u.resolve("x/y.txt").unwrap(), "/home/alice/x/y.txt");
+        assert_eq!(u.resolve("/home/alice").unwrap(), "/home/alice");
+        // Escapes rejected.
+        assert!(u.resolve("/home/bob/secret").is_err());
+        assert!(u.resolve("/etc/passwd").is_err());
+        assert!(u.resolve("/home/alice/../bob/x").is_err());
+        // Prefix trickery rejected.
+        assert!(u.resolve("/home/alicefake/x").is_err());
+    }
+
+    #[test]
+    fn superuser_unconfined() {
+        let root = UserContext::superuser();
+        assert_eq!(root.resolve("/anything/at/all").unwrap(), "/anything/at/all");
+        assert_eq!(root.resolve("rel").unwrap(), "/rel");
+    }
+}

@@ -1,0 +1,27 @@
+//! # ig-xio — an XIO-style extensible I/O driver stack
+//!
+//! Globus GridFTP's "extensible I/O interface allows GridFTP to target
+//! high-performance wide-area communication protocols" (§II-A, citing the
+//! Globus XIO paper). This crate reproduces the architecture: a
+//! message-oriented [`link::Link`] trait plus stackable drivers —
+//!
+//! * [`link::pipe`] — an in-process transport pair carrying real bytes
+//!   (tests and the in-process simulator);
+//! * [`link::TcpLink`] — length-framed TCP (real data channels);
+//! * [`throttle::Throttle`] — token-bucket rate limiting (models per-NIC
+//!   limits in the striping experiment E5);
+//! * [`telemetry::Telemetry`] — byte/message counters and throughput
+//!   (the usage-reporting hooks behind Fig 1);
+//! * [`secure::SecureLink`] — a GSI security context as a driver, so a
+//!   data channel gains DCAU + `PROT` protection by pushing one more
+//!   driver onto the stack, exactly the XIO composition model.
+
+pub mod link;
+pub mod secure;
+pub mod telemetry;
+pub mod throttle;
+
+pub use link::{pipe, Link, PipeLink, TcpLink};
+pub use secure::{secure_accept, secure_connect, SecureLink};
+pub use telemetry::{Counters, Telemetry};
+pub use throttle::Throttle;

@@ -1,0 +1,243 @@
+//! The `Link` trait and its two base transports.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Maximum frame size accepted from the wire (16 MiB + sealing overhead).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024 + 64;
+
+/// A blocking, message-oriented, bidirectional transport.
+///
+/// GridFTP's MODE E data channel is block-structured, so a message
+/// abstraction (rather than a byte stream) is the natural driver
+/// interface; stream transports add 4-byte length framing underneath.
+pub trait Link: Send {
+    /// Send one message.
+    fn send(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Receive one message; `UnexpectedEof` when the peer closed.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+    /// Close the transport (idempotent).
+    fn close(&mut self) -> io::Result<()>;
+}
+
+impl<L: Link + ?Sized> Link for Box<L> {
+    fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        (**self).send(data)
+    }
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        (**self).recv()
+    }
+    fn close(&mut self) -> io::Result<()> {
+        (**self).close()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process pipe
+// ---------------------------------------------------------------------------
+
+/// One end of an in-process message pipe.
+pub struct PipeLink {
+    tx: Option<crossbeam::channel::Sender<Vec<u8>>>,
+    rx: crossbeam::channel::Receiver<Vec<u8>>,
+}
+
+/// Create a connected pair of pipe links. The channel is bounded so a
+/// fast sender experiences backpressure like a real socket buffer.
+pub fn pipe() -> (PipeLink, PipeLink) {
+    let (tx_a, rx_a) = crossbeam::channel::bounded(64);
+    let (tx_b, rx_b) = crossbeam::channel::bounded(64);
+    (
+        PipeLink { tx: Some(tx_a), rx: rx_b },
+        PipeLink { tx: Some(tx_b), rx: rx_a },
+    )
+}
+
+impl Link for PipeLink {
+    fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        match &self.tx {
+            Some(tx) => tx
+                .send(data.to_vec())
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe peer closed")),
+            None => Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed locally")),
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "pipe peer closed"))
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        self.tx = None;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP with length framing
+// ---------------------------------------------------------------------------
+
+/// A TCP stream carrying length-framed messages.
+pub struct TcpLink {
+    stream: TcpStream,
+    closed: bool,
+}
+
+impl TcpLink {
+    /// Wrap a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        // Nagle hurts small control messages badly; GridFTP disables it.
+        let _ = stream.set_nodelay(true);
+        TcpLink { stream, closed: false }
+    }
+
+    /// Connect to an address.
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+
+    /// The underlying stream (e.g. for peer-address logging).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Link for TcpLink {
+    fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.len() > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds maximum", data.len()),
+            ));
+        }
+        self.stream.write_all(&(data.len() as u32).to_be_bytes())?;
+        self.stream.write_all(data)?;
+        self.stream.flush()
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds maximum"),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        self.stream.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        if !self.closed {
+            self.closed = true;
+            // Ignore NotConnected: peer may have shut down first.
+            match self.stream.shutdown(Shutdown::Both) {
+                Err(e) if e.kind() != io::ErrorKind::NotConnected => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn pipe_roundtrip() {
+        let (mut a, mut b) = pipe();
+        a.send(b"hello").unwrap();
+        a.send(b"world").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert_eq!(b.recv().unwrap(), b"world");
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn pipe_close_gives_eof() {
+        let (mut a, mut b) = pipe();
+        a.send(b"last").unwrap();
+        a.close().unwrap();
+        assert_eq!(b.recv().unwrap(), b"last");
+        assert_eq!(b.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(a.send(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        // close is idempotent
+        a.close().unwrap();
+    }
+
+    #[test]
+    fn pipe_send_after_peer_drop_fails() {
+        let (mut a, b) = pipe();
+        drop(b);
+        assert!(a.send(b"x").is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut link = TcpLink::new(s);
+            let msg = link.recv().unwrap();
+            link.send(&msg).unwrap(); // echo
+            let empty = link.recv().unwrap();
+            assert!(empty.is_empty());
+            link.send(b"done").unwrap();
+        });
+        let mut link = TcpLink::connect(addr).unwrap();
+        link.send(b"echo me").unwrap();
+        assert_eq!(link.recv().unwrap(), b"echo me");
+        link.send(b"").unwrap();
+        assert_eq!(link.recv().unwrap(), b"done");
+        link.close().unwrap();
+        link.close().unwrap(); // idempotent
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_peer_close_gives_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            drop(s);
+        });
+        let mut link = TcpLink::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(link.recv().is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Claim a bogus gigantic frame.
+            s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        });
+        let mut link = TcpLink::connect(addr).unwrap();
+        t.join().unwrap();
+        assert_eq!(link.recv().unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert_eq!(link.send(&big).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn boxed_link_works() {
+        let (a, mut b) = pipe();
+        let mut boxed: Box<dyn Link> = Box::new(a);
+        boxed.send(b"via box").unwrap();
+        assert_eq!(b.recv().unwrap(), b"via box");
+        boxed.close().unwrap();
+    }
+}

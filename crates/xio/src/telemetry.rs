@@ -1,0 +1,162 @@
+//! Telemetry driver: counts bytes and messages through a link.
+//!
+//! This is the per-transfer accounting behind the usage reporting of
+//! Fig 1 ("based on reporting from GridFTP servers that choose to enable
+//! reporting") and the performance markers GridFTP emits mid-transfer.
+
+use crate::link::Link;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared counters; clone the `Arc` to watch a live transfer.
+#[derive(Debug)]
+pub struct Counters {
+    /// Bytes sent through the link.
+    pub bytes_sent: AtomicU64,
+    /// Bytes received through the link.
+    pub bytes_received: AtomicU64,
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Messages received.
+    pub msgs_received: AtomicU64,
+    start: Mutex<Instant>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            msgs_received: AtomicU64::new(0),
+            start: Mutex::new(Instant::now()),
+        }
+    }
+}
+
+impl Counters {
+    /// Fresh shared counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Reset counts and the clock.
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.msgs_sent.store(0, Ordering::Relaxed);
+        self.msgs_received.store(0, Ordering::Relaxed);
+        *self.start.lock() = Instant::now();
+    }
+
+    /// Seconds since creation/reset.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.lock().elapsed().as_secs_f64()
+    }
+
+    /// Mean send throughput since reset, bytes/second.
+    pub fn send_throughput(&self) -> f64 {
+        let e = self.elapsed_s();
+        if e > 0.0 {
+            self.bytes_sent.load(Ordering::Relaxed) as f64 / e
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A counting wrapper around any [`Link`].
+pub struct Telemetry<L: Link> {
+    inner: L,
+    counters: Arc<Counters>,
+}
+
+impl<L: Link> Telemetry<L> {
+    /// Wrap `inner`, reporting into `counters`.
+    pub fn new(inner: L, counters: Arc<Counters>) -> Self {
+        Telemetry { inner, counters }
+    }
+
+    /// The shared counters.
+    pub fn counters(&self) -> Arc<Counters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: Link> Link for Telemetry<L> {
+    fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        self.inner.send(data)?;
+        self.counters.bytes_sent.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let msg = self.inner.recv()?;
+        self.counters
+            .bytes_received
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.counters.msgs_received.fetch_add(1, Ordering::Relaxed);
+        Ok(msg)
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::pipe;
+
+    #[test]
+    fn counts_both_directions() {
+        let (a, b) = pipe();
+        let ca = Counters::new();
+        let cb = Counters::new();
+        let mut ta = Telemetry::new(a, Arc::clone(&ca));
+        let mut tb = Telemetry::new(b, Arc::clone(&cb));
+        ta.send(b"12345").unwrap();
+        ta.send(b"678").unwrap();
+        assert_eq!(tb.recv().unwrap(), b"12345");
+        assert_eq!(tb.recv().unwrap(), b"678");
+        tb.send(b"x").unwrap();
+        assert_eq!(ta.recv().unwrap(), b"x");
+        assert_eq!(ca.bytes_sent.load(Ordering::Relaxed), 8);
+        assert_eq!(ca.msgs_sent.load(Ordering::Relaxed), 2);
+        assert_eq!(ca.bytes_received.load(Ordering::Relaxed), 1);
+        assert_eq!(cb.bytes_received.load(Ordering::Relaxed), 8);
+        assert_eq!(cb.msgs_received.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn failed_send_not_counted() {
+        let (a, b) = pipe();
+        drop(b);
+        let c = Counters::new();
+        let mut t = Telemetry::new(a, Arc::clone(&c));
+        assert!(t.send(b"lost").is_err());
+        assert_eq!(c.bytes_sent.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn reset_and_throughput() {
+        let (a, mut b) = pipe();
+        let c = Counters::new();
+        let mut t = Telemetry::new(a, Arc::clone(&c));
+        t.send(&vec![0u8; 1000]).unwrap();
+        let _ = b.recv().unwrap();
+        assert!(c.send_throughput() > 0.0);
+        c.reset();
+        assert_eq!(c.bytes_sent.load(Ordering::Relaxed), 0);
+    }
+}

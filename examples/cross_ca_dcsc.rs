@@ -1,0 +1,99 @@
+//! Cross-CA third-party transfer with DCSC — Figures 4 and 5 live.
+//!
+//! ```text
+//! cargo run --release --example cross_ca_dcsc
+//! ```
+//!
+//! Two GCMU sites, each with its own online CA, neither trusting the
+//! other. A plain third-party transfer fails DCAU exactly as Fig 4
+//! predicts; sending `DCSC P <credential-A>` to site B repairs it (Fig 5).
+
+use instant_gridftp::client::{transfer, ClientSession, TransferOpts};
+use instant_gridftp::gcmu::InstallOptions;
+use instant_gridftp::server::UserContext;
+
+fn main() {
+    println!("== DCSC: third-party transfers across CA domains (Figs 4-5) ==\n");
+    let site_a = InstallOptions::new("site-a.example.org")
+        .account("alice", "pw-a")
+        .seed(100)
+        .install()
+        .expect("install A");
+    let site_b = InstallOptions::new("site-b.example.org")
+        .account("alice", "pw-b")
+        .seed(101)
+        .install()
+        .expect("install B");
+    println!("site A CA: {}", site_a.ca.root_cert().subject());
+    println!("site B CA: {}  (disjoint trust)\n", site_b.ca.root_cert().subject());
+
+    // Stage a source file at A.
+    let data: Vec<u8> = (0..500_000u32).map(|i| (i * 13 % 251) as u8).collect();
+    site_a
+        .dsi
+        .write(&UserContext::superuser(), "/home/alice/results.dat", 0, &data)
+        .expect("stage");
+
+    // Per-site short-lived credentials (the GCMU model).
+    let logon_a = site_a.logon("alice", "pw-a", 3600, 200).expect("logon A");
+    let logon_b = site_b.logon("alice", "pw-b", 3600, 201).expect("logon B");
+    println!("credential at A: {}", logon_a.credential.identity());
+    println!("credential at B: {}\n", logon_b.credential.identity());
+
+    let mut sa = ClientSession::connect(site_a.gridftp_addr(), site_a.client_config(&logon_a, 202))
+        .expect("connect A");
+    sa.login().expect("login A");
+    let mut sb = ClientSession::connect(site_b.gridftp_addr(), site_b.client_config(&logon_b, 203))
+        .expect("connect B");
+    sb.login().expect("login B");
+
+    // --- Fig 4: without DCSC the data channel cannot authenticate --------
+    println!("attempt 1: third-party A -> B with plain DCAU");
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/results.dat",
+        &mut sb,
+        "/home/alice/results.dat",
+        &TransferOpts::default(),
+        None,
+    )
+    .expect("transport");
+    println!("  receiver said: {}", outcome.dst_reply);
+    assert!(!outcome.is_success(), "Fig 4 failure expected");
+    println!("  => FAILS: site B does not trust CA-A (Fig 4)\n");
+
+    // --- Fig 5: DCSC P passes credential A to site B ----------------------
+    println!("attempt 2: DCSC P <credential A> sent to site B, then retry");
+    sb.install_dcsc(sa.credential()).expect("DCSC install");
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/results.dat",
+        &mut sb,
+        "/home/alice/results.dat",
+        &TransferOpts::default().parallel(4),
+        None,
+    )
+    .expect("transport");
+    println!("  receiver said: {}", outcome.dst_reply);
+    println!("  sender said:   {}", outcome.src_reply);
+    assert!(outcome.is_success(), "Fig 5 repair expected");
+
+    // Verify the bytes at B.
+    let got = instant_gridftp::server::dsi::read_all(
+        site_b.dsi.as_ref(),
+        &UserContext::user("alice"),
+        "/home/alice/results.dat",
+        1 << 20,
+    )
+    .expect("read back");
+    assert_eq!(got, data);
+    println!(
+        "  => SUCCEEDS: {} bytes moved directly A->B, mutually authenticated (Fig 5)",
+        got.len()
+    );
+    println!("\nno shared CA, no gridmap edits, data never touched the client.");
+    sa.quit().expect("quit A");
+    sb.quit().expect("quit B");
+    site_a.shutdown();
+    site_b.shutdown();
+}

@@ -1,0 +1,55 @@
+//! WAN simulation — why GridFTP beats SCP by orders of magnitude (§I).
+//!
+//! ```text
+//! cargo run --release --example wan_simulation
+//! ```
+//!
+//! Sweeps the fluid TCP model over RTT, loss and stream counts on a
+//! 10 Gbit/s path, printing the E2 comparison for a 256 MiB transfer.
+
+use instant_gridftp::baselines::ftp::ftp_netsim_params;
+use instant_gridftp::baselines::scp::scp_netsim_params;
+use instant_gridftp::netsim::{parallel_throughput_bps, Bottleneck, TcpParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fmt(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:7.2} Gbit/s", bps / 1e9)
+    } else {
+        format!("{:7.2} Mbit/s", bps / 1e6)
+    }
+}
+
+fn main() {
+    println!("== simulated WAN: 10 Gbit/s bottleneck, 256 MiB transfer ==\n");
+    let bytes: u64 = 256 << 20;
+    println!(
+        "{:>7} {:>6}  {:>14} {:>14} {:>14} {:>14}  {:>8}",
+        "RTT", "loss", "scp", "ftp", "gridftp x4", "gridftp x16", "x16/scp"
+    );
+    for rtt in [0.001f64, 0.01, 0.05, 0.1] {
+        for loss in [0.0f64, 1e-4] {
+            let link = Bottleneck::new(1e10, rtt, loss);
+            let mut rng = StdRng::seed_from_u64((rtt * 1e6) as u64 ^ (loss * 1e9) as u64);
+            let scp = parallel_throughput_bps(&link, bytes, 1, scp_netsim_params(), &mut rng);
+            let ftp = parallel_throughput_bps(&link, bytes, 1, ftp_netsim_params(), &mut rng);
+            let g4 = parallel_throughput_bps(&link, bytes, 4, TcpParams::tuned(), &mut rng);
+            let g16 = parallel_throughput_bps(&link, bytes, 16, TcpParams::tuned(), &mut rng);
+            println!(
+                "{:>5.0}ms {:>6.0e}  {} {} {} {}  {:>7.0}x",
+                rtt * 1e3,
+                loss,
+                fmt(scp),
+                fmt(ftp),
+                fmt(g4),
+                fmt(g16),
+                g16 / scp
+            );
+        }
+    }
+    println!("\nscp's ceilings: a 64 KiB channel window (throughput <= window/RTT)");
+    println!("and a single CPU-bound cipher stream. GridFTP's answer (§I): tuned");
+    println!("buffers, parallel streams, striping — the x16/scp column is the");
+    println!("paper's \"multiple orders of magnitude\" on long fat networks.");
+}

@@ -1,0 +1,13 @@
+//! Facade crate: re-exports the whole Instant GridFTP workspace API.
+pub use ig_baselines as baselines;
+pub use ig_client as client;
+pub use ig_crypto as crypto;
+pub use ig_gcmu as gcmu;
+pub use ig_gol as gol;
+pub use ig_gsi as gsi;
+pub use ig_myproxy as myproxy;
+pub use ig_netsim as netsim;
+pub use ig_pki as pki;
+pub use ig_protocol as protocol;
+pub use ig_server as server;
+pub use ig_xio as xio;

@@ -1,0 +1,261 @@
+//! The paper's centerpiece (Figures 4 and 5, §V): secure third-party
+//! transfers across CA domains that do not trust each other — broken
+//! without DCSC, fixed with it, even when one endpoint is legacy.
+
+use ig_client::{transfer, ClientSession, TransferOpts};
+use ig_gcmu::{GcmuEndpoint, InstallOptions};
+use ig_pki::cert::Certificate;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName};
+use ig_server::dsi::read_all;
+use ig_server::UserContext;
+
+const NOW: u64 = 1_800_000_000;
+
+/// Two GCMU endpoints, each with its own online CA (disjoint trust), and
+/// the user `alice` present at both sites.
+struct TwoSites {
+    a: GcmuEndpoint,
+    b: GcmuEndpoint,
+}
+
+fn two_sites(seed: u64, b_legacy: bool) -> TwoSites {
+    let a = InstallOptions::new("site-a.example.org")
+        .account("alice", "pw-at-a")
+        .clock(Clock::Fixed(NOW))
+        .seed(seed)
+        .install()
+        .unwrap();
+    let mut b_opts = InstallOptions::new("site-b.example.org")
+        .account("alice", "pw-at-b")
+        .clock(Clock::Fixed(NOW))
+        .seed(seed + 1);
+    if b_legacy {
+        b_opts = b_opts.legacy();
+    }
+    let b = b_opts.install().unwrap();
+    TwoSites { a, b }
+}
+
+fn sessions(sites: &TwoSites, seed: u64) -> (ClientSession, ClientSession) {
+    // Fig 3 workflow at each site: password → short-lived credential.
+    let logon_a = sites.a.logon("alice", "pw-at-a", 3600, seed).unwrap();
+    let logon_b = sites.b.logon("alice", "pw-at-b", 3600, seed + 1).unwrap();
+    // Distinct CAs minted distinct identities — the Fig 4 setup.
+    assert_ne!(
+        logon_a.credential.identity(),
+        logon_b.credential.identity()
+    );
+    let mut sa =
+        ClientSession::connect(sites.a.gridftp_addr(), sites.a.client_config(&logon_a, seed + 2))
+            .unwrap();
+    sa.login().unwrap();
+    let mut sb =
+        ClientSession::connect(sites.b.gridftp_addr(), sites.b.client_config(&logon_b, seed + 3))
+            .unwrap();
+    sb.login().unwrap();
+    (sa, sb)
+}
+
+fn stage_source(sites: &TwoSites, data: &[u8]) {
+    let root = UserContext::superuser();
+    sites.a.dsi.write(&root, "/home/alice/src.bin", 0, data).unwrap();
+}
+
+fn payload() -> Vec<u8> {
+    (0..60_000u32).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+#[test]
+fn cross_ca_transfer_fails_without_dcsc() {
+    // Fig 4: endpoint B receives a certificate issued by CA-A, which it
+    // does not trust; DCAU fails and so does the transfer.
+    let sites = two_sites(100, false);
+    let data = payload();
+    stage_source(&sites, &data);
+    let (mut sa, mut sb) = sessions(&sites, 1000);
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/src.bin",
+        &mut sb,
+        "/home/alice/dst.bin",
+        &TransferOpts::default(),
+        None,
+    )
+    .unwrap();
+    assert!(!outcome.is_success(), "cross-CA DCAU must fail: {outcome:?}");
+    let err = format!("{} {}", outcome.src_reply, outcome.dst_reply);
+    assert!(err.contains("425") || err.contains("426"), "got: {err}");
+}
+
+#[test]
+fn dcsc_on_receiver_fixes_cross_ca_transfer() {
+    // Fig 5: "it can use DCSC to pass credential A to site B, for
+    // subsequent presentation to site A."
+    let sites = two_sites(200, false);
+    let data = payload();
+    stage_source(&sites, &data);
+    let (mut sa, mut sb) = sessions(&sites, 2000);
+    // The client hands site B the credential it uses at site A.
+    sb.install_dcsc(sa.credential()).unwrap();
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/src.bin",
+        &mut sb,
+        "/home/alice/dst.bin",
+        &TransferOpts::default().parallel(4),
+        None,
+    )
+    .unwrap();
+    assert!(outcome.is_success(), "DCSC transfer failed: {outcome:?}");
+    assert!(outcome.checkpoint.is_complete(data.len() as u64));
+    let alice = UserContext::user("alice");
+    let got = read_all(sites.b.dsi.as_ref(), &alice, "/home/alice/dst.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+    sa.quit().unwrap();
+    sb.quit().unwrap();
+}
+
+#[test]
+fn dcsc_works_with_legacy_receiver_via_sender_side_install() {
+    // §IV-B: "this works even if one endpoint is a legacy GridFTP server
+    // that knows nothing about DCSC." Here B is legacy, so the client
+    // installs B's credential on A instead.
+    let sites = two_sites(300, true);
+    let data = payload();
+    stage_source(&sites, &data);
+    let (mut sa, mut sb) = sessions(&sites, 3000);
+    // Legacy endpoint refuses the command outright.
+    let dcsc_err = sb.install_dcsc(sa.credential()).unwrap_err();
+    assert!(dcsc_err.to_string().contains("500"), "got: {dcsc_err}");
+    // So pass credential *B* to site *A* instead.
+    sa.install_dcsc(sb.credential()).unwrap();
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/src.bin",
+        &mut sb,
+        "/home/alice/dst.bin",
+        &TransferOpts::default(),
+        None,
+    )
+    .unwrap();
+    assert!(outcome.is_success(), "legacy-compatible DCSC failed: {outcome:?}");
+    let alice = UserContext::user("alice");
+    let got = read_all(sites.b.dsi.as_ref(), &alice, "/home/alice/dst.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+}
+
+#[test]
+fn dcsc_self_signed_random_context_both_sides() {
+    // §V: "If both servers support DCSC, clients that desire higher
+    // security may specify a random, self-signed certificate as the DCAU
+    // context."
+    let sites = two_sites(400, false);
+    let data = payload();
+    stage_source(&sites, &data);
+    let (mut sa, mut sb) = sessions(&sites, 4000);
+    // Mint a throwaway self-signed credential.
+    let mut rng = ig_crypto::rng::seeded(4242);
+    let throwaway = CertificateAuthority::create(
+        &mut rng,
+        DistinguishedName::parse("/CN=random-dcau-context").unwrap(),
+        512,
+        NOW - 10,
+        7200,
+    )
+    .unwrap();
+    let random_cred = Credential::new(
+        vec![throwaway.root_cert().clone()],
+        throwaway.keypair().private.clone(),
+    )
+    .unwrap();
+    sa.install_dcsc(&random_cred).unwrap();
+    sb.install_dcsc(&random_cred).unwrap();
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/src.bin",
+        &mut sb,
+        "/home/alice/dst.bin",
+        &TransferOpts::default().parallel(2),
+        None,
+    )
+    .unwrap();
+    assert!(outcome.is_success(), "random-context DCSC failed: {outcome:?}");
+}
+
+#[test]
+fn dcsc_d_reverts_to_login_context() {
+    // §V-B: "The command DCSC D will revert the context to whatever it
+    // was immediately after login."
+    let sites = two_sites(500, false);
+    let data = payload();
+    stage_source(&sites, &data);
+    let (mut sa, mut sb) = sessions(&sites, 5000);
+    sb.install_dcsc(sa.credential()).unwrap();
+    sb.revert_dcsc().unwrap();
+    // Back to the broken cross-CA state.
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/src.bin",
+        &mut sb,
+        "/home/alice/dst2.bin",
+        &TransferOpts::default(),
+        None,
+    )
+    .unwrap();
+    assert!(!outcome.is_success(), "DCSC D should restore the failure");
+}
+
+#[test]
+fn same_ca_third_party_needs_no_dcsc() {
+    // Control case: one site transferring to itself (same CA both ends)
+    // works with plain DCAU — DCSC is only needed across domains.
+    let site = InstallOptions::new("solo.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(600)
+        .install()
+        .unwrap();
+    let root = UserContext::superuser();
+    let data = payload();
+    site.dsi.write(&root, "/home/alice/src.bin", 0, &data).unwrap();
+    let logon = site.logon("alice", "pw", 3600, 6000).unwrap();
+    let mut s1 = ClientSession::connect(site.gridftp_addr(), site.client_config(&logon, 6001))
+        .unwrap();
+    s1.login().unwrap();
+    let mut s2 = ClientSession::connect(site.gridftp_addr(), site.client_config(&logon, 6002))
+        .unwrap();
+    s2.login().unwrap();
+    let outcome = transfer::third_party(
+        &mut s1,
+        "/home/alice/src.bin",
+        &mut s2,
+        "/home/alice/copy.bin",
+        &TransferOpts::default(),
+        None,
+    )
+    .unwrap();
+    assert!(outcome.is_success(), "same-CA third-party failed: {outcome:?}");
+    let alice = UserContext::user("alice");
+    let got = read_all(site.dsi.as_ref(), &alice, "/home/alice/copy.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+}
+
+#[test]
+fn dcsc_blob_sizes_scale_with_chain() {
+    // E12 sanity at the integration level.
+    let sites = two_sites(700, false);
+    let logon = sites.a.logon("alice", "pw-at-a", 3600, 7000).unwrap();
+    let size_full = ig_protocol::dcsc::blob_size(&logon.credential);
+    let leaf_only = Credential::new(
+        vec![logon.credential.leaf().clone()],
+        logon.credential.key().clone(),
+    )
+    .unwrap();
+    let size_leaf = ig_protocol::dcsc::blob_size(&leaf_only);
+    assert!(size_full > size_leaf);
+    // Blob stays printable-ASCII regardless.
+    let cmd = ig_protocol::dcsc::encode_dcsc_p(&logon.credential).to_string();
+    assert!(cmd.bytes().all(|b| (32..=126).contains(&b)));
+    let _unused: Vec<Certificate> = vec![];
+}

@@ -1,0 +1,37 @@
+//! Smoke test for the `instant-gridftp` facade crate: the re-exported
+//! module tree is the documented public API surface.
+
+use instant_gridftp as ig;
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // Crypto primitives.
+    let digest = ig::crypto::Sha256::digest(b"facade");
+    assert_eq!(digest.len(), 32);
+    assert_eq!(ig::crypto::encode::hex_encode(&[0xab]), "ab");
+    // PKI types.
+    let dn = ig::pki::DistinguishedName::parse("/O=GCMU/CN=facade").unwrap();
+    assert_eq!(dn.common_name(), Some("facade"));
+    // Protocol grammar.
+    let cmd = ig::protocol::command::Command::parse("DCSC D").unwrap();
+    assert_eq!(cmd.to_string(), "DCSC D");
+    // netsim.
+    let link = ig::netsim::Bottleneck::new(1e9, 0.01, 0.0);
+    assert!(link.bdp_bytes() > 0.0);
+    // Ledger (gcmu).
+    let p = ig::gcmu::procedure(ig::gcmu::SetupMethod::Gcmu);
+    assert_eq!(p.admin_steps.len(), 4);
+    // Tuning (gol).
+    assert_eq!(ig::gol::tune(1 << 30).parallelism, 8);
+    // Baseline presets.
+    assert!(ig::baselines::scp::scp_netsim_params().window_cap_bytes.is_some());
+    // Server-side building blocks.
+    let ranges = {
+        let mut r = ig::protocol::ByteRanges::new();
+        r.add(0, 10);
+        r
+    };
+    assert!(ranges.is_complete(10));
+    let user = ig::server::UserContext::user("facade");
+    assert_eq!(user.home, "/home/facade");
+}

@@ -1,0 +1,216 @@
+//! Adversarial and failure-path integration tests: the security workflows
+//! must fail *closed*, with the right error, and leave sessions usable.
+
+use ig_client::{transfer, ClientConfig, ClientSession, TransferOpts};
+use ig_gcmu::InstallOptions;
+use ig_pki::proxy::ProxyOptions;
+use ig_pki::time::Clock;
+use ig_pki::{Credential, TrustStore};
+use ig_protocol::command::Command;
+use ig_server::UserContext;
+
+const NOW: u64 = 2_300_000_000;
+
+fn endpoint(name: &str, seed: u64) -> ig_gcmu::GcmuEndpoint {
+    InstallOptions::new(name)
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(seed)
+        .install()
+        .unwrap()
+}
+
+#[test]
+fn expired_credential_rejected_at_login() {
+    // Short-lived credentials die: issue a 60-second credential from an
+    // endpoint whose clock sits 100k seconds in the past, then present it
+    // to a server living at NOW (which trusts the issuing CA, so expiry
+    // is the only thing that can fail).
+    let past = InstallOptions::new("past.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW - 100_000))
+        .seed(0xF2)
+        .install()
+        .unwrap();
+    let stale_logon = past.logon("alice", "pw", 60, 0xF2_1).unwrap();
+    let target = InstallOptions::new("target.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(0xF3)
+        .trust_also(past.ca.root_cert())
+        .install()
+        .unwrap();
+    // The client must trust the target's host CA to get past server
+    // validation; only the client credential's expiry should fail.
+    let mut trust = TrustStore::new();
+    trust.add_root(past.ca.root_cert());
+    trust.add_root(target.ca.root_cert());
+    let cfg = ClientConfig::new(stale_logon.credential.clone(), trust)
+        .with_clock(Clock::Fixed(NOW))
+        .with_seed(0xF3_1);
+    let mut s = ClientSession::connect(target.gridftp_addr(), cfg).unwrap();
+    let err = s.login().unwrap_err();
+    assert!(
+        err.to_string().contains("535") || err.to_string().contains("expired"),
+        "got: {err}"
+    );
+    past.shutdown();
+    target.shutdown();
+}
+
+#[test]
+fn tampered_dcsc_blob_rejected_session_survives() {
+    let ep = endpoint("tamper.example.org", 0xF4);
+    let logon = ep.logon("alice", "pw", 3600, 0xF4_1).unwrap();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 0xF4_2)).unwrap();
+    s.login().unwrap();
+    // Corrupt a DCSC blob mid-string.
+    let cmd = ig_protocol::dcsc::encode_dcsc_p(&logon.credential);
+    let Command::Dcsc { blob: Some(blob), .. } = cmd else { panic!("expected DCSC P") };
+    let tampered: String = blob
+        .chars()
+        .map(|c| if c == 'A' { 'B' } else { c })
+        .collect();
+    let err = s
+        .command(&Command::Dcsc { context_type: 'P', blob: Some(tampered) })
+        .unwrap_err();
+    assert!(err.to_string().contains("500"), "got: {err}");
+    // Session is still healthy afterwards.
+    assert!(s.command(&Command::Noop).unwrap().is_success());
+    let data = transfer::put_bytes(&mut s, "/home/alice/ok.bin", b"fine", &TransferOpts::default())
+        .unwrap();
+    assert_eq!(data, 4);
+    s.quit().unwrap();
+    ep.shutdown();
+}
+
+#[test]
+fn delegation_depth_zero_blocks_server_side_dcau() {
+    // A client that delegates a proxy with path_len 0 at login: the
+    // server holds a credential it cannot re-delegate; DCAU A still works
+    // (it only *presents*), proving depth limits bind delegation, not use.
+    let ep = endpoint("depth.example.org", 0xF5);
+    let logon = ep.logon("alice", "pw", 3600, 0xF5_1).unwrap();
+    let cfg = ep.client_config(&logon, 0xF5_2).no_delegation();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), cfg).unwrap();
+    s.login().unwrap();
+    // Manual delegation with a constrained proxy: replicate SITE DELEG
+    // with path_len = 0.
+    let reply = s.command(&Command::Site("DELEG REQ".into())).unwrap();
+    let b64 = reply.text().strip_prefix("DELEG=").unwrap().to_string();
+    let req = ig_crypto::encode::base64_decode(&b64).unwrap();
+    let mut rng = ig_crypto::rng::seeded(0xF5_3);
+    let grant = ig_gsi::delegation::grant(
+        &mut rng,
+        &logon.credential,
+        &req,
+        NOW,
+        ProxyOptions { lifetime: 3600, path_len: Some(0) },
+    )
+    .unwrap();
+    s.command(&Command::Site(format!(
+        "DELEG PUT {}",
+        ig_crypto::encode::base64_encode(&grant)
+    )))
+    .unwrap();
+    // Transfers still work with the constrained delegated credential.
+    transfer::put_bytes(&mut s, "/home/alice/d0.bin", b"depth-zero", &TransferOpts::default())
+        .unwrap();
+    s.quit().unwrap();
+    ep.shutdown();
+}
+
+#[test]
+fn bogus_delegation_grant_rejected() {
+    let ep = endpoint("grant.example.org", 0xF6);
+    let logon = ep.logon("alice", "pw", 3600, 0xF6_1).unwrap();
+    let cfg = ep.client_config(&logon, 0xF6_2).no_delegation();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), cfg).unwrap();
+    s.login().unwrap();
+    s.command(&Command::Site("DELEG REQ".into())).unwrap();
+    // Garbage grant.
+    let err = s.command(&Command::Site("DELEG PUT aGVsbG8=".into())).unwrap_err();
+    assert!(err.to_string().contains("535"), "got: {err}");
+    // PUT without a pending request.
+    let err = s.command(&Command::Site("DELEG PUT aGVsbG8=".into())).unwrap_err();
+    assert!(err.to_string().contains("503"), "got: {err}");
+    s.quit().unwrap();
+    ep.shutdown();
+}
+
+#[test]
+fn retr_of_missing_and_forbidden_paths() {
+    let ep = endpoint("paths.example.org", 0xF7);
+    let root = UserContext::superuser();
+    ep.dsi.write(&root, "/home/bob/secret.bin", 0, b"top secret").unwrap();
+    let logon = ep.logon("alice", "pw", 3600, 0xF7_1).unwrap();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 0xF7_2)).unwrap();
+    s.login().unwrap();
+    // Missing file: clean 550, session lives.
+    let err =
+        transfer::get_bytes(&mut s, "/home/alice/nothing.bin", &TransferOpts::default()).unwrap_err();
+    assert!(err.to_string().contains("550"), "got: {err}");
+    // Another user's file: denied (the setuid confinement), session lives.
+    let err =
+        transfer::get_bytes(&mut s, "/home/bob/secret.bin", &TransferOpts::default()).unwrap_err();
+    assert!(err.to_string().contains("550"), "got: {err}");
+    // Path traversal is normalized away, not honoured.
+    let err = transfer::get_bytes(&mut s, "/home/alice/../bob/secret.bin", &TransferOpts::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("550"), "got: {err}");
+    // And a normal transfer still succeeds afterwards.
+    transfer::put_bytes(&mut s, "/home/alice/mine.bin", b"ok", &TransferOpts::default()).unwrap();
+    s.quit().unwrap();
+    ep.shutdown();
+}
+
+#[test]
+fn self_signed_credential_not_in_store_rejected() {
+    // A self-minted identity (self-signed cert) must not authenticate.
+    let ep = endpoint("selfmint.example.org", 0xF8);
+    let mut rng = ig_crypto::rng::seeded(0xF8_1);
+    let fake_ca = ig_pki::CertificateAuthority::create(
+        &mut rng,
+        ig_pki::DistinguishedName::parse("/O=GCMU/OU=selfmint.example.org/CN=alice").unwrap(),
+        512,
+        NOW - 10,
+        7200,
+    )
+    .unwrap();
+    let fake_cred = Credential::new(
+        vec![fake_ca.root_cert().clone()],
+        fake_ca.keypair().private.clone(),
+    )
+    .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ep.ca.root_cert());
+    let cfg = ClientConfig::new(fake_cred, trust)
+        .with_clock(Clock::Fixed(NOW))
+        .with_seed(0xF8_2);
+    let mut s = ClientSession::connect(ep.gridftp_addr(), cfg).unwrap();
+    let err = s.login().unwrap_err();
+    assert!(err.to_string().contains("535"), "got: {err}");
+    ep.shutdown();
+}
+
+#[test]
+fn prot_floor_enforced_on_data_channel() {
+    // Receiver configured for PROT P must reject a sender that downgrades.
+    // Exercised at the GSI layer through the client API: set PROT P on
+    // the session, transfer succeeds; the records are Private on the wire
+    // (covered by gsi tests); here we check PROT survives across
+    // transfers and the session handles level switches.
+    let ep = endpoint("prot.example.org", 0xF9);
+    let root = UserContext::superuser();
+    ep.dsi.write(&root, "/home/alice/p.bin", 0, &vec![5u8; 20_000]).unwrap();
+    let logon = ep.logon("alice", "pw", 3600, 0xF9_1).unwrap();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 0xF9_2)).unwrap();
+    s.login().unwrap();
+    s.set_prot(ig_gsi::ProtectionLevel::Private).unwrap();
+    let a = transfer::get_bytes(&mut s, "/home/alice/p.bin", &TransferOpts::default()).unwrap();
+    s.set_prot(ig_gsi::ProtectionLevel::Clear).unwrap();
+    let b = transfer::get_bytes(&mut s, "/home/alice/p.bin", &TransferOpts::default()).unwrap();
+    assert_eq!(a, b);
+    s.quit().unwrap();
+    ep.shutdown();
+}

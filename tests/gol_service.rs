@@ -1,0 +1,228 @@
+//! Globus Online integration: Fig 6 (password activation + checkpoint
+//! restart) and Fig 7 (OAuth activation).
+
+use ig_gcmu::InstallOptions;
+use ig_gol::{GlobusOnline, TransferRequest};
+use ig_pki::time::Clock;
+use ig_server::dsi::read_all;
+use ig_server::{FaultInjector, UserContext};
+use std::sync::Arc;
+
+const NOW: u64 = 1_900_000_000;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n as u32).map(|i| (i * 17 % 253) as u8).collect()
+}
+
+#[test]
+fn password_activation_and_managed_transfer() {
+    let a = InstallOptions::new("go-a.example.org")
+        .account("alice", "pw-a")
+        .clock(Clock::Fixed(NOW))
+        .seed(11)
+        .install()
+        .unwrap();
+    let b = InstallOptions::new("go-b.example.org")
+        .account("alice", "pw-b")
+        .clock(Clock::Fixed(NOW))
+        .seed(12)
+        .install()
+        .unwrap();
+    let data = payload(80_000);
+    let root = UserContext::superuser();
+    a.dsi.write(&root, "/home/alice/data.bin", 0, &data).unwrap();
+
+    let go = GlobusOnline::new(Clock::Fixed(NOW), 7_000);
+    go.register_gcmu(&a);
+    go.register_gcmu(&b);
+    // Fig 6 steps: user supplies username/password; GO gets short-term
+    // certs. The password transits GO (the concern OAuth removes).
+    let audit_a = go.activate_with_password("alice@go", "go-a.example.org", "alice", "pw-a", 3600).unwrap();
+    assert!(audit_a.third_party_saw_password());
+    assert!(!audit_a.stored_by_service);
+    go.activate_with_password("alice@go", "go-b.example.org", "alice", "pw-b", 3600).unwrap();
+    // Managed third-party transfer across the two CAs — GO installs the
+    // DCSC context automatically (§VIII).
+    let result = go
+        .submit(
+            "alice@go",
+            &TransferRequest {
+                src_endpoint: "go-a.example.org".into(),
+                src_path: "/home/alice/data.bin".into(),
+                dst_endpoint: "go-b.example.org".into(),
+                dst_path: "/home/alice/data.bin".into(),
+                max_retries: 0,
+                opts: None,
+            },
+        )
+        .unwrap();
+    assert!(result.completed);
+    assert_eq!(result.attempts, 1);
+    let alice = UserContext::user("alice");
+    let got = read_all(b.dsi.as_ref(), &alice, "/home/alice/data.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn fault_mid_transfer_restarts_from_checkpoint() {
+    // Fig 6: "If any failure occurs during the transfer, Globus Online
+    // will use the short-term certificate to reauthenticate with the
+    // endpoints on the user's behalf and restart the transfer from the
+    // last checkpoint."
+    let fault = FaultInjector::after_bytes(100_000); // die halfway
+    let a = InstallOptions::new("flaky-a.example.org")
+        .account("alice", "pw-a")
+        .clock(Clock::Fixed(NOW))
+        .seed(21)
+        .fault(Arc::clone(&fault))
+        .install()
+        .unwrap();
+    let b = InstallOptions::new("flaky-b.example.org")
+        .account("alice", "pw-b")
+        .clock(Clock::Fixed(NOW))
+        .seed(22)
+        .install()
+        .unwrap();
+    let data = payload(200_000);
+    let root = UserContext::superuser();
+    a.dsi.write(&root, "/home/alice/big.bin", 0, &data).unwrap();
+
+    let go = GlobusOnline::new(Clock::Fixed(NOW), 8_000);
+    go.register_gcmu(&a);
+    go.register_gcmu(&b);
+    go.activate_with_password("u", "flaky-a.example.org", "alice", "pw-a", 3600).unwrap();
+    go.activate_with_password("u", "flaky-b.example.org", "alice", "pw-b", 3600).unwrap();
+    let result = go
+        .submit(
+            "u",
+            &TransferRequest {
+                src_endpoint: "flaky-a.example.org".into(),
+                src_path: "/home/alice/big.bin".into(),
+                dst_endpoint: "flaky-b.example.org".into(),
+                dst_path: "/home/alice/big.bin".into(),
+                max_retries: 3,
+                opts: Some(ig_client::TransferOpts::default().parallel(2).block(8 * 1024)),
+            },
+        )
+        .unwrap();
+    assert!(result.completed);
+    assert_eq!(result.attempts, 2, "one fault, one successful retry");
+    assert!(fault.fired());
+    assert!(result.checkpoint.is_complete(data.len() as u64));
+    let alice = UserContext::user("alice");
+    let got = read_all(b.dsi.as_ref(), &alice, "/home/alice/big.bin", 1 << 16).unwrap();
+    assert_eq!(got, data, "reassembled file must be byte-identical");
+    // The event log recorded both the failure and the recovery.
+    let events = go.events.lock().join("\n");
+    assert!(events.contains("attempt 1 failed"), "events: {events}");
+    assert!(events.contains("complete after 2 attempt"), "events: {events}");
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn transfer_without_retry_fails_and_reports() {
+    let fault = FaultInjector::after_bytes(10_000);
+    let a = InstallOptions::new("once-a.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(31)
+        .fault(fault)
+        .install()
+        .unwrap();
+    let b = InstallOptions::new("once-b.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(32)
+        .install()
+        .unwrap();
+    let root = UserContext::superuser();
+    a.dsi.write(&root, "/home/alice/f.bin", 0, &payload(100_000)).unwrap();
+    let go = GlobusOnline::new(Clock::Fixed(NOW), 9_000);
+    go.register_gcmu(&a);
+    go.register_gcmu(&b);
+    go.activate_with_password("u", "once-a.example.org", "alice", "pw", 3600).unwrap();
+    go.activate_with_password("u", "once-b.example.org", "alice", "pw", 3600).unwrap();
+    let err = go
+        .submit(
+            "u",
+            &TransferRequest {
+                src_endpoint: "once-a.example.org".into(),
+                src_path: "/home/alice/f.bin".into(),
+                dst_endpoint: "once-b.example.org".into(),
+                dst_path: "/home/alice/f.bin".into(),
+                max_retries: 0,
+                opts: Some(ig_client::TransferOpts::default().block(4 * 1024)),
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("after 1 attempts"), "got: {err}");
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn oauth_activation_keeps_password_at_the_endpoint() {
+    // Fig 7: the user types the password on the endpoint's page; GO only
+    // ever sees the authorization code.
+    let a = InstallOptions::new("oauth-ep.example.org")
+        .account("alice", "web-pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(41)
+        .oauth()
+        .install()
+        .unwrap();
+    let go = GlobusOnline::new(Clock::Fixed(NOW), 10_000);
+    go.register_gcmu(&a);
+    // The "browser redirect": user authenticates at the endpoint.
+    let code = a
+        .oauth
+        .as_ref()
+        .expect("oauth enabled")
+        .authorize("alice", "web-pw", "globus-online")
+        .unwrap();
+    let audit = go.activate_with_oauth("alice@go", "oauth-ep.example.org", &code, 3600).unwrap();
+    assert!(!audit.third_party_saw_password(), "OAuth must keep the password at the endpoint");
+    // The activation is usable for real sessions.
+    let act = go.activation("alice@go", "oauth-ep.example.org").unwrap();
+    assert!(act.remaining(NOW) > 0);
+    assert_eq!(act.credential.identity().common_name(), Some("alice"));
+    // A second use of the same code fails (single-use).
+    assert!(go.activate_with_oauth("alice@go", "oauth-ep.example.org", &code, 3600).is_err());
+    a.shutdown();
+}
+
+#[test]
+fn activation_failures_are_reported() {
+    let a = InstallOptions::new("strict.example.org")
+        .account("alice", "right")
+        .clock(Clock::Fixed(NOW))
+        .seed(51)
+        .install()
+        .unwrap();
+    let go = GlobusOnline::new(Clock::Fixed(NOW), 11_000);
+    go.register_gcmu(&a);
+    assert!(go
+        .activate_with_password("u", "strict.example.org", "alice", "wrong", 3600)
+        .is_err());
+    assert!(go.activate_with_password("u", "nowhere.example.org", "a", "b", 3600).is_err());
+    assert!(go.activation("u", "strict.example.org").is_err());
+    // Submitting without activation is refused.
+    let err = go
+        .submit(
+            "u",
+            &TransferRequest {
+                src_endpoint: "strict.example.org".into(),
+                src_path: "/x".into(),
+                dst_endpoint: "strict.example.org".into(),
+                dst_path: "/y".into(),
+                max_retries: 0,
+                opts: None,
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("not activated"));
+    a.shutdown();
+}

@@ -1,0 +1,89 @@
+//! Striped third-party transfers (Fig 2's striped server, `SPAS`/`SPOR`).
+
+use ig_client::{transfer, ClientSession, TransferOpts};
+use ig_gcmu::InstallOptions;
+use ig_pki::time::Clock;
+use ig_server::dsi::read_all;
+use ig_server::UserContext;
+
+const NOW: u64 = 2_000_000_000;
+
+#[test]
+fn striped_third_party_transfer() {
+    let a = InstallOptions::new("stripe-a.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(61)
+        .install()
+        .unwrap();
+    let b = InstallOptions::new("stripe-b.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(62)
+        .striped(4, None)
+        .install()
+        .unwrap();
+    let data: Vec<u8> = (0..300_000u32).map(|i| (i * 7 % 251) as u8).collect();
+    let root = UserContext::superuser();
+    a.dsi.write(&root, "/home/alice/striped.bin", 0, &data).unwrap();
+
+    let la = a.logon("alice", "pw", 3600, 610).unwrap();
+    let lb = b.logon("alice", "pw", 3600, 611).unwrap();
+    let mut sa = ClientSession::connect(a.gridftp_addr(), a.client_config(&la, 612)).unwrap();
+    sa.login().unwrap();
+    let mut sb = ClientSession::connect(b.gridftp_addr(), b.client_config(&lb, 613)).unwrap();
+    sb.login().unwrap();
+    sb.install_dcsc(sa.credential()).unwrap();
+    let outcome = transfer::third_party(
+        &mut sa,
+        "/home/alice/striped.bin",
+        &mut sb,
+        "/home/alice/striped.bin",
+        &TransferOpts::default().striped_mode().block(16 * 1024),
+        None,
+    )
+    .unwrap();
+    assert!(outcome.is_success(), "striped transfer failed: {outcome:?}");
+    let alice = UserContext::user("alice");
+    let got = read_all(b.dsi.as_ref(), &alice, "/home/alice/striped.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn spas_refused_on_unstriped_server() {
+    let ep = InstallOptions::new("plain.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(71)
+        .install()
+        .unwrap();
+    let logon = ep.logon("alice", "pw", 3600, 710).unwrap();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 711)).unwrap();
+    s.login().unwrap();
+    assert!(s.spas().is_err(), "SPAS must be refused on a 1-stripe server");
+    ep.shutdown();
+}
+
+#[test]
+fn spas_returns_one_listener_per_stripe() {
+    let ep = InstallOptions::new("many.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(81)
+        .striped(3, None)
+        .install()
+        .unwrap();
+    let logon = ep.logon("alice", "pw", 3600, 810).unwrap();
+    let mut s = ClientSession::connect(ep.gridftp_addr(), ep.client_config(&logon, 811)).unwrap();
+    s.login().unwrap();
+    let addrs = s.spas().unwrap();
+    assert_eq!(addrs.len(), 3);
+    // All distinct ports.
+    let mut ports: Vec<u16> = addrs.iter().map(|a| a.port).collect();
+    ports.sort_unstable();
+    ports.dedup();
+    assert_eq!(ports.len(), 3);
+    ep.shutdown();
+}
