@@ -5,6 +5,10 @@
 //! cargo run -p ig-bench --bin report --release -- --exp e7
 //! cargo run -p ig-bench --bin report --release -- --fast  # trimmed sizes
 //! ```
+//!
+//! A full run (no `--exp` filter) also writes `BENCH_report.json` to the
+//! working directory: the same tables parsed into header/rows/notes, for
+//! scripts that compare runs without scraping aligned text.
 
 use ig_bench::experiments as exp;
 
@@ -17,7 +21,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_ascii_lowercase());
     match exp_filter.as_deref() {
-        None => print!("{}", ig_bench::full_report(fast)),
+        None => {
+            // Run each experiment once; derive both outputs from it.
+            let sections = ig_bench::report_sections(fast);
+            for (_, title, body) in &sections {
+                print!("\n=== {title} ===\n{body}\n");
+            }
+            let json = ig_bench::json_from_sections(&sections, fast);
+            let pretty = serde_json::to_string_pretty(&json).expect("serialize report");
+            match std::fs::write("BENCH_report.json", pretty) {
+                Ok(()) => eprintln!("wrote BENCH_report.json"),
+                Err(e) => eprintln!("could not write BENCH_report.json: {e}"),
+            }
+        }
         Some("e1") => print!("{}", exp::e1_usage::table()),
         Some("e2") => print!("{}", exp::e2_wan::table(fast)),
         Some("e3") => print!("{}", exp::e3_prot::table(fast)),

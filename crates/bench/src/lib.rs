@@ -9,25 +9,76 @@
 pub mod experiments;
 pub mod table;
 
+/// Run every experiment, returning `(id, title, rendered table)` per
+/// section — the single source both [`full_report`] (human text) and
+/// [`json_report`] (machine-readable) are derived from.
+pub fn report_sections(fast: bool) -> Vec<(&'static str, &'static str, String)> {
+    vec![
+        ("e1", "E1  (Fig 1) fleet usage", experiments::e1_usage::table()),
+        ("e2", "E2  GridFTP vs SCP/FTP on the WAN (simulated)", experiments::e2_wan::table(fast)),
+        ("e3", "E3  data-channel protection cost (measured)", experiments::e3_prot::table(fast)),
+        ("e4", "E4  lots of small files (measured)", experiments::e4_small_files::table(fast)),
+        ("e5", "E5  striping (measured, per-stripe NIC limit)", experiments::e5_striping::table(fast)),
+        ("e6", "E6  third-party: direct vs through-client (simulated)", experiments::e6_third_party::table()),
+        ("e7", "E7  (Figs 4-5) DCAU x DCSC matrix (measured)", experiments::e7_dcsc::table()),
+        ("e8", "E8  (Fig 3, §III) setup complexity", experiments::e8_setup::table()),
+        ("e9", "E9  (Fig 6) GO checkpoint restart (measured)", experiments::e9_restart::table(fast)),
+        ("e10", "E10 (Fig 7) OAuth vs password activation (measured)", experiments::e10_oauth::table()),
+        ("e11", "E11 MyProxy online CA issuance (measured)", experiments::e11_myproxy::table(fast)),
+        ("e12", "E12 DCSC/control-channel overheads (measured)", experiments::e12_overheads::table()),
+    ]
+}
+
 /// Run every experiment and return the concatenated report.
 pub fn full_report(fast: bool) -> String {
     let mut out = String::new();
-    let sections: Vec<(&str, String)> = vec![
-        ("E1  (Fig 1) fleet usage", experiments::e1_usage::table()),
-        ("E2  GridFTP vs SCP/FTP on the WAN (simulated)", experiments::e2_wan::table(fast)),
-        ("E3  data-channel protection cost (measured)", experiments::e3_prot::table(fast)),
-        ("E4  lots of small files (measured)", experiments::e4_small_files::table(fast)),
-        ("E5  striping (measured, per-stripe NIC limit)", experiments::e5_striping::table(fast)),
-        ("E6  third-party: direct vs through-client (simulated)", experiments::e6_third_party::table()),
-        ("E7  (Figs 4-5) DCAU x DCSC matrix (measured)", experiments::e7_dcsc::table()),
-        ("E8  (Fig 3, §III) setup complexity", experiments::e8_setup::table()),
-        ("E9  (Fig 6) GO checkpoint restart (measured)", experiments::e9_restart::table(fast)),
-        ("E10 (Fig 7) OAuth vs password activation (measured)", experiments::e10_oauth::table()),
-        ("E11 MyProxy online CA issuance (measured)", experiments::e11_myproxy::table(fast)),
-        ("E12 DCSC/control-channel overheads (measured)", experiments::e12_overheads::table()),
-    ];
-    for (title, body) in sections {
+    for (_, title, body) in report_sections(fast) {
         out.push_str(&format!("\n=== {title} ===\n{body}\n"));
     }
     out
+}
+
+/// Machine-readable mirror of [`full_report`]: every section's rendered
+/// table parsed back into header/rows/notes. The `report` binary writes
+/// this next to its text output as `BENCH_report.json`.
+pub fn json_report(fast: bool) -> serde_json::Value {
+    json_from_sections(&report_sections(fast), fast)
+}
+
+/// Build the JSON report from already-computed sections (so a caller that
+/// also prints the text report runs each experiment only once).
+pub fn json_from_sections(sections: &[(&str, &str, String)], fast: bool) -> serde_json::Value {
+    let sections: Vec<serde_json::Value> = sections
+        .iter()
+        .map(|(id, title, body)| {
+            let (header, rows, notes) = table::parse_rendered(body);
+            serde_json::json!({
+                "id": id,
+                "title": title,
+                "header": header,
+                "rows": rows,
+                "notes": notes,
+            })
+        })
+        .collect();
+    serde_json::json!({ "fast": fast, "sections": sections })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_mirror_structure() {
+        let body = crate::table::render(&[
+            vec!["metric".into(), "value".into()],
+            vec!["throughput".into(), "1.00 Gbit/s".into()],
+        ]);
+        let sections = vec![("e0", "demo section", body)];
+        let v = crate::json_from_sections(&sections, true);
+        assert_eq!(v["fast"], true);
+        assert_eq!(v["sections"][0]["id"], "e0");
+        assert_eq!(v["sections"][0]["title"], "demo section");
+        assert_eq!(v["sections"][0]["header"][0], "metric");
+        assert_eq!(v["sections"][0]["rows"][0][1], "1.00 Gbit/s");
+        assert_eq!(v["sections"][0]["notes"].as_array().unwrap().len(), 0);
+    }
 }

@@ -35,6 +35,47 @@ pub fn render(rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Parse a table produced by [`render`] back into structured data:
+/// `(header, rows, notes)`. Cells are recovered by splitting on runs of
+/// two or more spaces (the render padding); the dash separator line is
+/// dropped. Lines whose cell count does not match the header — e.g.
+/// `(paper: ...)` footnotes appended after a table — are returned as
+/// free-form notes with their internal whitespace collapsed.
+pub fn parse_rendered(rendered: &str) -> (Vec<String>, Vec<Vec<String>>, Vec<String>) {
+    fn split_cells(line: &str) -> Vec<String> {
+        line.trim()
+            .split("  ")
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect()
+    }
+
+    let mut header: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    for line in rendered.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if !trimmed.is_empty() && trimmed.chars().all(|c| c == '-' || c == ' ') {
+            continue; // the separator under the header
+        }
+        if header.is_empty() {
+            header = split_cells(line);
+            continue;
+        }
+        let cells = split_cells(line);
+        if cells.len() == header.len() {
+            rows.push(cells);
+        } else {
+            notes.push(cells.join(" "));
+        }
+    }
+    (header, rows, notes)
+}
+
 /// Human-readable bits/second.
 pub fn fmt_bps(bps: f64) -> String {
     if bps >= 1e9 {
@@ -95,5 +136,31 @@ mod tests {
     #[test]
     fn empty_table() {
         assert_eq!(render(&[]), "");
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let rendered = render(&[
+            vec!["config".into(), "throughput".into(), "slowdown".into()],
+            vec!["PROT C".into(), "2.50 Gbit/s".into(), "1.0x".into()],
+            vec!["PROT P".into(), "0.25 Gbit/s".into(), "10.0x".into()],
+        ]);
+        let with_note = format!("{rendered}(paper: an order of magnitude)\n");
+        let (header, rows, notes) = parse_rendered(&with_note);
+        assert_eq!(header, ["config", "throughput", "slowdown"]);
+        assert_eq!(
+            rows,
+            [
+                ["PROT C", "2.50 Gbit/s", "1.0x"],
+                ["PROT P", "0.25 Gbit/s", "10.0x"],
+            ]
+        );
+        assert_eq!(notes, ["(paper: an order of magnitude)"]);
+    }
+
+    #[test]
+    fn parse_empty() {
+        let (header, rows, notes) = parse_rendered("");
+        assert!(header.is_empty() && rows.is_empty() && notes.is_empty());
     }
 }

@@ -1,4 +1,11 @@
 //! Transfers: two-party GET/PUT and third-party server-to-server.
+//!
+//! The data plane rides on [`ig_server::dtp`]'s zero-copy loops: senders
+//! frame blocks as vectored header + payload-slice writes out of shared
+//! read chunks, receivers parse borrowed block views out of per-connection
+//! reused buffers, and any sealed (`PROT S`/`P`) channel encrypts and
+//! decrypts in place inside those same buffers — so steady-state transfer
+//! throughput is bounded by crypto and I/O, not allocator traffic.
 
 use crate::error::{ClientError, Result};
 use crate::session::ClientSession;

@@ -25,6 +25,8 @@
 //! these routines, so the security workflows of the paper are exercised for
 //! real rather than stubbed.
 
+#![deny(rust_2018_idioms)]
+
 pub mod bignum;
 pub mod chacha20;
 pub mod ct;
@@ -39,5 +41,6 @@ pub mod sha256;
 
 pub use bignum::BigUint;
 pub use error::CryptoError;
+pub use hmac::{HmacKey, HmacSha256};
 pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha256::Sha256;

@@ -135,9 +135,49 @@ impl SecureContext {
         self.sealer.seal(level, plaintext)
     }
 
+    /// Seal an outgoing message at `level` into a reused output buffer
+    /// (allocation-free once `out` has reached steady-state capacity).
+    pub fn seal_into(&mut self, level: ProtectionLevel, plaintext: &[u8], out: &mut Vec<u8>) {
+        self.sealer.seal_into(level, plaintext, out)
+    }
+
+    /// Seal a message gathered from multiple plaintext segments (e.g. a
+    /// frame header and a payload slice) into a reused output buffer.
+    pub fn seal_parts_into<'a, I>(&mut self, level: ProtectionLevel, parts: I, out: &mut Vec<u8>)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        self.sealer.seal_parts_into(level, parts, out)
+    }
+
     /// Open an incoming record.
     pub fn open(&mut self, record: &[u8]) -> Result<(ProtectionLevel, Vec<u8>)> {
         self.opener.open(record)
+    }
+
+    /// Open an incoming record in place, decrypting inside `record` and
+    /// returning the payload as a borrowed slice (no allocation).
+    pub fn open_in_place<'a>(
+        &mut self,
+        record: &'a mut [u8],
+    ) -> Result<(ProtectionLevel, &'a mut [u8])> {
+        self.opener.open_in_place(record)
+    }
+
+    /// Open a record in place and enforce a minimum protection level.
+    pub fn open_in_place_expecting<'a>(
+        &mut self,
+        record: &'a mut [u8],
+        min_level: ProtectionLevel,
+    ) -> Result<&'a mut [u8]> {
+        let (level, payload) = self.opener.open_in_place(record)?;
+        if level < min_level {
+            return Err(GsiError::InsufficientProtection {
+                required: min_level.name(),
+                got: level.name(),
+            });
+        }
+        Ok(payload)
     }
 
     /// Open an incoming record and enforce a minimum protection level.

@@ -27,6 +27,8 @@
 //!   credential different from that used to authenticate the control
 //!   channel").
 
+#![deny(rust_2018_idioms)]
+
 pub mod context;
 pub mod delegation;
 pub mod error;

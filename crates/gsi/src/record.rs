@@ -14,7 +14,7 @@
 use crate::error::{GsiError, Result};
 use crate::keys::DirectionKeys;
 use ig_crypto::chacha20::ChaCha20;
-use ig_crypto::hmac::HmacSha256;
+use ig_crypto::hmac::HmacKey;
 
 /// RFC 2228 data-channel protection levels (the `PROT` command).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,12 +80,16 @@ impl ProtectionLevel {
 /// Outgoing record sealer for one direction.
 pub struct Sealer {
     keys: DirectionKeys,
+    /// HMAC key with ipad/opad states precomputed once per direction.
+    mac: HmacKey,
     seq: u64,
 }
 
 /// Incoming record opener for one direction.
 pub struct Opener {
     keys: DirectionKeys,
+    /// HMAC key with ipad/opad states precomputed once per direction.
+    mac: HmacKey,
     seq: u64,
 }
 
@@ -102,35 +106,49 @@ fn nonce_for(prefix: &[u8; 4], seq: u64) -> [u8; 12] {
 impl Sealer {
     /// Create a sealer starting at sequence 0.
     pub fn new(keys: DirectionKeys) -> Self {
-        Sealer { keys, seq: 0 }
+        let mac = HmacKey::new(&keys.mac_key);
+        Sealer { keys, mac, seq: 0 }
     }
 
     /// Seal `plaintext` at `level`, consuming one sequence number.
     pub fn seal(&mut self, level: ProtectionLevel, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + plaintext.len() + MAC_LEN);
+        self.seal_into(level, plaintext, &mut out);
+        out
+    }
+
+    /// Seal `plaintext` at `level` into `out`, consuming one sequence
+    /// number. `out` is cleared first and reused: once it has grown to
+    /// the steady-state record size, sealing performs no allocations and
+    /// no intermediate plaintext copy — `Private` encrypts in place in
+    /// the output buffer.
+    pub fn seal_into(&mut self, level: ProtectionLevel, plaintext: &[u8], out: &mut Vec<u8>) {
+        self.seal_parts_into(level, std::iter::once(plaintext), out)
+    }
+
+    /// Like [`Sealer::seal_into`] but gathers the plaintext from multiple
+    /// segments (e.g. a frame header and a payload slice) without the
+    /// caller having to concatenate them first.
+    pub fn seal_parts_into<'a, I>(&mut self, level: ProtectionLevel, parts: I, out: &mut Vec<u8>)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
         let seq = self.seq;
         self.seq += 1;
-        let mut out = Vec::with_capacity(HEADER_LEN + plaintext.len() + MAC_LEN);
+        out.clear();
         out.push(level.to_byte());
         out.extend_from_slice(&seq.to_be_bytes());
-        match level {
-            ProtectionLevel::Clear => {
-                out.extend_from_slice(plaintext);
-            }
-            ProtectionLevel::Safe => {
-                out.extend_from_slice(plaintext);
-                let mac = HmacSha256::mac(&self.keys.mac_key, &out);
-                out.extend_from_slice(&mac);
-            }
-            ProtectionLevel::Private => {
-                let nonce = nonce_for(&self.keys.nonce_prefix, seq);
-                let mut body = plaintext.to_vec();
-                ChaCha20::new(&self.keys.enc_key, &nonce).apply(&mut body);
-                out.extend_from_slice(&body);
-                let mac = HmacSha256::mac(&self.keys.mac_key, &out);
-                out.extend_from_slice(&mac);
-            }
+        for part in parts {
+            out.extend_from_slice(part);
         }
-        out
+        if level == ProtectionLevel::Private {
+            let nonce = nonce_for(&self.keys.nonce_prefix, seq);
+            ChaCha20::new(&self.keys.enc_key, &nonce).apply(&mut out[HEADER_LEN..]);
+        }
+        if level != ProtectionLevel::Clear {
+            let tag = self.mac.mac(out);
+            out.extend_from_slice(&tag);
+        }
     }
 
     /// Next sequence number (for diagnostics).
@@ -142,11 +160,32 @@ impl Sealer {
 impl Opener {
     /// Create an opener expecting sequence 0 first.
     pub fn new(keys: DirectionKeys) -> Self {
-        Opener { keys, seq: 0 }
+        let mac = HmacKey::new(&keys.mac_key);
+        Opener { keys, mac, seq: 0 }
     }
 
     /// Open a sealed record, enforcing sequence order and MAC.
     pub fn open(&mut self, record: &[u8]) -> Result<(ProtectionLevel, Vec<u8>)> {
+        let mut buf = record.to_vec();
+        let (level, payload) = self.open_in_place(&mut buf)?;
+        let payload_len = payload.len();
+        // Trim the buffer down to just the payload — one memmove, no
+        // second allocation.
+        buf.truncate(HEADER_LEN + payload_len);
+        buf.drain(..HEADER_LEN);
+        Ok((level, buf))
+    }
+
+    /// Open a sealed record in place, enforcing sequence order and MAC.
+    ///
+    /// `Private` bodies are decrypted directly inside `record`; the
+    /// returned slice borrows the plaintext payload from it. On error the
+    /// buffer is left unmodified and the expected sequence number does
+    /// not advance.
+    pub fn open_in_place<'a>(
+        &mut self,
+        record: &'a mut [u8],
+    ) -> Result<(ProtectionLevel, &'a mut [u8])> {
         if record.len() < HEADER_LEN {
             return Err(GsiError::Decode("record shorter than header".into()));
         }
@@ -155,26 +194,27 @@ impl Opener {
         if seq != self.seq {
             return Err(GsiError::BadSequence { expected: self.seq, got: seq });
         }
-        let payload = match level {
-            ProtectionLevel::Clear => record[HEADER_LEN..].to_vec(),
+        let body_end = match level {
+            ProtectionLevel::Clear => record.len(),
             ProtectionLevel::Safe | ProtectionLevel::Private => {
                 if record.len() < HEADER_LEN + MAC_LEN {
                     return Err(GsiError::Decode("record shorter than MAC".into()));
                 }
-                let (signed, mac) = record.split_at(record.len() - MAC_LEN);
-                if !HmacSha256::verify(&self.keys.mac_key, signed, mac) {
+                let split = record.len() - MAC_LEN;
+                let (signed, mac) = record.split_at(split);
+                if !self.mac.verify(signed, mac) {
                     return Err(GsiError::RecordMac);
                 }
-                let mut body = signed[HEADER_LEN..].to_vec();
-                if level == ProtectionLevel::Private {
-                    let nonce = nonce_for(&self.keys.nonce_prefix, seq);
-                    ChaCha20::new(&self.keys.enc_key, &nonce).apply(&mut body);
-                }
-                body
+                split
             }
         };
+        let body = &mut record[HEADER_LEN..body_end];
+        if level == ProtectionLevel::Private {
+            let nonce = nonce_for(&self.keys.nonce_prefix, seq);
+            ChaCha20::new(&self.keys.enc_key, &nonce).apply(body);
+        }
         self.seq += 1;
-        Ok((level, payload))
+        Ok((level, body))
     }
 
     /// Next expected sequence number.
@@ -283,9 +323,124 @@ mod tests {
     #[test]
     fn large_payload_roundtrip() {
         let (mut s, mut o) = pair();
-        let data: Vec<u8> = (0..1_000_00).map(|i| (i % 251) as u8).collect();
+        // A true 1 MiB payload (the old constant 1_000_00 was 100 000 —
+        // ten times smaller than the "1 MB" the test claimed to cover).
+        let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
         let rec = s.seal(ProtectionLevel::Private, &data);
         let (_, body) = o.open(&rec).unwrap();
         assert_eq!(body, data);
+    }
+
+    /// Manually construct the expected wire bytes for a record using the
+    /// raw primitives — the golden reference the zero-copy paths must hit.
+    fn golden_record(keys: &DirectionKeys, level: ProtectionLevel, seq: u64, pt: &[u8]) -> Vec<u8> {
+        use ig_crypto::hmac::HmacSha256;
+        let mut rec = Vec::new();
+        rec.push(level.to_byte());
+        rec.extend_from_slice(&seq.to_be_bytes());
+        if level == ProtectionLevel::Private {
+            let nonce = nonce_for(&keys.nonce_prefix, seq);
+            rec.extend_from_slice(&ChaCha20::xor(&keys.enc_key, &nonce, pt));
+        } else {
+            rec.extend_from_slice(pt);
+        }
+        if level != ProtectionLevel::Clear {
+            let tag = HmacSha256::mac(&keys.mac_key, &rec);
+            rec.extend_from_slice(&tag);
+        }
+        rec
+    }
+
+    #[test]
+    fn seal_into_matches_golden_vectors() {
+        let keys = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]).c2s;
+        let payloads: [&[u8]; 4] = [b"", b"x", b"hello sealed world", &[0xa5; 300]];
+        for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+            let mut legacy = Sealer::new(keys.clone());
+            let mut zero_copy = Sealer::new(keys.clone());
+            let mut buf = Vec::new();
+            for (seq, pt) in payloads.iter().enumerate() {
+                let golden = golden_record(&keys, level, seq as u64, pt);
+                assert_eq!(legacy.seal(level, pt), golden, "seal {level:?} seq={seq}");
+                zero_copy.seal_into(level, pt, &mut buf);
+                assert_eq!(buf, golden, "seal_into {level:?} seq={seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn seal_parts_matches_contiguous() {
+        let keys = SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32]).c2s;
+        let header = [0x40u8, 1, 2, 3];
+        let payload = vec![0x9cu8; 777];
+        for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+            let mut whole = Sealer::new(keys.clone());
+            let mut parts = Sealer::new(keys.clone());
+            let mut contiguous = header.to_vec();
+            contiguous.extend_from_slice(&payload);
+            let expect = whole.seal(level, &contiguous);
+            let mut buf = Vec::new();
+            parts.seal_parts_into(level, [&header[..], &payload[..]], &mut buf);
+            assert_eq!(buf, expect, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn open_in_place_matches_open() {
+        let (mut s, _) = pair();
+        let (_, mut o_legacy) = pair();
+        let (_, mut o_inplace) = pair();
+        for (i, level) in [
+            ProtectionLevel::Clear,
+            ProtectionLevel::Safe,
+            ProtectionLevel::Private,
+            ProtectionLevel::Private,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let pt: Vec<u8> = (0..i * 97).map(|b| (b % 251) as u8).collect();
+            let rec = s.seal(*level, &pt);
+            let (lvl_a, body_a) = o_legacy.open(&rec).unwrap();
+            let mut buf = rec.clone();
+            let (lvl_b, body_b) = o_inplace.open_in_place(&mut buf).unwrap();
+            assert_eq!(lvl_a, *level);
+            assert_eq!(lvl_b, *level);
+            assert_eq!(body_a, pt);
+            assert_eq!(body_b, &pt[..]);
+        }
+        assert_eq!(o_legacy.seq(), o_inplace.seq());
+    }
+
+    #[test]
+    fn open_in_place_rejects_tamper_and_replay() {
+        let (mut s, mut o) = pair();
+        let rec = s.seal(ProtectionLevel::Private, b"guarded");
+        let mut bad = rec.clone();
+        bad[10] ^= 1;
+        assert!(matches!(o.open_in_place(&mut bad), Err(GsiError::RecordMac)));
+        // Failed open must not advance the sequence; the pristine record
+        // still opens.
+        let mut ok = rec.clone();
+        o.open_in_place(&mut ok).unwrap();
+        // Replay now fails on sequence.
+        let mut replay = rec;
+        assert!(matches!(
+            o.open_in_place(&mut replay),
+            Err(GsiError::BadSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn reused_buffer_shrinks_and_grows() {
+        // A reused output buffer must not leak bytes from a previous,
+        // larger record into a smaller one.
+        let (mut s, mut o) = pair();
+        let mut buf = Vec::new();
+        s.seal_into(ProtectionLevel::Safe, &[0xffu8; 512], &mut buf);
+        o.open(&buf).unwrap();
+        s.seal_into(ProtectionLevel::Safe, b"tiny", &mut buf);
+        let (_, body) = o.open(&buf).unwrap();
+        assert_eq!(body, b"tiny");
     }
 }

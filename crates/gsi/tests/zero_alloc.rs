@@ -1,0 +1,100 @@
+//! Proof that the steady-state sealed-record hot path is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after warming
+//! the reusable buffers up to steady-state capacity, sealing and opening
+//! records via `seal_into` / `open_in_place` must perform exactly zero
+//! heap allocations. Counting is gated on a thread-local flag so that
+//! allocations made by the libtest harness's own threads (timers, output
+//! capture) cannot race the measurement — only the test thread, and only
+//! inside the measured window, increments the counter.
+
+use ig_gsi::record::{Opener, ProtectionLevel, Sealer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here(on: bool) {
+    TRACKING.with(|t| t.set(on));
+}
+
+fn counting() -> bool {
+    // `try_with` so allocator calls during TLS teardown stay safe.
+    TRACKING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn keys() -> ig_gsi::keys::SessionKeys {
+    ig_gsi::keys::SessionKeys::derive(&[1; 32], &[2; 32], &[3; 32])
+}
+
+#[test]
+fn steady_state_seal_open_allocates_nothing() {
+    let session = keys();
+    let mut sealer = Sealer::new(session.c2s.clone());
+    let mut opener = Opener::new(session.c2s);
+    let payload = vec![0xabu8; 64 * 1024];
+    let mut record = Vec::new();
+
+    for level in [
+        ProtectionLevel::Clear,
+        ProtectionLevel::Safe,
+        ProtectionLevel::Private,
+    ] {
+        // Warm-up: let `record` grow to its steady-state capacity.
+        sealer.seal_into(level, &payload, &mut record);
+        {
+            let (got_level, body) = opener.open_in_place(&mut record).unwrap();
+            assert_eq!(got_level, level);
+            assert_eq!(body.len(), payload.len());
+        }
+
+        // Steady state: zero heap allocations over many records.
+        let before = alloc_count();
+        count_here(true);
+        for _ in 0..16 {
+            sealer.seal_into(level, &payload, &mut record);
+            let (_, body) = opener.open_in_place(&mut record).unwrap();
+            assert_eq!(body.len(), payload.len());
+        }
+        count_here(false);
+        let delta = alloc_count() - before;
+        assert_eq!(
+            delta, 0,
+            "steady-state seal_into/open_in_place at {level:?} allocated {delta} times"
+        );
+    }
+}

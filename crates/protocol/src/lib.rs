@@ -36,6 +36,6 @@ pub mod secure_line;
 pub use addr::HostPort;
 pub use command::{Command, DcauMode, ModeCode, TypeCode};
 pub use error::ProtocolError;
-pub use mode_e::Block;
+pub use mode_e::{Block, BlockView};
 pub use ranges::ByteRanges;
 pub use reply::Reply;

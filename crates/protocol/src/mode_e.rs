@@ -88,15 +88,65 @@ impl Block {
     /// Serialize: header + payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
-        out.push(self.descriptor);
-        out.extend_from_slice(&(self.payload.len() as u64).to_be_bytes());
-        out.extend_from_slice(&self.offset.to_be_bytes());
-        out.extend_from_slice(&self.payload);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serialize into a reused buffer (cleared first). Once `out` has
+    /// grown to the steady-state block size, encoding allocates nothing.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&encode_header(
+            self.descriptor,
+            self.payload.len() as u64,
+            self.offset,
+        ));
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The 17-byte wire header for this block. Senders that already hold
+    /// the payload elsewhere can transmit `header_bytes()` + payload as a
+    /// vectored write instead of materializing [`Block::encode`].
+    pub fn header_bytes(&self) -> [u8; HEADER_LEN] {
+        encode_header(self.descriptor, self.payload.len() as u64, self.offset)
+    }
+
+    /// Borrow this block's fields as a [`BlockView`].
+    pub fn view(&self) -> BlockView<'_> {
+        BlockView { descriptor: self.descriptor, offset: self.offset, payload: &self.payload }
     }
 
     /// Parse one block from a complete message.
     pub fn decode(data: &[u8]) -> Result<Self> {
+        Ok(BlockView::parse(data)?.to_block())
+    }
+}
+
+/// Build the wire header: `descriptor (1) || count (8 BE) || offset (8 BE)`.
+pub fn encode_header(descriptor: u8, count: u64, offset: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = descriptor;
+    h[1..9].copy_from_slice(&count.to_be_bytes());
+    h[9..17].copy_from_slice(&offset.to_be_bytes());
+    h
+}
+
+/// A borrowed view of one extended-mode block: the decode-side twin of
+/// [`Block`] whose payload points into the receive buffer, so parsing a
+/// block copies nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockView<'a> {
+    /// Descriptor bits.
+    pub descriptor: u8,
+    /// File offset of the payload (or EOD count for `EOF_COUNT` blocks).
+    pub offset: u64,
+    /// Payload bytes, borrowed from the message buffer.
+    pub payload: &'a [u8],
+}
+
+impl<'a> BlockView<'a> {
+    /// Parse one block from a complete message without copying the payload.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
         if data.len() < HEADER_LEN {
             return Err(ProtocolError::BadBlock(format!(
                 "message of {} bytes shorter than header",
@@ -113,7 +163,27 @@ impl Block {
                 body.len()
             )));
         }
-        Ok(Block { descriptor, offset, payload: body.to_vec() })
+        Ok(BlockView { descriptor, offset, payload: body })
+    }
+
+    /// Is the EOD bit set?
+    pub fn is_eod(&self) -> bool {
+        self.descriptor & EOD != 0
+    }
+
+    /// Is this an EOF-count block?
+    pub fn is_eof_count(&self) -> bool {
+        self.descriptor & EOF_COUNT != 0
+    }
+
+    /// Is this a restart marker?
+    pub fn is_restart(&self) -> bool {
+        self.descriptor & RESTART != 0
+    }
+
+    /// Copy into an owned [`Block`].
+    pub fn to_block(&self) -> Block {
+        Block { descriptor: self.descriptor, offset: self.offset, payload: self.payload.to_vec() }
     }
 }
 
@@ -149,6 +219,13 @@ impl Reassembler {
 
     /// Feed one block.
     pub fn push(&mut self, block: &Block) -> Result<()> {
+        self.push_view(&block.view())
+    }
+
+    /// Feed one borrowed block view (the zero-copy receive path: parse
+    /// the wire message with [`BlockView::parse`] and push the view, so
+    /// the payload goes straight from the receive buffer into place).
+    pub fn push_view(&mut self, block: &BlockView<'_>) -> Result<()> {
         if block.is_eof_count() {
             self.eods_expected = Some(block.offset);
             return Ok(());
@@ -166,7 +243,7 @@ impl Reassembler {
         if end > self.data.len() {
             self.data.resize(end, 0);
         }
-        self.data[start..end].copy_from_slice(&block.payload);
+        self.data[start..end].copy_from_slice(block.payload);
         self.received.add(block.offset, end as u64);
         Ok(())
     }
@@ -324,6 +401,62 @@ mod tests {
         ranges.add(0, 10);
         r.push(&Block::restart_marker(&ranges)).unwrap();
         assert_eq!(r.bytes(), 0);
+    }
+
+    #[test]
+    fn encode_into_and_header_bytes_match_encode() {
+        let blocks = [
+            Block::data(1 << 40, vec![1, 2, 3, 4, 5]),
+            Block::eod(),
+            Block::eof_count(8),
+            Block::data(0, Vec::new()),
+        ];
+        let mut buf = vec![0xffu8; 200]; // stale contents must be cleared
+        for b in &blocks {
+            let enc = b.encode();
+            b.encode_into(&mut buf);
+            assert_eq!(buf, enc);
+            let mut vectored = b.header_bytes().to_vec();
+            vectored.extend_from_slice(&b.payload);
+            assert_eq!(vectored, enc);
+        }
+    }
+
+    #[test]
+    fn view_parse_matches_decode() {
+        let b = Block::data(77, (0..50u8).collect());
+        let enc = b.encode();
+        let view = BlockView::parse(&enc).unwrap();
+        assert_eq!(view.descriptor, b.descriptor);
+        assert_eq!(view.offset, b.offset);
+        assert_eq!(view.payload, &b.payload[..]);
+        assert_eq!(view.to_block(), b);
+        assert_eq!(b.view(), view);
+        // Same malformed inputs rejected.
+        assert!(BlockView::parse(&[]).is_err());
+        assert!(BlockView::parse(&enc[..HEADER_LEN + 3]).is_err());
+        // Flag helpers agree with Block's.
+        let eod = Block::eod().encode();
+        assert!(BlockView::parse(&eod).unwrap().is_eod());
+        let eofc = Block::eof_count(3).encode();
+        assert!(BlockView::parse(&eofc).unwrap().is_eof_count());
+    }
+
+    #[test]
+    fn push_view_reassembles_from_wire_buffers() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        let mut r = Reassembler::new();
+        let mut wire = Vec::new();
+        for b in fragment(0, &data, 64) {
+            b.encode_into(&mut wire);
+            r.push_view(&BlockView::parse(&wire).unwrap()).unwrap();
+        }
+        Block::eof_count(1).encode_into(&mut wire);
+        r.push_view(&BlockView::parse(&wire).unwrap()).unwrap();
+        Block::eod().encode_into(&mut wire);
+        r.push_view(&BlockView::parse(&wire).unwrap()).unwrap();
+        assert!(r.channels_done());
+        assert_eq!(r.into_data(500).unwrap(), data);
     }
 
     #[test]

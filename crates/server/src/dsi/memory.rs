@@ -33,6 +33,16 @@ impl MemDsi {
     }
 
     fn ensure_parents(&self, path: &str) {
+        // Fast path: the immediate parent already exists, and every dir
+        // is only ever inserted together with its ancestors, so the whole
+        // chain does. Block-at-offset writes hit this on every block.
+        let parent = match path.rfind('/') {
+            Some(0) | None => "/",
+            Some(i) => &path[..i],
+        };
+        if self.dirs.read().contains(parent) {
+            return;
+        }
         let mut dirs = self.dirs.write();
         let mut cur = String::new();
         for comp in path.split('/').filter(|c| !c.is_empty()) {
@@ -50,10 +60,10 @@ impl MemDsi {
 
 impl Dsi for MemDsi {
     fn read(&self, user: &UserContext, path: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
-        let p = user.resolve(path)?;
+        let p = user.resolve_ref(path)?;
         let files = self.files.read();
         let data = files
-            .get(&p)
+            .get(p.as_ref())
             .ok_or_else(|| ServerError::Storage(format!("no such file: {p}")))?;
         let start = (offset as usize).min(data.len());
         let end = (start + len).min(data.len());
@@ -61,26 +71,34 @@ impl Dsi for MemDsi {
     }
 
     fn write(&self, user: &UserContext, path: &str, offset: u64, data: &[u8]) -> Result<()> {
-        let p = user.resolve(path)?;
-        if self.dirs.read().contains(&p) {
+        fn splice(file: &mut Vec<u8>, offset: usize, data: &[u8]) {
+            let end = offset + data.len();
+            if file.len() < end {
+                file.resize(end, 0);
+            }
+            file[offset..end].copy_from_slice(data);
+        }
+        let p = user.resolve_ref(path)?;
+        if self.dirs.read().contains(p.as_ref()) {
             return Err(ServerError::Storage(format!("{p} is a directory")));
         }
         self.ensure_parents(&p);
         let mut files = self.files.write();
-        let file = files.entry(p).or_default();
-        let end = offset as usize + data.len();
-        if file.len() < end {
-            file.resize(end, 0);
+        // Steady-state block writes extend an existing file: no key
+        // allocation, just the (amortized) file growth.
+        if let Some(file) = files.get_mut(p.as_ref()) {
+            splice(file, offset as usize, data);
+        } else {
+            splice(files.entry(p.into_owned()).or_default(), offset as usize, data);
         }
-        file[offset as usize..end].copy_from_slice(data);
         Ok(())
     }
 
     fn size(&self, user: &UserContext, path: &str) -> Result<u64> {
-        let p = user.resolve(path)?;
+        let p = user.resolve_ref(path)?;
         self.files
             .read()
-            .get(&p)
+            .get(p.as_ref())
             .map(|d| d.len() as u64)
             .ok_or_else(|| ServerError::Storage(format!("no such file: {p}")))
     }
@@ -156,8 +174,10 @@ impl Dsi for MemDsi {
     }
 
     fn exists(&self, user: &UserContext, path: &str) -> bool {
-        match user.resolve(path) {
-            Ok(p) => self.files.read().contains_key(&p) || self.dirs.read().contains(&p),
+        match user.resolve_ref(path) {
+            Ok(p) => {
+                self.files.read().contains_key(p.as_ref()) || self.dirs.read().contains(p.as_ref())
+            }
             Err(_) => false,
         }
     }

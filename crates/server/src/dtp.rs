@@ -9,12 +9,20 @@
 use crate::dsi::Dsi;
 use crate::error::{Result, ServerError};
 use crate::users::UserContext;
-use ig_protocol::mode_e::{self, Block};
+use ig_protocol::mode_e::{self, Block, BlockView};
 use ig_protocol::ByteRanges;
 use ig_xio::Link;
 use parking_lot::Mutex;
+use std::io::IoSlice;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One queued piece of work for a stream worker: `(file_offset, chunk,
+/// start, end)` — the block payload is `chunk[start..end]`. The read
+/// chunk is shared by reference, so fanning one DSI read out into many
+/// blocks allocates nothing per block; workers frame each block as a
+/// vectored header + payload-slice send.
+type BlockPiece = (u64, Arc<[u8]>, usize, usize);
 
 /// Shared live progress of a transfer (polled for markers).
 #[derive(Default)]
@@ -64,7 +72,7 @@ pub fn send_ranges(
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = crossbeam::channel::bounded::<Block>(4);
+        let (tx, rx) = crossbeam::channel::bounded::<BlockPiece>(4);
         txs.push(tx);
         rxs.push(rx);
     }
@@ -80,10 +88,11 @@ pub fn send_ranges(
                     .send(&Block::eof_count(n as u64).encode())
                     .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
             }
-            while let Ok(block) = rx.recv() {
-                let len = block.payload.len() as u64;
+            while let Ok((offset, chunk, start, end)) = rx.recv() {
+                let len = (end - start) as u64;
+                let header = mode_e::encode_header(0, len, offset);
                 stream
-                    .send(&block.encode())
+                    .send_vectored(&[IoSlice::new(&header), IoSlice::new(&chunk[start..end])])
                     .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
                 progress.bytes.fetch_add(len, Ordering::Relaxed);
             }
@@ -95,7 +104,9 @@ pub fn send_ranges(
         }));
     }
     // Reader: stream file ranges into the queues in block-sized pieces,
-    // strictly round-robin over streams.
+    // strictly round-robin over streams. Each read chunk is shared with
+    // the workers by reference; the per-block queue items carry only an
+    // offset and a sub-range, never a copy of the payload.
     let mut total = 0u64;
     let read_chunk = block_size.max(64 * 1024);
     let mut feed_err: Option<ServerError> = None;
@@ -115,12 +126,18 @@ pub fn send_ranges(
                 break; // EOF inside the range
             }
             let got = data.len() as u64;
-            for block in mode_e::fragment(offset, &data, block_size) {
-                if txs[next_stream].send(block).is_err() {
+            let chunk: Arc<[u8]> = Arc::from(data);
+            let mut piece_start = 0usize;
+            while piece_start < chunk.len() {
+                let piece_end = (piece_start + block_size).min(chunk.len());
+                let piece =
+                    (offset + piece_start as u64, Arc::clone(&chunk), piece_start, piece_end);
+                if txs[next_stream].send(piece).is_err() {
                     feed_err = Some(ServerError::Data("stream workers died".into()));
                     break 'outer;
                 }
                 next_stream = (next_stream + 1) % n;
+                piece_start = piece_end;
             }
             offset += got;
             total += got;
@@ -162,16 +179,23 @@ pub fn send_buffer_at(
 ) -> Result<u64> {
     let n = streams.len();
     assert!(n > 0, "need at least one stream");
+    assert!(block_size > 0, "block size must be positive");
     streams[0]
         .send(&Block::eof_count(n as u64).encode())
         .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
-    let blocks = mode_e::fragment(base, data, block_size);
-    for (i, block) in blocks.iter().enumerate() {
-        let len = block.payload.len() as u64;
+    // Vectored header + payload-slice sends straight out of the caller's
+    // buffer: no per-block `Block` materialization or payload copy.
+    let mut off = 0usize;
+    let mut i = 0usize;
+    while off < data.len() {
+        let end = (off + block_size).min(data.len());
+        let header = mode_e::encode_header(0, (end - off) as u64, base + off as u64);
         streams[i % n]
-            .send(&block.encode())
+            .send_vectored(&[IoSlice::new(&header), IoSlice::new(&data[off..end])])
             .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
-        progress.bytes.fetch_add(len, Ordering::Relaxed);
+        progress.bytes.fetch_add((end - off) as u64, Ordering::Relaxed);
+        off = end;
+        i += 1;
     }
     for stream in streams.iter_mut() {
         stream
@@ -229,19 +253,19 @@ impl Receiver {
     pub fn add_stream(&self, mut link: Box<dyn Link>) {
         let shared = Arc::clone(&self.shared);
         let handle = std::thread::spawn(move || {
+            // One receive buffer per connection, reused for every block;
+            // blocks are parsed as borrowed views straight out of it.
+            let mut msg = Vec::new();
             loop {
-                let msg = match link.recv() {
-                    Ok(m) => m,
-                    Err(e) => {
-                        // EOF without EOD = abnormal close.
-                        let mut err = shared.error.lock();
-                        if err.is_none() {
-                            *err = Some(format!("data connection dropped: {e}"));
-                        }
-                        return;
+                if let Err(e) = link.recv_into(&mut msg) {
+                    // EOF without EOD = abnormal close.
+                    let mut err = shared.error.lock();
+                    if err.is_none() {
+                        *err = Some(format!("data connection dropped: {e}"));
                     }
-                };
-                let block = match Block::decode(&msg) {
+                    return;
+                }
+                let block = match BlockView::parse(&msg) {
                     Ok(b) => b,
                     Err(e) => {
                         let mut err = shared.error.lock();
@@ -258,7 +282,7 @@ impl Receiver {
                 if !block.payload.is_empty() && !block.is_restart() {
                     let end = block.offset + block.payload.len() as u64;
                     if let Err(e) =
-                        shared.dsi.write(&shared.user, &shared.path, block.offset, &block.payload)
+                        shared.dsi.write(&shared.user, &shared.path, block.offset, block.payload)
                     {
                         let mut err = shared.error.lock();
                         if err.is_none() {

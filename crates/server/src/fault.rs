@@ -85,6 +85,21 @@ impl<L: Link> Link for FaultLink<L> {
     fn close(&mut self) -> io::Result<()> {
         self.inner.close()
     }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        self.inner.recv_into(buf)
+    }
+
+    fn send_vectored(&mut self, parts: &[io::IoSlice<'_>]) -> io::Result<()> {
+        if self.injector.should_fail(parts.iter().map(|p| p.len()).sum()) {
+            let _ = self.inner.close();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: connection lost",
+            ));
+        }
+        self.inner.send_vectored(parts)
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,27 @@
 //! session only touches paths inside that user's home tree.
 
 use crate::error::{Result, ServerError};
+use std::borrow::Cow;
+
+/// Is `path` already in normal form (absolute, no empty/`.`/`..`
+/// components, no trailing slash except the root itself)?
+fn is_normal(path: &str) -> bool {
+    if path == "/" {
+        return true;
+    }
+    path.starts_with('/')
+        && !path.ends_with('/')
+        && path[1..].split('/').all(|c| !c.is_empty() && c != "." && c != "..")
+}
+
+/// Is a normalized `path` equal to or beneath `home` (itself normalized,
+/// no trailing slash)?
+fn within(path: &str, home: &str) -> bool {
+    path == home
+        || (path.len() > home.len()
+            && path.starts_with(home)
+            && path.as_bytes()[home.len()] == b'/')
+}
 
 /// The local identity a session runs as after authorization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,12 +78,23 @@ impl UserContext {
 
     /// Normalize and confine: the resulting path must be inside `home`.
     pub fn resolve(&self, path: &str) -> Result<String> {
-        let normalized = self.normalize(path)?;
+        Ok(self.resolve_ref(path)?.into_owned())
+    }
+
+    /// Like [`UserContext::resolve`], but borrows the input when it is
+    /// already in normal form. The per-block DSI write path resolves the
+    /// same destination path for every block; this keeps that resolution
+    /// allocation-free in the steady state.
+    pub fn resolve_ref<'a>(&self, path: &'a str) -> Result<Cow<'a, str>> {
+        let normalized: Cow<'a, str> = if is_normal(path) {
+            Cow::Borrowed(path)
+        } else {
+            Cow::Owned(self.normalize(path)?)
+        };
         if self.home == "/" {
             return Ok(normalized);
         }
-        let home = self.home.trim_end_matches('/');
-        if normalized == home || normalized.starts_with(&format!("{home}/")) {
+        if within(&normalized, self.home.trim_end_matches('/')) {
             Ok(normalized)
         } else {
             Err(ServerError::AccessDenied(format!(
@@ -100,6 +132,23 @@ mod tests {
         assert!(u.resolve("/home/alice/../bob/x").is_err());
         // Prefix trickery rejected.
         assert!(u.resolve("/home/alicefake/x").is_err());
+    }
+
+    #[test]
+    fn resolve_ref_borrows_normal_paths() {
+        use std::borrow::Cow;
+        let u = UserContext::user("alice");
+        // Already-normalized paths come back borrowed (no allocation).
+        assert!(matches!(u.resolve_ref("/home/alice/data.txt"), Ok(Cow::Borrowed(_))));
+        assert!(matches!(UserContext::superuser().resolve_ref("/"), Ok(Cow::Borrowed("/"))));
+        // Anything needing normalization is owned, with identical results.
+        for p in ["x/y.txt", "/home/alice//x/./y", "/home/alice/x/"] {
+            assert_eq!(u.resolve_ref(p).unwrap(), u.resolve(p).unwrap());
+            assert!(matches!(u.resolve_ref(p), Ok(Cow::Owned(_))));
+        }
+        // The fast path still confines.
+        assert!(u.resolve_ref("/home/bob/secret").is_err());
+        assert!(u.resolve_ref("/home/alicefake/x").is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Allocation accounting for the MODE E data plane.
+//!
+//! Streams a multi-megabyte transfer over a real TCP loopback through the
+//! DTP sender and receiver and asserts that heap allocations grow with
+//! *read chunks* (64 KiB granularity), not with *blocks*: the per-block
+//! seal/frame/send path is allocation-free. The old code allocated at
+//! least four times per block (fragment payload copy, encode buffer,
+//! receive buffer, decode payload copy); this test fails if that
+//! behaviour comes back. Lives alone in its own test binary so no other
+//! test's allocations can race the counter.
+
+use ig_server::dtp::{send_ranges, Progress, Receiver};
+use ig_server::{Dsi, MemDsi, UserContext};
+use ig_xio::{Link, TcpLink};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn transfer_allocations_scale_with_chunks_not_blocks() {
+    const TOTAL: usize = 4 << 20; // 4 MiB
+    const BLOCK: usize = 8 * 1024; // 512 blocks, read chunk stays 64 KiB
+
+    let data: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
+    let src = MemDsi::new();
+    src.put("/src.bin", &data);
+    let src: Arc<dyn Dsi> = Arc::new(src);
+    let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+    let user = UserContext::superuser();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let receiver = Receiver::new(Arc::clone(&dst), user.clone(), "/dst.bin", Progress::new());
+
+    let mut sender_links: Vec<Box<dyn Link>> = Vec::new();
+    for _ in 0..2 {
+        let out = TcpLink::connect(addr).unwrap();
+        let (inbound, _) = listener.accept().unwrap();
+        sender_links.push(Box::new(out));
+        receiver.add_stream(Box::new(TcpLink::new(inbound)));
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let sent = send_ranges(
+        sender_links,
+        &src,
+        &user,
+        "/src.bin",
+        &[(0, TOTAL as u64)],
+        BLOCK,
+        &Progress::new(),
+    )
+    .unwrap();
+    assert_eq!(sent, TOTAL as u64);
+    assert_eq!(receiver.finish().unwrap(), TOTAL as u64);
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    let blocks = TOTAL / BLOCK;
+    assert!(
+        delta < blocks,
+        "transfer of {blocks} blocks performed {delta} allocations — \
+         the per-block path is allocating again"
+    );
+
+    // And the bytes arrived intact.
+    let got = ig_server::dsi::read_all(dst.as_ref(), &user, "/dst.bin", 1 << 16).unwrap();
+    assert_eq!(got, data);
+}

@@ -16,6 +16,8 @@
 //!   data channel gains DCAU + `PROT` protection by pushing one more
 //!   driver onto the stack, exactly the XIO composition model.
 
+#![deny(rust_2018_idioms)]
+
 pub mod link;
 pub mod secure;
 pub mod telemetry;

@@ -1,6 +1,6 @@
 //! The `Link` trait and its two base transports.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, TcpStream};
 
 /// Maximum frame size accepted from the wire (16 MiB + sealing overhead).
@@ -11,6 +11,14 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024 + 64;
 /// GridFTP's MODE E data channel is block-structured, so a message
 /// abstraction (rather than a byte stream) is the natural driver
 /// interface; stream transports add 4-byte length framing underneath.
+///
+/// The zero-copy data plane uses two extension methods: [`Link::recv_into`]
+/// receives into a caller-owned buffer (reused across blocks, so the
+/// steady-state receive loop does not allocate) and [`Link::send_vectored`]
+/// gathers a message from multiple segments (frame header + payload slice)
+/// without concatenating them first. Both have default implementations in
+/// terms of `recv`/`send`, so existing transports keep working; transports
+/// that can do better (TCP) override them.
 pub trait Link: Send {
     /// Send one message.
     fn send(&mut self, data: &[u8]) -> io::Result<()>;
@@ -18,6 +26,32 @@ pub trait Link: Send {
     fn recv(&mut self) -> io::Result<Vec<u8>>;
     /// Close the transport (idempotent).
     fn close(&mut self) -> io::Result<()>;
+
+    /// Receive one message into `buf`, returning its length. `buf` is
+    /// cleared first; its capacity is reused, so a steady-state receive
+    /// loop over same-sized messages performs no allocations.
+    ///
+    /// The default implementation delegates to [`Link::recv`] and copies.
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let msg = self.recv()?;
+        buf.clear();
+        buf.extend_from_slice(&msg);
+        Ok(buf.len())
+    }
+
+    /// Send one message gathered from `parts` (they form a single frame
+    /// on the wire, exactly as if concatenated).
+    ///
+    /// The default implementation concatenates into a scratch `Vec` and
+    /// delegates to [`Link::send`].
+    fn send_vectored(&mut self, parts: &[IoSlice<'_>]) -> io::Result<()> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut joined = Vec::with_capacity(total);
+        for part in parts {
+            joined.extend_from_slice(part);
+        }
+        self.send(&joined)
+    }
 }
 
 impl<L: Link + ?Sized> Link for Box<L> {
@@ -29,6 +63,12 @@ impl<L: Link + ?Sized> Link for Box<L> {
     }
     fn close(&mut self) -> io::Result<()> {
         (**self).close()
+    }
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        (**self).recv_into(buf)
+    }
+    fn send_vectored(&mut self, parts: &[IoSlice<'_>]) -> io::Result<()> {
+        (**self).send_vectored(parts)
     }
 }
 
@@ -72,6 +112,13 @@ impl Link for PipeLink {
     fn close(&mut self) -> io::Result<()> {
         self.tx = None;
         Ok(())
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        // The channel hands over an owned Vec; moving it into `buf` avoids
+        // the default implementation's copy.
+        *buf = self.recv()?;
+        Ok(buf.len())
     }
 }
 
@@ -118,6 +165,12 @@ impl Link for TcpLink {
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.recv_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
         let mut len_buf = [0u8; 4];
         self.stream.read_exact(&mut len_buf)?;
         let len = u32::from_be_bytes(len_buf) as usize;
@@ -127,9 +180,27 @@ impl Link for TcpLink {
                 format!("frame of {len} bytes exceeds maximum"),
             ));
         }
-        let mut buf = vec![0u8; len];
-        self.stream.read_exact(&mut buf)?;
-        Ok(buf)
+        buf.clear();
+        buf.resize(len, 0);
+        self.stream.read_exact(buf)?;
+        Ok(len)
+    }
+
+    fn send_vectored(&mut self, parts: &[IoSlice<'_>]) -> io::Result<()> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if total > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {total} bytes exceeds maximum"),
+            ));
+        }
+        // One frame on the wire: length prefix, then each segment in
+        // order, no intermediate concatenation buffer.
+        self.stream.write_all(&(total as u32).to_be_bytes())?;
+        for part in parts {
+            self.stream.write_all(part)?;
+        }
+        self.stream.flush()
     }
 
     fn close(&mut self) -> io::Result<()> {
@@ -239,5 +310,68 @@ mod tests {
         boxed.send(b"via box").unwrap();
         assert_eq!(b.recv().unwrap(), b"via box");
         boxed.close().unwrap();
+    }
+
+    #[test]
+    fn recv_into_reuses_buffer() {
+        let (mut a, mut b) = pipe();
+        let mut buf = Vec::new();
+        a.send(b"first message").unwrap();
+        assert_eq!(b.recv_into(&mut buf).unwrap(), 13);
+        assert_eq!(&buf, b"first message");
+        // A shorter message must fully replace the previous contents.
+        a.send(b"2nd").unwrap();
+        assert_eq!(b.recv_into(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"2nd");
+    }
+
+    #[test]
+    fn send_vectored_matches_concatenated() {
+        let (mut a, mut b) = pipe();
+        a.send_vectored(&[
+            IoSlice::new(b"head"),
+            IoSlice::new(b""),
+            IoSlice::new(b"-body"),
+        ])
+        .unwrap();
+        assert_eq!(b.recv().unwrap(), b"head-body");
+    }
+
+    #[test]
+    fn tcp_vectored_and_recv_into_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut link = TcpLink::new(s);
+            let mut buf = Vec::new();
+            let n = link.recv_into(&mut buf).unwrap();
+            assert_eq!(n, buf.len());
+            link.send(&buf).unwrap(); // echo
+            let n = link.recv_into(&mut buf).unwrap();
+            assert_eq!(n, 0);
+            assert!(buf.is_empty());
+        });
+        let mut link = TcpLink::connect(addr).unwrap();
+        link.send_vectored(&[IoSlice::new(b"hdr|"), IoSlice::new(b"payload")])
+            .unwrap();
+        assert_eq!(link.recv().unwrap(), b"hdr|payload");
+        link.send_vectored(&[]).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_vectored_oversize_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keep = std::thread::spawn(move || {
+            let _ = listener.accept();
+        });
+        let mut link = TcpLink::connect(addr).unwrap();
+        let big = vec![0u8; MAX_FRAME];
+        let err = link
+            .send_vectored(&[IoSlice::new(&big), IoSlice::new(b"x")])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -21,9 +21,19 @@ fn gsi_io(e: GsiError) -> io::Error {
 }
 
 /// A sealed link: every message is a GSI record.
+///
+/// Sealing and opening reuse two internal scratch buffers, so once a
+/// transfer reaches steady state no per-message allocations happen in
+/// this driver: outgoing records are sealed into `send_buf` (encrypting
+/// in place for `Private`), incoming records are received into `recv_buf`
+/// and decrypted in place there.
 pub struct SecureLink<L: Link> {
     inner: L,
     ctx: SecureContext,
+    /// Reused output buffer for sealed outgoing records.
+    send_buf: Vec<u8>,
+    /// Reused input buffer incoming records are opened inside.
+    recv_buf: Vec<u8>,
     /// Protection applied to outgoing messages (`PROT` level).
     pub send_level: ProtectionLevel,
     /// Minimum protection accepted on incoming messages.
@@ -35,6 +45,8 @@ impl<L: Link> SecureLink<L> {
         SecureLink {
             inner,
             ctx: SecureContext::from_established(est),
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
             send_level: level,
             min_recv_level: ProtectionLevel::Clear,
         }
@@ -68,19 +80,38 @@ impl<L: Link> SecureLink<L> {
 
 impl<L: Link> Link for SecureLink<L> {
     fn send(&mut self, data: &[u8]) -> io::Result<()> {
-        let record = self.ctx.seal(self.send_level, data);
-        self.inner.send(&record)
+        self.ctx.seal_into(self.send_level, data, &mut self.send_buf);
+        self.inner.send(&self.send_buf)
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        let record = self.inner.recv()?;
-        self.ctx
-            .open_expecting(&record, self.min_recv_level)
-            .map_err(gsi_io)
+        let mut buf = Vec::new();
+        self.recv_into(&mut buf)?;
+        Ok(buf)
     }
 
     fn close(&mut self) -> io::Result<()> {
         self.inner.close()
+    }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        self.inner.recv_into(&mut self.recv_buf)?;
+        let payload = self
+            .ctx
+            .open_in_place_expecting(&mut self.recv_buf, self.min_recv_level)
+            .map_err(gsi_io)?;
+        buf.clear();
+        buf.extend_from_slice(payload);
+        Ok(buf.len())
+    }
+
+    fn send_vectored(&mut self, parts: &[io::IoSlice<'_>]) -> io::Result<()> {
+        // The segments become one sealed record: gather them straight
+        // into the seal buffer (no pre-concatenation), then hand the
+        // contiguous record to the transport.
+        self.ctx
+            .seal_parts_into(self.send_level, parts.iter().map(|p| &p[..]), &mut self.send_buf);
+        self.inner.send(&self.send_buf)
     }
 }
 
@@ -162,6 +193,22 @@ mod tests {
             assert_eq!(c.recv().unwrap(), b"down");
             assert_eq!(c.peer().unwrap().identity.to_string(), "/CN=server");
             assert_eq!(s.peer().unwrap().identity.to_string(), "/CN=client");
+        }
+    }
+
+    #[test]
+    fn vectored_send_and_recv_into_sealed() {
+        for level in [ProtectionLevel::Clear, ProtectionLevel::Safe, ProtectionLevel::Private] {
+            let (mut c, mut s) = secure_pair(level);
+            c.send_vectored(&[io::IoSlice::new(b"hdr"), io::IoSlice::new(b"-payload")])
+                .unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(s.recv_into(&mut buf).unwrap(), 11);
+            assert_eq!(&buf, b"hdr-payload");
+            // Reuse of the sealed-send scratch buffer: a plain send after
+            // a vectored one still produces a valid record.
+            c.send(b"plain after vectored").unwrap();
+            assert_eq!(s.recv().unwrap(), b"plain after vectored");
         }
     }
 

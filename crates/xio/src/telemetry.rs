@@ -111,12 +111,44 @@ impl<L: Link> Link for Telemetry<L> {
     fn close(&mut self) -> io::Result<()> {
         self.inner.close()
     }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let n = self.inner.recv_into(buf)?;
+        self.counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.msgs_received.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn send_vectored(&mut self, parts: &[io::IoSlice<'_>]) -> io::Result<()> {
+        self.inner.send_vectored(parts)?;
+        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        self.counters.bytes_sent.fetch_add(total, Ordering::Relaxed);
+        self.counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::link::pipe;
+
+    #[test]
+    fn vectored_and_recv_into_counted() {
+        let (a, b) = pipe();
+        let ca = Counters::new();
+        let cb = Counters::new();
+        let mut ta = Telemetry::new(a, Arc::clone(&ca));
+        let mut tb = Telemetry::new(b, Arc::clone(&cb));
+        ta.send_vectored(&[io::IoSlice::new(b"head"), io::IoSlice::new(b"tail!")])
+            .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(tb.recv_into(&mut buf).unwrap(), 9);
+        assert_eq!(ca.bytes_sent.load(Ordering::Relaxed), 9);
+        assert_eq!(ca.msgs_sent.load(Ordering::Relaxed), 1);
+        assert_eq!(cb.bytes_received.load(Ordering::Relaxed), 9);
+        assert_eq!(cb.msgs_received.load(Ordering::Relaxed), 1);
+    }
 
     #[test]
     fn counts_both_directions() {

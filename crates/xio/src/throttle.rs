@@ -86,6 +86,17 @@ impl<L: Link> Link for Throttle<L> {
     fn close(&mut self) -> io::Result<()> {
         self.inner.close()
     }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let n = self.inner.recv_into(buf)?;
+        self.acquire(n);
+        Ok(n)
+    }
+
+    fn send_vectored(&mut self, parts: &[io::IoSlice<'_>]) -> io::Result<()> {
+        self.acquire(parts.iter().map(|p| p.len()).sum());
+        self.inner.send_vectored(parts)
+    }
 }
 
 #[cfg(test)]

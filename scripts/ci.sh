@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, lint, test. Run from the workspace root.
+#
+#   scripts/ci.sh          # full gate
+#   FAST=1 scripts/ci.sh   # skip the release build (quick local check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+if [[ "${FAST:-0}" != "1" ]]; then
+  cargo build --release
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."
