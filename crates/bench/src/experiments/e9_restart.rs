@@ -66,6 +66,7 @@ pub fn run(fast: bool) -> Vec<Row> {
                     dst_endpoint: "e9-dst.example.org".into(),
                     dst_path: "/home/alice/f.bin".into(),
                     max_retries: 3,
+                    retry: None,
                     opts: Some(TransferOpts::default().parallel(2).block(8 * 1024)),
                 },
             )

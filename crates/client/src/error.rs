@@ -18,6 +18,15 @@ pub enum ClientError {
     Pki(ig_pki::PkiError),
     /// Data-plane failure.
     Data(String),
+    /// An idle/read deadline expired (partitioned or stalled peer).
+    Timeout(String),
+    /// Fewer bytes arrived than the transfer promised.
+    Truncated(String),
+    /// Data arrived but failed structural checks (bad framing, bad
+    /// block).
+    Corrupt(String),
+    /// End-to-end verification (checksum) rejected the received bytes.
+    Integrity(String),
     /// Transport failure.
     Io(std::io::Error),
 }
@@ -33,6 +42,10 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Pki(e) => write!(f, "pki: {e}"),
             ClientError::Data(m) => write!(f, "data channel: {m}"),
+            ClientError::Timeout(m) => write!(f, "timeout: {m}"),
+            ClientError::Truncated(m) => write!(f, "truncated: {m}"),
+            ClientError::Corrupt(m) => write!(f, "corrupt: {m}"),
+            ClientError::Integrity(m) => write!(f, "integrity: {m}"),
             ClientError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -87,7 +100,25 @@ impl From<std::io::Error> for ClientError {
 
 impl From<ig_server::ServerError> for ClientError {
     fn from(e: ig_server::ServerError) -> Self {
-        ClientError::Data(e.to_string())
+        // Preserve the failure kind across the crate boundary so callers
+        // (and the chaos matrix) can assert *which* failure happened.
+        match e {
+            ig_server::ServerError::Timeout(m) => ClientError::Timeout(m),
+            ig_server::ServerError::Truncated(m) => ClientError::Truncated(m),
+            ig_server::ServerError::Corrupt(m) => ClientError::Corrupt(m),
+            other => ClientError::Data(other.to_string()),
+        }
+    }
+}
+
+/// Classify a transport error: read deadlines become [`ClientError::Timeout`],
+/// everything else stays an I/O error.
+pub(crate) fn io_to_client(e: std::io::Error, what: &str) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            ClientError::Timeout(format!("{what}: {e}"))
+        }
+        _ => ClientError::Io(e),
     }
 }
 

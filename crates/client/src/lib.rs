@@ -18,5 +18,6 @@ pub mod session;
 pub mod transfer;
 
 pub use error::ClientError;
+pub use ig_xio::{RetryError, RetryPolicy};
 pub use session::{ClientConfig, ClientSession};
-pub use transfer::{third_party, ThirdPartyOutcome, TransferOpts};
+pub use transfer::{third_party, third_party_with_retry, ThirdPartyOutcome, TransferOpts};

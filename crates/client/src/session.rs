@@ -1,6 +1,6 @@
 //! The client protocol interpreter: one control-channel session.
 
-use crate::error::{ClientError, Result};
+use crate::error::{io_to_client, ClientError, Result};
 use ig_crypto::encode::{base64_decode, base64_encode};
 use ig_gsi::context::{GsiConfig, SecureContext};
 use ig_gsi::handshake::{Initiator, Step};
@@ -11,7 +11,7 @@ use ig_pki::{Credential, TrustStore};
 use ig_protocol::command::{Command, DcauMode, ModeCode, ProtectedKind};
 use ig_protocol::secure_line;
 use ig_protocol::{HostPort, Reply};
-use ig_xio::{Link, TcpLink};
+use ig_xio::{Link, RetryPolicy, TcpLink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,6 +32,10 @@ pub struct ClientConfig {
     pub key_bits: usize,
     /// Deterministic seed for this session's randomness.
     pub seed: u64,
+    /// Retry/timeout policy for connecting and control-channel reads.
+    /// The default is [`RetryPolicy::once`]: one attempt, no deadlines —
+    /// exactly the legacy behaviour before the policy existed.
+    pub retry: RetryPolicy,
 }
 
 impl ClientConfig {
@@ -44,6 +48,7 @@ impl ClientConfig {
             delegate: true,
             key_bits: 512,
             seed: 0x1951_07_05,
+            retry: RetryPolicy::once(),
         }
     }
 
@@ -62,6 +67,12 @@ impl ClientConfig {
     /// Builder: disable login-time delegation.
     pub fn no_delegation(mut self) -> Self {
         self.delegate = false;
+        self
+    }
+
+    /// Builder: retry/timeout policy for connect and control reads.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -83,14 +94,23 @@ pub struct ClientSession {
 }
 
 impl ClientSession {
-    /// Connect over TCP and read the banner.
+    /// Connect over TCP and read the banner. The dial is retried under
+    /// `config.retry`; the control channel inherits the policy's
+    /// per-attempt timeout as its read deadline.
     pub fn connect(addr: HostPort, config: ClientConfig) -> Result<Self> {
-        let link = TcpLink::connect(addr.to_socket_addr())?;
+        let policy = config.retry.clone();
+        let link = policy
+            .run(|_attempt| TcpLink::connect(addr.to_socket_addr()))
+            .map_err(|e| match e.into_last() {
+                Some(io) => io_to_client(io, "control connect"),
+                None => ClientError::Timeout("control connect: deadline exceeded".into()),
+            })?;
         Self::from_link(Box::new(link), config)
     }
 
     /// Start a session over an arbitrary link (pipes in tests).
-    pub fn from_link(link: Box<dyn Link>, config: ClientConfig) -> Result<Self> {
+    pub fn from_link(mut link: Box<dyn Link>, config: ClientConfig) -> Result<Self> {
+        let _ = link.set_recv_timeout(config.retry.attempt_timeout);
         let rng = StdRng::seed_from_u64(config.seed);
         let mut s = ClientSession {
             link,
@@ -111,10 +131,12 @@ impl ClientSession {
 
     /// Read one reply message (unwrapping protection if present).
     pub fn read_reply(&mut self) -> Result<Reply> {
-        let msg = self
-            .link
-            .recv()
-            .map_err(|e| ClientError::Data(format!("control recv: {e}")))?;
+        let msg = self.link.recv().map_err(|e| match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ClientError::Timeout(format!("control recv: {e}"))
+            }
+            _ => ClientError::Data(format!("control recv: {e}")),
+        })?;
         let text = String::from_utf8(msg)
             .map_err(|_| ClientError::Data("reply not UTF-8".into()))?;
         let reply = Reply::parse(&text)?;

@@ -15,7 +15,7 @@ use ig_protocol::{ByteRanges, Reply};
 use ig_server::data::{wrap_accept, wrap_connect, DataListener, DataSecurity};
 use ig_server::dtp::{send_ranges, Progress, Receiver};
 use ig_server::{Dsi, MemDsi, UserContext};
-use ig_xio::{Link, TcpLink};
+use ig_xio::{ChaosHook, Link, RetryPolicy, TcpLink};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,11 +28,24 @@ pub struct TransferOpts {
     pub block_size: usize,
     /// Use striped data channels (`SPAS`/`SPOR`) on the servers.
     pub striped: bool,
+    /// Read/accept deadline on the client's own data channels: a silent
+    /// peer yields [`ClientError::Timeout`] instead of a hang. `None` =
+    /// wait forever (legacy behaviour).
+    pub io_timeout: Option<Duration>,
+    /// Optional chaos hook wrapped around the client's own data streams
+    /// (the chaos matrix's client-side fault site).
+    pub chaos: Option<Arc<ChaosHook>>,
 }
 
 impl Default for TransferOpts {
     fn default() -> Self {
-        TransferOpts { parallelism: 1, block_size: 64 * 1024, striped: false }
+        TransferOpts {
+            parallelism: 1,
+            block_size: 64 * 1024,
+            striped: false,
+            io_timeout: Some(Duration::from_secs(30)),
+            chaos: None,
+        }
     }
 }
 
@@ -55,6 +68,34 @@ impl TransferOpts {
     pub fn striped_mode(mut self) -> Self {
         self.striped = true;
         self
+    }
+
+    /// Builder: data-channel read/accept deadline.
+    pub fn timeout(mut self, t: Option<Duration>) -> Self {
+        self.io_timeout = t;
+        self
+    }
+
+    /// Builder: wrap this transfer's data streams in a chaos hook.
+    pub fn chaos(mut self, hook: Arc<ChaosHook>) -> Self {
+        self.chaos = Some(hook);
+        self
+    }
+
+    /// The accept deadline: the configured `io_timeout`, with a generous
+    /// default so a dead server can never park the client forever.
+    fn accept_deadline(&self) -> Duration {
+        self.io_timeout.unwrap_or(Duration::from_secs(30))
+    }
+
+    /// Finish a data stream: apply the read deadline, then the chaos
+    /// hook (outermost, so faults hit post-handshake wire traffic).
+    fn finish_stream(&self, mut stream: Box<dyn Link>) -> Box<dyn Link> {
+        let _ = stream.set_recv_timeout(self.io_timeout);
+        match &self.chaos {
+            Some(hook) => hook.wrap(stream),
+            None => stream,
+        }
     }
 }
 
@@ -132,7 +173,7 @@ pub fn put_bytes_resume(
     for _ in 0..opts.parallelism {
         let tcp = TcpLink::connect(addr.to_socket_addr())
             .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
-        streams.push(wrap_connect(tcp, &sec, &mut session.rng)?);
+        streams.push(opts.finish_stream(wrap_connect(tcp, &sec, &mut session.rng)?));
     }
     let ranges = match have {
         Some(have) => have.missing(data.len() as u64),
@@ -172,8 +213,19 @@ pub fn get_bytes(
     let user = UserContext::superuser();
     let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
     for _ in 0..opts.parallelism {
-        let tcp = listener.accept(Duration::from_secs(30))?;
-        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+        // A refused transfer never dials in — drain the queued error
+        // reply instead of hanging on accept.
+        let tcp = match listener.accept(opts.accept_deadline()) {
+            Ok(t) => t,
+            Err(_) => {
+                let reply = read_until_final(session, |_| {})?;
+                if reply.is_error() {
+                    return Err(ClientError::ServerError(reply));
+                }
+                return Err(ClientError::Timeout("data connection never arrived".into()));
+            }
+        };
+        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
     }
     let final_reply = read_until_final(session, |_| {})?;
     let received = receiver.finish();
@@ -183,7 +235,7 @@ pub fn get_bytes(
     received.map_err(ClientError::from)?;
     let out = ig_server::dsi::read_all(staging.as_ref(), &user, "/buf", 1 << 20)?;
     if out.len() as u64 != size {
-        return Err(ClientError::Data(format!(
+        return Err(ClientError::Truncated(format!(
             "expected {size} bytes, received {}",
             out.len()
         )));
@@ -222,14 +274,14 @@ pub fn get_partial(
         // If the server refused before dialing (550 and friends), no
         // connection ever comes — drain the queued reply instead of
         // hanging on accept.
-        let tcp = match listener.accept(Duration::from_secs(10)) {
+        let tcp = match listener.accept(opts.accept_deadline()) {
             Ok(t) => t,
             Err(_) => {
                 let reply = read_until_final(session, |_| {})?;
                 return Err(ClientError::ServerError(reply));
             }
         };
-        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
     }
     let final_reply = read_until_final(session, |_| {})?;
     let received = receiver.finish();
@@ -277,7 +329,7 @@ pub fn put_bytes_verified(
     let remote = session.cksm(remote_path, 0, None)?;
     let local = ig_crypto::encode::hex_encode(&ig_crypto::Sha256::digest(data));
     if remote != local {
-        return Err(ClientError::Data(format!(
+        return Err(ClientError::Integrity(format!(
             "checksum mismatch after upload: server {remote}, local {local}"
         )));
     }
@@ -366,4 +418,57 @@ pub fn third_party(
         }
     })?;
     Ok(ThirdPartyOutcome { dst_reply, src_reply, checkpoint, perf_markers })
+}
+
+/// Third-party transfer with checkpoint restart under a [`RetryPolicy`]:
+/// each failed attempt's 111-marker checkpoint seeds the next attempt's
+/// `REST`, so only missing ranges move again (§VI-B's recovery loop).
+///
+/// Transport errors (`Err` from [`third_party`]) also consume an
+/// attempt: the sessions may still be usable (e.g. a data-channel
+/// timeout), and if they are not, the next attempt fails the same way
+/// and the budget runs out. Backoff sleeps honour the policy's overall
+/// deadline.
+pub fn third_party_with_retry(
+    src: &mut ClientSession,
+    src_path: &str,
+    dst: &mut ClientSession,
+    dst_path: &str,
+    opts: &TransferOpts,
+    resume_from: Option<&ByteRanges>,
+    policy: &RetryPolicy,
+) -> Result<ThirdPartyOutcome> {
+    let start = std::time::Instant::now();
+    let mut checkpoint = resume_from.cloned();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = third_party(src, src_path, dst, dst_path, opts, checkpoint.as_ref());
+        match result {
+            Ok(outcome) if outcome.is_success() => return Ok(outcome),
+            Ok(outcome) => {
+                if attempt >= policy.max_attempts {
+                    return Ok(outcome); // caller inspects the failed replies
+                }
+                // Restart from whatever the receiver confirmed durable.
+                checkpoint = Some(outcome.checkpoint);
+            }
+            Err(e) => {
+                if attempt >= policy.max_attempts {
+                    return Err(e);
+                }
+            }
+        }
+        let backoff = policy.backoff(attempt);
+        if let Some(deadline) = policy.overall_deadline {
+            if start.elapsed() + backoff >= deadline {
+                return Err(ClientError::Timeout(format!(
+                    "third-party transfer: overall deadline exceeded after {attempt} attempt(s)"
+                )));
+            }
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the recovery substrate: checkpoint `ByteRanges`
+//! must stay monotone under arbitrary interleavings of faults and
+//! retries, and `RetryPolicy` backoff must be bounded and replayable.
+//!
+//! The model mirrors the real restart loop: each attempt resends only
+//! `missing()` ranges (REST semantics), block by block, while a fault
+//! schedule drops, duplicates, or reorders deliveries. Whatever happens,
+//! a byte once durable must never leave the checkpoint, the checkpoint
+//! must never claim bytes past the file, and the `111`-marker round-trip
+//! must preserve it exactly — otherwise a retry could resend forever or,
+//! worse, skip a hole.
+
+use ig_client::RetryPolicy;
+use ig_protocol::ByteRanges;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Every range durable in `sub` is contained in a single `sup` range
+/// (both are normalized, sorted, and coalesced).
+fn covers(sup: &ByteRanges, sub: &ByteRanges) -> bool {
+    sub.ranges()
+        .iter()
+        .all(|&(s, e)| sup.ranges().iter().any(|&(ss, se)| ss <= s && e <= se))
+}
+
+proptest! {
+    #[test]
+    fn checkpoints_stay_monotone_under_interleaved_faults(
+        len in 0u64..150_000,
+        block in 1u64..20_000,
+        // Per-attempt, per-block fault actions:
+        // 0 = deliver, 1 = drop, 2 = duplicate, 3 = reorder (hold).
+        schedule in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 0..64),
+            1..6,
+        ),
+    ) {
+        let mut ckpt = ByteRanges::new();
+        for attempt in &schedule {
+            // REST semantics: an attempt resends only what's missing.
+            let mut blocks = Vec::new();
+            for (s, e) in ckpt.missing(len) {
+                let mut at = s;
+                while at < e {
+                    let end = (at + block).min(e);
+                    blocks.push((at, end));
+                    at = end;
+                }
+            }
+            let mut held: Option<(u64, u64)> = None;
+            for (i, b) in blocks.iter().enumerate() {
+                let action = attempt.get(i).copied().unwrap_or(0);
+                let before = ckpt.clone();
+                match action {
+                    1 => continue, // dropped on the wire
+                    2 => {
+                        // Duplicate delivery lands twice at one offset.
+                        ckpt.add(b.0, b.1);
+                        ckpt.add(b.0, b.1);
+                    }
+                    3 => {
+                        // Reorder: hold this block; a previously held one
+                        // goes out in its place.
+                        if let Some(h) = held.replace(*b) {
+                            ckpt.add(h.0, h.1);
+                        }
+                    }
+                    _ => {
+                        ckpt.add(b.0, b.1);
+                        if let Some(h) = held.take() {
+                            ckpt.add(h.0, h.1);
+                        }
+                    }
+                }
+                prop_assert!(
+                    covers(&ckpt, &before),
+                    "durable bytes vanished: had {:?}, now {:?}",
+                    before.ranges(),
+                    ckpt.ranges()
+                );
+                prop_assert!(ckpt.total() >= before.total());
+                prop_assert!(ckpt.total() <= len, "checkpoint past EOF");
+            }
+            // Late flush at close: whatever was still held arrives last.
+            if let Some(h) = held.take() {
+                ckpt.add(h.0, h.1);
+            }
+            // The attempt boundary is where the checkpoint crosses the
+            // control channel as a 111 marker — round-trip exactly.
+            if !ckpt.ranges().is_empty() {
+                let rt = ByteRanges::parse_marker(&ckpt.to_marker()).unwrap();
+                prop_assert_eq!(rt.ranges(), ckpt.ranges());
+            }
+        }
+        // One clean attempt retires everything still missing: the loop
+        // converges instead of resending covered bytes forever.
+        let missing = ckpt.missing(len);
+        for &(s, e) in &missing {
+            ckpt.add(s, e);
+        }
+        prop_assert!(ckpt.is_complete(len));
+        prop_assert_eq!(ckpt.total(), len);
+        // And missing() of a complete file is empty (no phantom holes).
+        prop_assert!(ckpt.missing(len).is_empty());
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_replays_from_the_seed(
+        seed in any::<u64>(),
+        attempts in 1u32..12,
+        base_ms in 1u64..500,
+        max_ms in 1u64..5_000,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            multiplier: 2.0,
+            jitter: 0.5,
+            ..RetryPolicy::once()
+        }
+        .with_seed(seed);
+        // Jitter scales the capped value by [1 - jitter, 1 + jitter], so
+        // that factor is the true ceiling.
+        let ceiling = policy.max_backoff.as_secs_f64() * (1.0 + policy.jitter) + 1e-9;
+        for attempt in 1..=attempts {
+            let b = policy.backoff(attempt);
+            prop_assert!(b.as_secs_f64() <= ceiling, "backoff {b:?} exceeds jittered cap");
+            // Deterministic in (seed, attempt): the chaos matrix depends
+            // on schedules replaying exactly.
+            prop_assert_eq!(b, policy.backoff(attempt));
+        }
+        // A different seed draws a different jitter schedule.
+        let other = policy.clone().with_seed(seed.wrapping_add(1));
+        let differs = (1..=attempts).any(|a| policy.backoff(a) != other.backoff(a));
+        prop_assert!(differs, "jitter schedule must depend on the seed");
+    }
+}

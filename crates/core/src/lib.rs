@@ -23,7 +23,13 @@ pub mod installer;
 pub mod ledger;
 pub mod oauth;
 
+/// The shared retry/timeout/backoff policy (home crate: `ig-xio`, which
+/// sits below every consumer; re-exported here because this crate is the
+/// product's core and callers naturally look for policy knobs on it).
+pub use ig_xio::retry;
+
 pub use error::GcmuError;
 pub use installer::{GcmuEndpoint, InstallOptions};
+pub use ig_xio::retry::{RetryError, RetryPolicy};
 pub use ledger::{procedure, Procedure, SetupMethod};
 pub use oauth::OAuthServer;

@@ -13,6 +13,9 @@ pub enum GolError {
     ActivationFailed(String),
     /// A transfer exhausted its retries.
     TransferFailed { attempts: u32, last_error: String },
+    /// The stored short-term credential expired and no reactivation
+    /// hook is registered for this (user, endpoint).
+    CredentialExpired { user: String, endpoint: String },
     /// Neither endpoint accepts DCSC and their CAs differ.
     NoCommonSecurity(String),
     /// Client-layer failure.
@@ -33,6 +36,9 @@ impl fmt::Display for GolError {
             GolError::ActivationFailed(m) => write!(f, "activation failed: {m}"),
             GolError::TransferFailed { attempts, last_error } => {
                 write!(f, "transfer failed after {attempts} attempts: {last_error}")
+            }
+            GolError::CredentialExpired { user, endpoint } => {
+                write!(f, "credential for {user} at {endpoint} expired and cannot reactivate")
             }
             GolError::NoCommonSecurity(m) => write!(f, "no common data-channel security: {m}"),
             GolError::Client(e) => write!(f, "client: {e}"),

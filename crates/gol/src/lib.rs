@@ -30,5 +30,6 @@ pub mod usage;
 
 pub use activation::{Activation, PasswordAudit};
 pub use error::GolError;
-pub use service::{GlobusOnline, TransferRequest, TransferResult};
+pub use ig_client::RetryPolicy;
+pub use service::{GlobusOnline, Reactivator, TransferRequest, TransferResult};
 pub use tuning::tune;

@@ -3,7 +3,7 @@
 use crate::activation::{Activation, PasswordAudit};
 use crate::error::{GolError, Result};
 use crate::tuning::tune;
-use ig_client::{transfer, ClientConfig, ClientSession, TransferOpts};
+use ig_client::{transfer, ClientConfig, ClientSession, RetryPolicy, TransferOpts};
 use ig_gcmu::{GcmuEndpoint, OAuthServer};
 use ig_pki::time::Clock;
 use ig_pki::{Credential, DistinguishedName, TrustStore};
@@ -48,11 +48,31 @@ pub struct TransferRequest {
     pub dst_endpoint: String,
     /// Destination path.
     pub dst_path: String,
-    /// Retries after mid-transfer failures (Fig 6 recovery).
+    /// Retries after mid-transfer failures (Fig 6 recovery). Ignored
+    /// when `retry` is set.
     pub max_retries: u32,
+    /// Full retry/backoff/deadline policy; `None` maps `max_retries`
+    /// to immediate retries (the legacy behaviour).
+    pub retry: Option<RetryPolicy>,
     /// Override auto-tuning.
     pub opts: Option<TransferOpts>,
 }
+
+impl TransferRequest {
+    /// The policy in force for this request.
+    fn effective_policy(&self) -> RetryPolicy {
+        match &self.retry {
+            Some(p) => p.clone(),
+            None => RetryPolicy::immediate(self.max_retries.saturating_add(1)),
+        }
+    }
+}
+
+/// A re-activation hook: mints a fresh short-term credential when the
+/// stored one for its (user, endpoint) expires mid-request — the piece
+/// of Fig 6 that makes "reauthenticate ... and restart from the last
+/// checkpoint" work past the certificate lifetime.
+pub type Reactivator = Arc<dyn Fn() -> Result<Activation> + Send + Sync>;
 
 /// The outcome of a managed transfer.
 #[derive(Debug)]
@@ -71,6 +91,7 @@ pub struct TransferResult {
 pub struct GlobusOnline {
     endpoints: RwLock<HashMap<String, RegisteredEndpoint>>,
     activations: RwLock<HashMap<(String, String), Activation>>,
+    reactivators: RwLock<HashMap<(String, String), Reactivator>>,
     /// Event log (human-readable; the "highly monitored" bit of §VI-A).
     pub events: Mutex<Vec<String>>,
     clock: Clock,
@@ -83,6 +104,7 @@ impl GlobusOnline {
         GlobusOnline {
             endpoints: RwLock::new(HashMap::new()),
             activations: RwLock::new(HashMap::new()),
+            reactivators: RwLock::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
             clock,
             seed: AtomicU64::new(seed),
@@ -218,14 +240,44 @@ impl GlobusOnline {
             })
     }
 
+    /// Register a hook that re-activates (user, endpoint) when the
+    /// stored short-term credential expires mid-request.
+    pub fn set_reactivator(&self, go_user: &str, endpoint: &str, hook: Reactivator) {
+        self.reactivators
+            .write()
+            .insert((go_user.to_string(), endpoint.to_string()), hook);
+    }
+
+    /// The activation for (user, endpoint), reactivated first if its
+    /// credential has no lifetime left on GO's clock.
+    fn active_credentials(&self, go_user: &str, endpoint: &str) -> Result<Activation> {
+        let act = self.activation(go_user, endpoint)?;
+        if act.remaining(self.clock.now()) > 0 {
+            return Ok(act);
+        }
+        let key = (go_user.to_string(), endpoint.to_string());
+        let Some(react) = self.reactivators.read().get(&key).cloned() else {
+            return Err(GolError::CredentialExpired {
+                user: go_user.to_string(),
+                endpoint: endpoint.to_string(),
+            });
+        };
+        let fresh = react()?;
+        self.activations.write().insert(key, fresh.clone());
+        self.log(format!("{go_user}: reactivated {endpoint} (credential expired)"));
+        Ok(fresh)
+    }
+
     fn open_session(
         &self,
         ep: &RegisteredEndpoint,
         act: &Activation,
+        attempt_timeout: Option<std::time::Duration>,
     ) -> Result<ClientSession> {
         let cfg = ClientConfig::new(act.credential.clone(), act.trust.clone())
             .with_clock(ep.clock)
-            .with_seed(self.next_seed());
+            .with_seed(self.next_seed())
+            .with_retry(RetryPolicy::once().with_attempt_timeout(attempt_timeout));
         let mut session = ClientSession::connect(ep.gridftp, cfg)?;
         session.login()?;
         Ok(session)
@@ -241,17 +293,19 @@ impl GlobusOnline {
     pub fn submit(&self, go_user: &str, req: &TransferRequest) -> Result<TransferResult> {
         let src_ep = self.endpoint(&req.src_endpoint)?;
         let dst_ep = self.endpoint(&req.dst_endpoint)?;
-        let src_act = self.activation(go_user, &req.src_endpoint)?;
-        let dst_act = self.activation(go_user, &req.dst_endpoint)?;
+        let policy = req.effective_policy();
+        let start = std::time::Instant::now();
         let mut checkpoint: Option<ByteRanges> = None;
         let mut bytes_on_wire = 0u64;
         let mut attempts = 0u32;
-        let mut last_error = String::new();
-        while attempts <= req.max_retries {
+        loop {
             attempts += 1;
-            // Fig 6: (re-)authenticate with the stored short-term creds.
-            let mut src = self.open_session(&src_ep, &src_act)?;
-            let mut dst = self.open_session(&dst_ep, &dst_act)?;
+            // Fig 6: (re-)authenticate with the stored short-term creds,
+            // minting fresh ones first if they expired mid-request.
+            let src_act = self.active_credentials(go_user, &req.src_endpoint)?;
+            let dst_act = self.active_credentials(go_user, &req.dst_endpoint)?;
+            let mut src = self.open_session(&src_ep, &src_act, policy.attempt_timeout)?;
+            let mut dst = self.open_session(&dst_ep, &dst_act, policy.attempt_timeout)?;
             // Auto-tune from the source file size.
             let opts = match &req.opts {
                 Some(o) => o.clone(),
@@ -286,7 +340,7 @@ impl GlobusOnline {
                     completed: true,
                 });
             }
-            last_error = format!(
+            let last_error = format!(
                 "src: {} / dst: {}",
                 outcome.src_reply, outcome.dst_reply
             );
@@ -295,7 +349,22 @@ impl GlobusOnline {
                 outcome.checkpoint.total()
             ));
             checkpoint = Some(outcome.checkpoint);
+            if attempts >= policy.max_attempts {
+                return Err(GolError::TransferFailed { attempts, last_error });
+            }
+            // Seeded backoff; never sleep past the overall deadline.
+            let backoff = policy.backoff(attempts);
+            if let Some(deadline) = policy.overall_deadline {
+                if start.elapsed() + backoff >= deadline {
+                    return Err(GolError::TransferFailed {
+                        attempts,
+                        last_error: format!("overall deadline exceeded; last: {last_error}"),
+                    });
+                }
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
         }
-        Err(GolError::TransferFailed { attempts, last_error })
     }
 }

@@ -49,6 +49,16 @@ pub struct ServerConfig {
     /// Optional one-shot fault injector applied to outgoing data streams
     /// (experiment E9's mid-transfer crash).
     pub fault: Option<std::sync::Arc<crate::fault::FaultInjector>>,
+    /// How long a data transfer may sit with no progress before the
+    /// server abandons it (both directions).
+    pub stall_timeout: std::time::Duration,
+    /// Idle deadline on the control channel: a client that goes silent
+    /// this long gets a typed timeout instead of a parked session thread.
+    /// `None` = wait forever (legacy behaviour).
+    pub control_idle_timeout: Option<std::time::Duration>,
+    /// Optional chaos hook wrapped around every data stream the server
+    /// opens or accepts (the chaos matrix's server-side fault site).
+    pub data_chaos: Option<std::sync::Arc<ig_xio::ChaosHook>>,
 }
 
 impl ServerConfig {
@@ -77,6 +87,9 @@ impl ServerConfig {
             data_ip: Ipv4Addr::LOCALHOST,
             key_bits: 512,
             fault: None,
+            stall_timeout: std::time::Duration::from_secs(30),
+            control_idle_timeout: None,
+            data_chaos: None,
         }
     }
 
@@ -110,6 +123,24 @@ impl ServerConfig {
     pub fn with_block_size(mut self, bytes: usize) -> Self {
         assert!(bytes > 0, "block size must be positive");
         self.block_size = bytes;
+        self
+    }
+
+    /// Builder: data-transfer stall deadline.
+    pub fn with_stall_timeout(mut self, t: std::time::Duration) -> Self {
+        self.stall_timeout = t;
+        self
+    }
+
+    /// Builder: control-channel idle deadline.
+    pub fn with_control_idle_timeout(mut self, t: std::time::Duration) -> Self {
+        self.control_idle_timeout = Some(t);
+        self
+    }
+
+    /// Builder: wrap server-side data streams in a chaos hook.
+    pub fn with_data_chaos(mut self, hook: std::sync::Arc<ig_xio::ChaosHook>) -> Self {
+        self.data_chaos = Some(hook);
         self
     }
 }

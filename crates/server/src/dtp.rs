@@ -206,6 +206,44 @@ pub fn send_buffer_at(
     Ok(data.len() as u64)
 }
 
+/// Typed classification of a receive-side failure, so the session layer
+/// (and through it the client) can tell a stalled peer from a truncated
+/// stream from corrupted framing.
+#[derive(Debug, Clone)]
+pub enum RecvFault {
+    /// The idle deadline expired with the connection still open.
+    TimedOut(String),
+    /// The peer vanished (or EODs never arrived) before the transfer
+    /// completed.
+    Truncated(String),
+    /// A frame arrived but failed MODE E structural checks.
+    Corrupt(String),
+    /// The storage layer rejected a write.
+    Storage(String),
+}
+
+impl std::fmt::Display for RecvFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvFault::TimedOut(m)
+            | RecvFault::Truncated(m)
+            | RecvFault::Corrupt(m)
+            | RecvFault::Storage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<RecvFault> for ServerError {
+    fn from(f: RecvFault) -> Self {
+        match f {
+            RecvFault::TimedOut(m) => ServerError::Timeout(m),
+            RecvFault::Truncated(m) => ServerError::Truncated(m),
+            RecvFault::Corrupt(m) => ServerError::Corrupt(m),
+            RecvFault::Storage(m) => ServerError::Storage(m),
+        }
+    }
+}
+
 /// Shared receiver state across connection threads.
 struct RecvShared {
     dsi: Arc<dyn Dsi>,
@@ -214,13 +252,23 @@ struct RecvShared {
     progress: Arc<Progress>,
     eods: AtomicU64,
     eof_expected: AtomicU64, // 0 = unknown yet
-    error: Mutex<Option<String>>,
+    error: Mutex<Option<RecvFault>>,
+}
+
+impl RecvShared {
+    fn fault(&self, f: RecvFault) {
+        let mut err = self.error.lock();
+        if err.is_none() {
+            *err = Some(f);
+        }
+    }
 }
 
 /// Receiver for one transfer: feed it connections as they arrive.
 pub struct Receiver {
     shared: Arc<RecvShared>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    idle: Option<std::time::Duration>,
 }
 
 impl Receiver {
@@ -246,11 +294,24 @@ impl Receiver {
                 error: Mutex::new(None),
             }),
             threads: Mutex::new(Vec::new()),
+            idle: None,
         }
+    }
+
+    /// Builder: bound how long a stream may sit silent. Without it a
+    /// half-open peer parks a receive thread forever and
+    /// [`Receiver::finish`] never returns; with it the stalled stream
+    /// fails as [`RecvFault::TimedOut`]. Set before adding streams.
+    pub fn with_idle(mut self, idle: std::time::Duration) -> Self {
+        self.idle = Some(idle);
+        self
     }
 
     /// Handle one data connection on a background thread.
     pub fn add_stream(&self, mut link: Box<dyn Link>) {
+        if let Some(idle) = self.idle {
+            let _ = link.set_recv_timeout(Some(idle));
+        }
         let shared = Arc::clone(&self.shared);
         let handle = std::thread::spawn(move || {
             // One receive buffer per connection, reused for every block;
@@ -258,20 +319,22 @@ impl Receiver {
             let mut msg = Vec::new();
             loop {
                 if let Err(e) = link.recv_into(&mut msg) {
-                    // EOF without EOD = abnormal close.
-                    let mut err = shared.error.lock();
-                    if err.is_none() {
-                        *err = Some(format!("data connection dropped: {e}"));
-                    }
+                    use std::io::ErrorKind;
+                    let fault = match e.kind() {
+                        // Deadline: the connection is open but silent.
+                        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                            RecvFault::TimedOut(format!("data connection idle: {e}"))
+                        }
+                        // EOF without EOD = abnormal close.
+                        _ => RecvFault::Truncated(format!("data connection dropped: {e}")),
+                    };
+                    shared.fault(fault);
                     return;
                 }
                 let block = match BlockView::parse(&msg) {
                     Ok(b) => b,
                     Err(e) => {
-                        let mut err = shared.error.lock();
-                        if err.is_none() {
-                            *err = Some(format!("bad block: {e}"));
-                        }
+                        shared.fault(RecvFault::Corrupt(format!("bad block: {e}")));
                         return;
                     }
                 };
@@ -284,10 +347,7 @@ impl Receiver {
                     if let Err(e) =
                         shared.dsi.write(&shared.user, &shared.path, block.offset, block.payload)
                     {
-                        let mut err = shared.error.lock();
-                        if err.is_none() {
-                            *err = Some(format!("storage write: {e}"));
-                        }
+                        shared.fault(RecvFault::Storage(format!("storage write: {e}")));
                         return;
                     }
                     shared.progress.bytes.fetch_add(block.payload.len() as u64, Ordering::Relaxed);
@@ -309,8 +369,13 @@ impl Receiver {
         expected > 0 && self.shared.eods.load(Ordering::SeqCst) >= expected
     }
 
-    /// Any stream-level error so far.
+    /// Any stream-level error so far (display form).
     pub fn error(&self) -> Option<String> {
+        self.shared.error.lock().as_ref().map(|f| f.to_string())
+    }
+
+    /// Any stream-level fault so far, typed.
+    pub fn fault(&self) -> Option<RecvFault> {
         self.shared.error.lock().clone()
     }
 
@@ -320,11 +385,13 @@ impl Receiver {
         for t in threads {
             let _ = t.join();
         }
-        if let Some(e) = self.shared.error.lock().clone() {
-            return Err(ServerError::Data(e));
+        if let Some(f) = self.shared.error.lock().clone() {
+            return Err(f.into());
         }
         if !self.done() {
-            return Err(ServerError::Data("transfer ended before all EODs arrived".into()));
+            return Err(ServerError::Truncated(
+                "transfer ended before all EODs arrived".into(),
+            ));
         }
         Ok(self.shared.progress.bytes())
     }
@@ -452,6 +519,38 @@ mod tests {
         a.send(b"definitely not a block").unwrap();
         let err = receiver.finish().unwrap_err();
         assert!(err.to_string().contains("bad block"));
+    }
+
+    #[test]
+    fn idle_stream_times_out_typed() {
+        // A half-open peer (connection alive, no traffic) must yield a
+        // typed timeout instead of parking finish() forever.
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new())
+            .with_idle(std::time::Duration::from_millis(50));
+        let (a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        let err = receiver.finish().unwrap_err();
+        assert!(matches!(err, ServerError::Timeout(_)), "{err}");
+        drop(a); // keep the peer open for the whole test
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_distinct() {
+        // Dropped-before-EOD surfaces as Truncated...
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
+        let (a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        drop(a);
+        assert!(matches!(receiver.finish().unwrap_err(), ServerError::Truncated(_)));
+        // ...while an unparseable frame surfaces as Corrupt.
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
+        let (mut a, b) = pipe();
+        receiver.add_stream(Box::new(b));
+        a.send(b"not mode e").unwrap();
+        assert!(matches!(receiver.finish().unwrap_err(), ServerError::Corrupt(_)));
     }
 
     #[test]

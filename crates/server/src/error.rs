@@ -16,6 +16,12 @@ pub enum ServerError {
     AuthzFailed(String),
     /// Data-channel establishment or transfer failure.
     Data(String),
+    /// An idle/read deadline expired (partitioned or stalled peer).
+    Timeout(String),
+    /// The transfer ended before all expected data arrived.
+    Truncated(String),
+    /// Data arrived but failed structural or integrity checks.
+    Corrupt(String),
     /// Protocol violation by the peer.
     Protocol(ig_protocol::ProtocolError),
     /// Security-layer failure.
@@ -34,6 +40,9 @@ impl fmt::Display for ServerError {
             ServerError::AuthFailed(m) => write!(f, "authentication failed: {m}"),
             ServerError::AuthzFailed(m) => write!(f, "authorization failed: {m}"),
             ServerError::Data(m) => write!(f, "data channel: {m}"),
+            ServerError::Timeout(m) => write!(f, "timeout: {m}"),
+            ServerError::Truncated(m) => write!(f, "truncated: {m}"),
+            ServerError::Corrupt(m) => write!(f, "corrupt: {m}"),
             ServerError::Protocol(e) => write!(f, "protocol: {e}"),
             ServerError::Gsi(e) => write!(f, "security: {e}"),
             ServerError::Pki(e) => write!(f, "pki: {e}"),

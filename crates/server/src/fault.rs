@@ -35,8 +35,18 @@ impl FaultInjector {
         if !self.armed.load(Ordering::SeqCst) {
             return false;
         }
-        let left = self.remaining.fetch_sub(n as i64, Ordering::SeqCst);
-        if left - (n as i64) < 0 {
+        // Saturate at zero: with `fetch_sub` the counter kept falling and
+        // could wrap past i64::MIN under sustained traffic, resurrecting
+        // a spent fault; `n as i64` also went negative for absurd sizes,
+        // *growing* the budget. Clamp the charge and pin the counter.
+        let charge = i64::try_from(n).unwrap_or(i64::MAX);
+        let before = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(charge))
+            })
+            .expect("update closure never fails");
+        if before < charge {
             // Only the first crosser fires; everyone else proceeds.
             if self.armed.swap(false, Ordering::SeqCst) {
                 self.fired.store(true, Ordering::SeqCst);
@@ -100,6 +110,10 @@ impl<L: Link> Link for FaultLink<L> {
         }
         self.inner.send_vectored(parts)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.inner.set_recv_timeout(timeout)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +156,45 @@ mod tests {
         let (a, _b) = pipe();
         let mut f = FaultLink::new(a, inj);
         assert!(f.send(&[1]).is_err());
+    }
+
+    #[test]
+    fn zero_budget_single_fire_under_contention() {
+        // Regression: after_bytes == 0 drives `remaining` negative on the
+        // very first account; the old `fetch_sub` accounting kept
+        // subtracting from an already-negative counter. The saturating
+        // version pins at zero and still fires exactly once across
+        // racing streams.
+        let inj = FaultInjector::after_bytes(0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let inj = Arc::clone(&inj);
+            handles.push(std::thread::spawn(move || {
+                let mut fails = 0;
+                for _ in 0..1000 {
+                    if inj.should_fail(usize::MAX / 2) {
+                        fails += 1;
+                    }
+                }
+                fails
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1, "exactly one send should fail");
+        assert!(inj.fired());
+    }
+
+    #[test]
+    fn spent_injector_survives_astronomical_traffic() {
+        // Regression: sustained huge accounts after the fire must neither
+        // wrap the counter back positive nor re-arm the fault.
+        let inj = FaultInjector::after_bytes(1);
+        assert!(!inj.should_fail(1)); // exactly at the budget: no fire
+        assert!(inj.should_fail(usize::MAX)); // crosses: fires
+        for _ in 0..64 {
+            assert!(!inj.should_fail(usize::MAX));
+        }
+        assert!(inj.fired());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod users;
 pub use authz::{AuthzCallout, ChainAuthz, GcmuAuthz, GridmapAuthz};
 pub use config::ServerConfig;
 pub use dsi::{memory::MemDsi, posix::PosixDsi, Dsi};
+pub use dtp::RecvFault;
 pub use error::ServerError;
 pub use fault::FaultInjector;
 pub use listener::GridFtpServer;

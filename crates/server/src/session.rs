@@ -28,8 +28,6 @@ use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Stall timeout for data-channel activity.
-const DATA_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 /// Marker emission period during transfers.
 const MARKER_PERIOD: Duration = Duration::from_millis(50);
 
@@ -101,10 +99,30 @@ pub fn run_session<R: Rng>(
         port_targets: Vec::new(),
         cwd: "/".to_string(),
     };
+    if let Some(idle) = session.config.control_idle_timeout {
+        let _ = link.set_recv_timeout(Some(idle));
+    }
     send_reply(&mut session.ctx, &mut link, false, &banner)?;
     loop {
         let msg = match link.recv() {
             Ok(m) => m,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // Idle deadline expired: tell the client (best effort)
+                // and surface a *typed* timeout instead of parking the
+                // session thread forever on a partitioned peer.
+                let _ = send_reply(
+                    &mut session.ctx,
+                    &mut link,
+                    false,
+                    &Reply::new(421, "Control connection idle too long; closing."),
+                );
+                return Err(ServerError::Timeout(format!("control channel idle: {e}")));
+            }
             Err(_) => return Ok(()), // client went away
         };
         let line = match String::from_utf8(msg) {
@@ -686,6 +704,16 @@ impl<R: Rng> Session<R> {
         }
     }
 
+    /// Wrap a fully-established data stream in the configured chaos
+    /// hook, if any. Outermost so the faults hit post-handshake wire
+    /// traffic (the handshake itself runs clean).
+    fn chaosify(&self, stream: Box<dyn Link>) -> Box<dyn Link> {
+        match &self.config.data_chaos {
+            Some(hook) => hook.wrap(stream),
+            None => stream,
+        }
+    }
+
     /// Build the data streams for an outgoing (sending) transfer.
     fn open_send_streams(&mut self, sec: &DataSecurity) -> Result<Vec<Box<dyn Link>>> {
         let mut streams: Vec<Box<dyn Link>> = Vec::new();
@@ -697,7 +725,8 @@ impl<R: Rng> Session<R> {
                         .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
                     let throttled =
                         maybe_throttle(Box::new(tcp), self.config.stripe_rate);
-                    streams.push(wrap_connect(throttled, sec, &mut self.rng)?);
+                    let secured = wrap_connect(throttled, sec, &mut self.rng)?;
+                    streams.push(self.chaosify(secured));
                 }
             }
         } else if !self.listeners.is_empty() {
@@ -705,10 +734,11 @@ impl<R: Rng> Session<R> {
             // connections per listener.
             for l in &self.listeners {
                 for _ in 0..self.parallelism {
-                    let tcp = l.accept(DATA_STALL_TIMEOUT)?;
+                    let tcp = l.accept(self.config.stall_timeout)?;
                     let throttled =
                         maybe_throttle(Box::new(tcp), self.config.stripe_rate);
-                    streams.push(wrap_accept(throttled, sec, &mut self.rng)?);
+                    let secured = wrap_accept(throttled, sec, &mut self.rng)?;
+                    streams.push(self.chaosify(secured));
                 }
             }
         } else {
@@ -808,7 +838,7 @@ impl<R: Rng> Session<R> {
                     stripe_bytes: bytes,
                 };
                 self.reply(link, wrap, marker.to_reply())?;
-            } else if last_progress.elapsed() > DATA_STALL_TIMEOUT {
+            } else if last_progress.elapsed() > self.config.stall_timeout {
                 break;
             }
         }
@@ -860,7 +890,8 @@ impl<R: Rng> Session<R> {
             user.clone(),
             path,
             Arc::clone(&progress),
-        );
+        )
+        .with_idle(self.config.stall_timeout);
         let start = Instant::now();
         let mut connected = 0usize;
         let mut last_marker = ByteRanges::new();
@@ -877,7 +908,8 @@ impl<R: Rng> Session<R> {
                         let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
                             .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
                         let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
-                        receiver.add_stream(wrap_connect(throttled, &sec, &mut self.rng)?);
+                        let secured = wrap_connect(throttled, &sec, &mut self.rng)?;
+                        receiver.add_stream(self.chaosify(secured));
                         connected += 1;
                     }
                 }
@@ -887,7 +919,7 @@ impl<R: Rng> Session<R> {
                     let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
                     match wrap_accept(throttled, &sec, &mut self.rng) {
                         Ok(s) => {
-                            receiver.add_stream(s);
+                            receiver.add_stream(self.chaosify(s));
                             connected += 1;
                             last_progress = Instant::now();
                         }
@@ -912,7 +944,7 @@ impl<R: Rng> Session<R> {
                 last_marker = snapshot.clone();
                 last_progress = Instant::now();
                 self.reply(link, wrap, RestartMarker { ranges: snapshot }.to_reply())?;
-            } else if last_progress.elapsed() > DATA_STALL_TIMEOUT {
+            } else if last_progress.elapsed() > self.config.stall_timeout {
                 break;
             }
             let _ = start;

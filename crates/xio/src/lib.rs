@@ -14,16 +14,26 @@
 //!   (the usage-reporting hooks behind Fig 1);
 //! * [`secure::SecureLink`] — a GSI security context as a driver, so a
 //!   data channel gains DCAU + `PROT` protection by pushing one more
-//!   driver onto the stack, exactly the XIO composition model.
+//!   driver onto the stack, exactly the XIO composition model;
+//! * [`chaos::ChaosLink`] — seeded, deterministic fault injection (drop,
+//!   delay, truncate, duplicate, reorder, bit-flip, one-way partition,
+//!   reset) so recovery paths are testable and failures replay exactly;
+//! * [`retry::RetryPolicy`] — the shared retry/timeout/backoff policy
+//!   every retrying layer (client dial, third-party transfer, hosted
+//!   service) consumes instead of hand-rolled loops.
 
 #![deny(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod link;
+pub mod retry;
 pub mod secure;
 pub mod telemetry;
 pub mod throttle;
 
+pub use chaos::{ChaosConfig, ChaosHook, ChaosLink, Direction, FaultKind, FaultSpec, Trigger};
 pub use link::{pipe, Link, PipeLink, TcpLink};
+pub use retry::{splitmix64, RetryError, RetryPolicy};
 pub use secure::{secure_accept, secure_connect, SecureLink};
 pub use telemetry::{Counters, Telemetry};
 pub use throttle::Throttle;

@@ -2,6 +2,7 @@
 
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 /// Maximum frame size accepted from the wire (16 MiB + sealing overhead).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024 + 64;
@@ -52,6 +53,18 @@ pub trait Link: Send {
         }
         self.send(&joined)
     }
+
+    /// Bound how long a single `recv`/`recv_into` may block; a blocked
+    /// receive then fails with [`io::ErrorKind::TimedOut`] instead of
+    /// hanging on a partitioned peer. `None` restores "wait forever".
+    ///
+    /// The default implementation ignores the deadline (drivers that
+    /// cannot time out simply keep their legacy blocking behaviour);
+    /// wrapper drivers must forward it to the transport they stack on.
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let _ = timeout;
+        Ok(())
+    }
 }
 
 impl<L: Link + ?Sized> Link for Box<L> {
@@ -70,6 +83,9 @@ impl<L: Link + ?Sized> Link for Box<L> {
     fn send_vectored(&mut self, parts: &[IoSlice<'_>]) -> io::Result<()> {
         (**self).send_vectored(parts)
     }
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        (**self).set_recv_timeout(timeout)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -80,6 +96,7 @@ impl<L: Link + ?Sized> Link for Box<L> {
 pub struct PipeLink {
     tx: Option<crossbeam::channel::Sender<Vec<u8>>>,
     rx: crossbeam::channel::Receiver<Vec<u8>>,
+    recv_timeout: Option<Duration>,
 }
 
 /// Create a connected pair of pipe links. The channel is bounded so a
@@ -88,8 +105,8 @@ pub fn pipe() -> (PipeLink, PipeLink) {
     let (tx_a, rx_a) = crossbeam::channel::bounded(64);
     let (tx_b, rx_b) = crossbeam::channel::bounded(64);
     (
-        PipeLink { tx: Some(tx_a), rx: rx_b },
-        PipeLink { tx: Some(tx_b), rx: rx_a },
+        PipeLink { tx: Some(tx_a), rx: rx_b, recv_timeout: None },
+        PipeLink { tx: Some(tx_b), rx: rx_a, recv_timeout: None },
     )
 }
 
@@ -104,9 +121,20 @@ impl Link for PipeLink {
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        self.rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "pipe peer closed"))
+        match self.recv_timeout {
+            None => self
+                .rx
+                .recv()
+                .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "pipe peer closed")),
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => {
+                    io::Error::new(io::ErrorKind::TimedOut, "pipe recv timed out")
+                }
+                crossbeam::channel::RecvTimeoutError::Disconnected => {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "pipe peer closed")
+                }
+            }),
+        }
     }
 
     fn close(&mut self) -> io::Result<()> {
@@ -119,6 +147,11 @@ impl Link for PipeLink {
         // the default implementation's copy.
         *buf = self.recv()?;
         Ok(buf.len())
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.recv_timeout = timeout;
+        Ok(())
     }
 }
 
@@ -151,6 +184,16 @@ impl TcpLink {
     }
 }
 
+/// Normalize a read-deadline failure: non-blocking sockets report
+/// `WouldBlock` on some platforms where others report `TimedOut`.
+fn map_timeout(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::WouldBlock {
+        io::Error::new(io::ErrorKind::TimedOut, "tcp recv timed out")
+    } else {
+        e
+    }
+}
+
 impl Link for TcpLink {
     fn send(&mut self, data: &[u8]) -> io::Result<()> {
         if data.len() > MAX_FRAME {
@@ -172,7 +215,7 @@ impl Link for TcpLink {
 
     fn recv_into(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
         let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
+        self.stream.read_exact(&mut len_buf).map_err(map_timeout)?;
         let len = u32::from_be_bytes(len_buf) as usize;
         if len > MAX_FRAME {
             return Err(io::Error::new(
@@ -182,8 +225,12 @@ impl Link for TcpLink {
         }
         buf.clear();
         buf.resize(len, 0);
-        self.stream.read_exact(buf)?;
+        self.stream.read_exact(buf).map_err(map_timeout)?;
         Ok(len)
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     fn send_vectored(&mut self, parts: &[IoSlice<'_>]) -> io::Result<()> {
@@ -301,6 +348,31 @@ mod tests {
         assert_eq!(link.recv().unwrap_err().kind(), io::ErrorKind::InvalidData);
         let big = vec![0u8; MAX_FRAME + 1];
         assert_eq!(link.send(&big).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn pipe_recv_timeout_yields_timed_out() {
+        let (_a, mut b) = pipe();
+        b.set_recv_timeout(Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(b.recv().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        // Clearing the deadline restores blocking behaviour; peer close
+        // still surfaces as EOF, not a timeout.
+        let (a2, mut b2) = pipe();
+        b2.set_recv_timeout(Some(Duration::from_millis(20))).unwrap();
+        drop(a2);
+        assert_eq!(b2.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn tcp_recv_timeout_yields_timed_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut link = TcpLink::connect(addr).unwrap();
+        link.set_recv_timeout(Some(Duration::from_millis(30))).unwrap();
+        let err = link.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        drop(hold.join().unwrap().unwrap());
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! The unified retry/timeout/backoff policy.
+//!
+//! The paper's robustness story (§VI, Fig 6) is that a failed transfer is
+//! transparently restarted from the last checkpoint. Every layer that
+//! retries — the client dialing a control channel, a third-party transfer
+//! resuming from a restart marker, the hosted service re-authenticating
+//! with stored short-term credentials — consumes one [`RetryPolicy`]
+//! instead of a hand-rolled loop, so attempt budgets, per-attempt I/O
+//! deadlines and backoff jitter are configured (and tested) in one place.
+//!
+//! Jitter is *seeded*: `backoff(attempt)` is a pure function of
+//! `(policy.seed, attempt)`, so a failing schedule replays exactly.
+
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with seeded jitter plus per-attempt and overall
+/// deadlines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (>= 1); `1` means "no retries".
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Jitter fraction in `[0, 1)`: each backoff is scaled by a seeded
+    /// factor drawn from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// I/O deadline applied to each attempt (control-channel reads,
+    /// data-channel idle). `None` = wait forever (legacy behaviour).
+    pub attempt_timeout: Option<Duration>,
+    /// Budget for the whole operation including backoff sleeps.
+    pub overall_deadline: Option<Duration>,
+    /// Seed for the jitter schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(10),
+            multiplier: 2.0,
+            jitter: 0.1,
+            attempt_timeout: Some(Duration::from_secs(30)),
+            overall_deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a retried operation ultimately gave up.
+#[derive(Debug)]
+pub enum RetryError<E> {
+    /// Every attempt failed; `last` is the final error.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's error.
+        last: E,
+    },
+    /// The overall deadline expired before the attempt budget did.
+    DeadlineExceeded {
+        /// Attempts made before the deadline cut in.
+        attempts: u32,
+        /// The last attempt's error, if any attempt ran.
+        last: Option<E>,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            RetryError::DeadlineExceeded { attempts, last: Some(e) } => {
+                write!(f, "deadline exceeded after {attempts} attempt(s): {e}")
+            }
+            RetryError::DeadlineExceeded { attempts, last: None } => {
+                write!(f, "deadline exceeded after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for RetryError<E> {}
+
+impl<E> RetryError<E> {
+    /// The last underlying error, if one exists.
+    pub fn last(&self) -> Option<&E> {
+        match self {
+            RetryError::Exhausted { last, .. } => Some(last),
+            RetryError::DeadlineExceeded { last, .. } => last.as_ref(),
+        }
+    }
+
+    /// Consume the error, yielding the last underlying error if any.
+    pub fn into_last(self) -> Option<E> {
+        match self {
+            RetryError::Exhausted { last, .. } => Some(last),
+            RetryError::DeadlineExceeded { last, .. } => last,
+        }
+    }
+
+    /// Attempts made before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryError::Exhausted { attempts, .. }
+            | RetryError::DeadlineExceeded { attempts, .. } => *attempts,
+        }
+    }
+}
+
+/// SplitMix64 — the deterministic scrambler behind jitter and the chaos
+/// layer's per-link seeds. Small, public-domain, and allocation-free.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// A single attempt with no deadlines — the legacy "just try once"
+    /// behaviour callers had before the policy existed.
+    pub fn once() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+            overall_deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// `attempts` immediate retries (zero backoff) with no deadlines —
+    /// what the hosted service's `max_retries` knob historically meant.
+    pub fn immediate(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+            overall_deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// A tight policy for tests: zero backoff, short per-attempt I/O
+    /// deadline, so chaotic peers yield typed timeouts instead of hangs.
+    pub fn fast_test(attempts: u32, attempt_timeout: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+            attempt_timeout: Some(attempt_timeout),
+            overall_deadline: None,
+            seed: 0,
+        }
+    }
+
+    /// Builder: seed for the jitter schedule.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: per-attempt I/O deadline.
+    pub fn with_attempt_timeout(mut self, t: Option<Duration>) -> Self {
+        self.attempt_timeout = t;
+        self
+    }
+
+    /// Builder: overall deadline.
+    pub fn with_overall_deadline(mut self, t: Option<Duration>) -> Self {
+        self.overall_deadline = t;
+        self
+    }
+
+    /// The backoff to sleep after `attempt` (1-based) failed.
+    /// Deterministic in `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let raw = self.base_backoff.as_secs_f64() * exp;
+        let capped = raw.min(self.max_backoff.as_secs_f64());
+        // Seeded jitter in [1 - jitter, 1 + jitter].
+        let unit = splitmix64(self.seed ^ u64::from(attempt)) as f64 / u64::MAX as f64;
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+
+    /// Run `op` under this policy. `op` receives the 1-based attempt
+    /// number; backoff sleeps happen between failed attempts, clamped so
+    /// the overall deadline is never slept past.
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, RetryError<E>> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            if let Some(deadline) = self.overall_deadline {
+                if start.elapsed() >= deadline {
+                    return Err(RetryError::DeadlineExceeded { attempts: attempt, last: None });
+                }
+            }
+            attempt += 1;
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max_attempts {
+                        return Err(RetryError::Exhausted { attempts: attempt, last: e });
+                    }
+                    let backoff = self.backoff(attempt);
+                    if let Some(deadline) = self.overall_deadline {
+                        if start.elapsed() + backoff >= deadline {
+                            return Err(RetryError::DeadlineExceeded {
+                                attempts: attempt,
+                                last: Some(e),
+                            });
+                        }
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy { seed: 42, ..RetryPolicy::default() };
+        let a1 = p.backoff(1);
+        let a2 = p.backoff(2);
+        let a3 = p.backoff(3);
+        // Replays exactly.
+        assert_eq!(a1, p.backoff(1));
+        assert_eq!(a3, p.backoff(3));
+        // Grows roughly exponentially despite jitter (jitter is ±10%).
+        assert!(a2 > a1, "{a2:?} vs {a1:?}");
+        assert!(a3 > a2, "{a3:?} vs {a2:?}");
+        // Different seeds give different jitter.
+        let q = RetryPolicy { seed: 43, ..RetryPolicy::default() };
+        assert_ne!(p.backoff(1), q.backoff(1));
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(250),
+            multiplier: 10.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(5), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let p = RetryPolicy::immediate(5);
+        let mut calls = 0u32;
+        let out: Result<u32, RetryError<&str>> = p.run(|attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err("boom")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_exhausts_attempts() {
+        let p = RetryPolicy::immediate(2);
+        let err = p.run(|_| Err::<(), _>("nope")).unwrap_err();
+        assert_eq!(err.attempts(), 2);
+        assert_eq!(*err.last().unwrap(), "nope");
+        assert!(err.to_string().contains("2 attempt"));
+    }
+
+    #[test]
+    fn overall_deadline_stops_the_loop() {
+        let p = RetryPolicy {
+            max_attempts: 1000,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(20),
+            multiplier: 1.0,
+            jitter: 0.0,
+            attempt_timeout: None,
+            overall_deadline: Some(Duration::from_millis(60)),
+            seed: 0,
+        };
+        let start = Instant::now();
+        let err = p.run(|_| Err::<(), _>("always")).unwrap_err();
+        assert!(matches!(err, RetryError::DeadlineExceeded { .. }));
+        assert!(start.elapsed() < Duration::from_secs(2), "deadline must bound the loop");
+        assert!(err.attempts() >= 1);
+    }
+
+    #[test]
+    fn once_is_a_single_attempt() {
+        let p = RetryPolicy::once();
+        let mut calls = 0;
+        let _ = p.run(|_| {
+            calls += 1;
+            Err::<(), _>(())
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(p.backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Pin the scrambler: chaos schedules and jitter depend on it.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -113,6 +113,10 @@ impl<L: Link> Link for SecureLink<L> {
             .seal_parts_into(self.send_level, parts.iter().map(|p| &p[..]), &mut self.send_buf);
         self.inner.send(&self.send_buf)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.inner.set_recv_timeout(timeout)
+    }
 }
 
 /// Run the initiator handshake over `link`.

@@ -126,6 +126,10 @@ impl<L: Link> Link for Telemetry<L> {
         self.counters.msgs_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.inner.set_recv_timeout(timeout)
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,10 @@ impl<L: Link> Link for Throttle<L> {
         self.acquire(parts.iter().map(|p| p.len()).sum());
         self.inner.send_vectored(parts)
     }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_recv_timeout(timeout)
+    }
 }
 
 #[cfg(test)]

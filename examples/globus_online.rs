@@ -75,6 +75,7 @@ fn main() {
                 dst_endpoint: "campus-store.example.org".into(),
                 dst_path: "/home/alice/simulation-output.h5".into(),
                 max_retries: 3,
+                retry: None,
                 opts: None, // auto-tuned
             },
         )

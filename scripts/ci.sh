@@ -17,4 +17,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Chaos matrix under two distinct seeds: the transfer-survival matrix
+# must recover (or fail typed) and replay byte-identically under each
+# seed, and must finish well inside the wall-clock guard — a hang
+# anywhere in the retry/timeout stack fails the gate instead of wedging
+# CI.
+echo "==> chaos matrix (two seeds, wall-clock guarded)"
+for seed in 12648430 3405691582; do
+  echo "    seed ${seed}"
+  CHAOS_SEED="${seed}" timeout 600 \
+    cargo test -q -p ig-server --test chaos_matrix -- --nocapture
+done
+
 echo "CI gate passed."

@@ -6,6 +6,7 @@ use ig_gol::{GlobusOnline, TransferRequest};
 use ig_pki::time::Clock;
 use ig_server::dsi::read_all;
 use ig_server::{FaultInjector, UserContext};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 const NOW: u64 = 1_900_000_000;
@@ -52,6 +53,7 @@ fn password_activation_and_managed_transfer() {
                 dst_endpoint: "go-b.example.org".into(),
                 dst_path: "/home/alice/data.bin".into(),
                 max_retries: 0,
+                retry: None,
                 opts: None,
             },
         )
@@ -103,6 +105,7 @@ fn fault_mid_transfer_restarts_from_checkpoint() {
                 dst_endpoint: "flaky-b.example.org".into(),
                 dst_path: "/home/alice/big.bin".into(),
                 max_retries: 3,
+                retry: None,
                 opts: Some(ig_client::TransferOpts::default().parallel(2).block(8 * 1024)),
             },
         )
@@ -154,6 +157,7 @@ fn transfer_without_retry_fails_and_reports() {
                 dst_endpoint: "once-b.example.org".into(),
                 dst_path: "/home/alice/f.bin".into(),
                 max_retries: 0,
+                retry: None,
                 opts: Some(ig_client::TransferOpts::default().block(4 * 1024)),
             },
         )
@@ -161,6 +165,138 @@ fn transfer_without_retry_fails_and_reports() {
     assert!(err.to_string().contains("after 1 attempts"), "got: {err}");
     a.shutdown();
     b.shutdown();
+}
+
+#[test]
+fn expired_credential_reactivates_and_resumes_from_checkpoint() {
+    // Fig 6 past the certificate lifetime: the short-term credential GO
+    // stored has expired by the time the transfer (re)starts, so GO must
+    // reauthenticate — mint a fresh credential via the registered
+    // reactivation hook — and then restart from the last checkpoint.
+    //
+    // Clock arrangement: the endpoints sit at `NOW`, GO's clock runs two
+    // hours ahead. A 1-hour credential is expired from GO's point of
+    // view while a 3-hour credential still has an hour left.
+    let fault = FaultInjector::after_bytes(100_000);
+    let a = InstallOptions::new("stale-a.example.org")
+        .account("alice", "pw-a")
+        .clock(Clock::Fixed(NOW))
+        .seed(61)
+        .fault(Arc::clone(&fault))
+        .install()
+        .unwrap();
+    let b = InstallOptions::new("stale-b.example.org")
+        .account("alice", "pw-b")
+        .clock(Clock::Fixed(NOW))
+        .seed(62)
+        .install()
+        .unwrap();
+    let data = payload(200_000);
+    let root = UserContext::superuser();
+    a.dsi.write(&root, "/home/alice/big.bin", 0, &data).unwrap();
+
+    let go = GlobusOnline::new(Clock::Fixed(NOW + 7200), 12_000);
+    go.register_gcmu(&a);
+    go.register_gcmu(&b);
+    // Long-lived credentials first — these are what the reactivation
+    // hooks will hand back, standing in for a fresh myproxy-logon.
+    go.activate_with_password("u", "stale-a.example.org", "alice", "pw-a", 10_800).unwrap();
+    go.activate_with_password("u", "stale-b.example.org", "alice", "pw-b", 10_800).unwrap();
+    let fresh_a = go.activation("u", "stale-a.example.org").unwrap();
+    let fresh_b = go.activation("u", "stale-b.example.org").unwrap();
+    assert!(fresh_a.remaining(NOW + 7200) > 0);
+    // Now overwrite the stored activations with 1-hour credentials that
+    // are already expired on GO's clock.
+    go.activate_with_password("u", "stale-a.example.org", "alice", "pw-a", 3600).unwrap();
+    go.activate_with_password("u", "stale-b.example.org", "alice", "pw-b", 3600).unwrap();
+    assert_eq!(go.activation("u", "stale-a.example.org").unwrap().remaining(NOW + 7200), 0);
+
+    let react_a = Arc::new(AtomicU32::new(0));
+    let react_b = Arc::new(AtomicU32::new(0));
+    {
+        let n = Arc::clone(&react_a);
+        go.set_reactivator(
+            "u",
+            "stale-a.example.org",
+            Arc::new(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+                Ok(fresh_a.clone())
+            }),
+        );
+        let n = Arc::clone(&react_b);
+        go.set_reactivator(
+            "u",
+            "stale-b.example.org",
+            Arc::new(move || {
+                n.fetch_add(1, Ordering::SeqCst);
+                Ok(fresh_b.clone())
+            }),
+        );
+    }
+
+    let result = go
+        .submit(
+            "u",
+            &TransferRequest {
+                src_endpoint: "stale-a.example.org".into(),
+                src_path: "/home/alice/big.bin".into(),
+                dst_endpoint: "stale-b.example.org".into(),
+                dst_path: "/home/alice/big.bin".into(),
+                max_retries: 0,
+                retry: Some(ig_gol::RetryPolicy::immediate(4)),
+                opts: Some(ig_client::TransferOpts::default().parallel(2).block(8 * 1024)),
+            },
+        )
+        .unwrap();
+    assert!(result.completed);
+    assert_eq!(result.attempts, 2, "one fault, one successful retry");
+    assert!(fault.fired());
+    // Each endpoint reactivated exactly once (attempt 1); the fresh
+    // credentials were stored, so the retry reused them.
+    assert_eq!(react_a.load(Ordering::SeqCst), 1);
+    assert_eq!(react_b.load(Ordering::SeqCst), 1);
+    let alice = UserContext::user("alice");
+    let got = read_all(b.dsi.as_ref(), &alice, "/home/alice/big.bin", 1 << 16).unwrap();
+    assert_eq!(got, data, "reassembled file must be byte-identical");
+    let events = go.events.lock().join("\n");
+    assert!(events.contains("reactivated stale-a.example.org"), "events: {events}");
+    assert!(events.contains("reactivated stale-b.example.org"), "events: {events}");
+    assert!(events.contains("attempt 1 failed"), "events: {events}");
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn expired_credential_without_reactivator_is_a_typed_error() {
+    let a = InstallOptions::new("dead-a.example.org")
+        .account("alice", "pw")
+        .clock(Clock::Fixed(NOW))
+        .seed(71)
+        .install()
+        .unwrap();
+    let go = GlobusOnline::new(Clock::Fixed(NOW + 7200), 13_000);
+    go.register_gcmu(&a);
+    go.activate_with_password("u", "dead-a.example.org", "alice", "pw", 3600).unwrap();
+    let err = go
+        .submit(
+            "u",
+            &TransferRequest {
+                src_endpoint: "dead-a.example.org".into(),
+                src_path: "/x".into(),
+                dst_endpoint: "dead-a.example.org".into(),
+                dst_path: "/y".into(),
+                max_retries: 0,
+                retry: None,
+                opts: None,
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ig_gol::GolError::CredentialExpired { .. }),
+        "got: {err}"
+    );
+    assert!(err.to_string().contains("expired and cannot reactivate"), "got: {err}");
+    a.shutdown();
 }
 
 #[test]
@@ -219,6 +355,7 @@ fn activation_failures_are_reported() {
                 dst_endpoint: "strict.example.org".into(),
                 dst_path: "/y".into(),
                 max_retries: 0,
+                retry: None,
                 opts: None,
             },
         )
