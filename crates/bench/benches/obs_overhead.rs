@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the observability layer: the `ObsLink`
+//! timing driver on the data path vs a bare pipe link (the statistically
+//! rigorous mirror of E13's A/B side — E13's enforceable claim is the
+//! fixed per-hop cost vs the 1573 ns budget), plus the primitive costs
+//! every instrumented call site pays — histogram record, counter add,
+//! event emission, and the disabled-hub fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ig_obs::Obs;
+use ig_xio::{pipe, Link, ObsLink};
+use std::sync::Arc;
+
+const RECORD: usize = 64 * 1024;
+
+/// One 64 KiB record through a pipe: bare, then wrapped in `ObsLink` on
+/// both ends (two histogram records + two counter adds per round trip).
+fn bench_link_paths(c: &mut Criterion) {
+    let buf = vec![0xa5u8; RECORD];
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Bytes(RECORD as u64));
+    g.bench_function("bare_pipe_64KiB", |b| {
+        let (mut tx, mut rx) = pipe();
+        b.iter(|| {
+            tx.send(&buf).unwrap();
+            rx.recv().unwrap().len()
+        })
+    });
+    g.bench_function("obs_link_64KiB", |b| {
+        let obs = Obs::new("bench");
+        let (tx, rx) = pipe();
+        let mut tx = ObsLink::new(tx, Arc::clone(&obs), "bench.dtp");
+        let mut rx = ObsLink::new(rx, Arc::clone(&obs), "bench.dtp");
+        b.iter(|| {
+            tx.send(&buf).unwrap();
+            rx.recv().unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+/// The building blocks: what one metric update or trace event costs.
+fn bench_primitives(c: &mut Criterion) {
+    let obs = Obs::new("bench-prim");
+    let h = obs.metrics().histogram("bench.h");
+    let ctr = obs.metrics().counter("bench.c");
+    let mut g = c.benchmark_group("obs_primitives");
+    g.bench_function("histogram_record", |b| b.iter(|| h.record(12_345)));
+    g.bench_function("counter_add", |b| b.iter(|| ctr.add(1)));
+    g.bench_function("event_stable", |b| {
+        b.iter(|| obs.event("bench.ev", vec![ig_obs::kv("k", 1u64)]))
+    });
+    let off = Obs::new("bench-off");
+    off.set_enabled(false);
+    g.bench_function("event_disabled", |b| {
+        b.iter(|| off.event("bench.ev", vec![ig_obs::kv("k", 1u64)]))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = obs_overhead;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_link_paths, bench_primitives
+}
+criterion_main!(obs_overhead);

@@ -46,8 +46,9 @@ fn main() {
         Some("e10") => print!("{}", exp::e10_oauth::table()),
         Some("e11") => print!("{}", exp::e11_myproxy::table(fast)),
         Some("e12") => print!("{}", exp::e12_overheads::table()),
+        Some("e13") => print!("{}", exp::e13_obs::table(fast)),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; use e1..e12");
+            eprintln!("unknown experiment {other:?}; use e1..e13");
             std::process::exit(2);
         }
     }

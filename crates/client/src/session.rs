@@ -2,6 +2,7 @@
 
 use crate::error::{io_to_client, ClientError, Result};
 use ig_crypto::encode::{base64_decode, base64_encode};
+use ig_obs::kv;
 use ig_gsi::context::{GsiConfig, SecureContext};
 use ig_gsi::handshake::{Initiator, Step};
 use ig_gsi::{GsiError, ProtectionLevel};
@@ -14,6 +15,7 @@ use ig_protocol::{HostPort, Reply};
 use ig_xio::{Link, RetryPolicy, TcpLink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Client-side configuration (one user identity at one endpoint).
 #[derive(Clone)]
@@ -36,6 +38,10 @@ pub struct ClientConfig {
     /// The default is [`RetryPolicy::once`]: one attempt, no deadlines —
     /// exactly the legacy behaviour before the policy existed.
     pub retry: RetryPolicy,
+    /// Observability hub: the session span, command RTT metrics, and
+    /// retry/marker events. Defaults to [`ig_obs::Obs::global`]; tests
+    /// pass a private hub per client.
+    pub obs: Arc<ig_obs::Obs>,
 }
 
 impl ClientConfig {
@@ -49,6 +55,7 @@ impl ClientConfig {
             key_bits: 512,
             seed: 0x1951_07_05,
             retry: RetryPolicy::once(),
+            obs: ig_obs::Obs::global(),
         }
     }
 
@@ -75,6 +82,13 @@ impl ClientConfig {
         self.retry = retry;
         self
     }
+
+    /// Builder: a private observability hub (tests isolate metrics and
+    /// traces per client instance this way).
+    pub fn with_obs(mut self, obs: Arc<ig_obs::Obs>) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 /// An authenticated control-channel session.
@@ -91,6 +105,10 @@ pub struct ClientSession {
     /// Client-side record of the DCSC credential installed on the server
     /// (used to pick the matching credential for our own data endpoints).
     pub(crate) dcsc: Option<Credential>,
+    /// Session-lifetime span; command events hang off it.
+    pub(crate) span: ig_obs::Span,
+    /// Cached handle for the per-command RTT histogram.
+    cmd_rtt: Arc<ig_obs::Histogram>,
 }
 
 impl ClientSession {
@@ -100,7 +118,9 @@ impl ClientSession {
     pub fn connect(addr: HostPort, config: ClientConfig) -> Result<Self> {
         let policy = config.retry.clone();
         let link = policy
-            .run(|_attempt| TcpLink::connect(addr.to_socket_addr()))
+            .run_with_obs(&config.obs, "dial", |_attempt| {
+                TcpLink::connect(addr.to_socket_addr())
+            })
             .map_err(|e| match e.into_last() {
                 Some(io) => io_to_client(io, "control connect"),
                 None => ClientError::Timeout("control connect: deadline exceeded".into()),
@@ -112,6 +132,8 @@ impl ClientSession {
     pub fn from_link(mut link: Box<dyn Link>, config: ClientConfig) -> Result<Self> {
         let _ = link.set_recv_timeout(config.retry.attempt_timeout);
         let rng = StdRng::seed_from_u64(config.seed);
+        let span = config.obs.span("session", vec![kv("seed", config.seed)]);
+        let cmd_rtt = config.obs.metrics().histogram("client.cmd_rtt_ns");
         let mut s = ClientSession {
             link,
             ctx: None,
@@ -121,6 +143,8 @@ impl ClientSession {
             prot: ProtectionLevel::Clear,
             parallelism: 1,
             dcsc: None,
+            span,
+            cmd_rtt,
         };
         let banner = s.read_reply()?;
         if banner.code != 220 {
@@ -166,6 +190,8 @@ impl ClientSession {
         cmd: &Command,
         mut on_marker: impl FnMut(&Reply),
     ) -> Result<Reply> {
+        self.span.event("cmd.dispatch", vec![kv("verb", cmd.verb())]);
+        let t0 = std::time::Instant::now();
         self.send_cmd(cmd)?;
         loop {
             let reply = self.read_reply()?;
@@ -173,6 +199,8 @@ impl ClientSession {
                 on_marker(&reply);
                 continue;
             }
+            self.cmd_rtt.record(t0.elapsed().as_nanos() as u64);
+            self.config.obs.metrics().add(&format!("client.reply_{}", reply.code), 1);
             return Ok(reply);
         }
     }
@@ -189,6 +217,16 @@ impl ClientSession {
     /// Authenticate with `AUTH GSSAPI` + `ADAT`, then (by default)
     /// delegate a proxy so the server can act on the data channel.
     pub fn login(&mut self) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        let out = self.login_inner();
+        self.config.obs.metrics().observe("client.login_ns", t0.elapsed().as_nanos() as u64);
+        if out.is_ok() {
+            self.span.event("login.ok", vec![kv("delegated", self.config.delegate)]);
+        }
+        out
+    }
+
+    fn login_inner(&mut self) -> Result<()> {
         let reply = self.command(&Command::Auth("GSSAPI".into()))?;
         if reply.code != 334 {
             return Err(ClientError::UnexpectedReply { expected: "334", got: reply });
@@ -370,6 +408,9 @@ impl ClientSession {
         if reply.code != 221 {
             return Err(ClientError::UnexpectedReply { expected: "221", got: reply });
         }
+        let obs = Arc::clone(&self.config.obs);
+        drop(self); // ends the session span before the trace is dumped
+        obs.dump_if_env();
         Ok(())
     }
 

@@ -10,7 +10,7 @@
 use crate::error::{ClientError, Result};
 use crate::session::ClientSession;
 use ig_protocol::command::Command;
-use ig_protocol::markers::RestartMarker;
+use ig_protocol::markers::{PerfMarker, RestartMarker};
 use ig_protocol::{ByteRanges, Reply};
 use ig_server::data::{wrap_accept, wrap_connect, DataListener, DataSecurity};
 use ig_server::dtp::{send_ranges, Progress, Receiver};
@@ -19,8 +19,11 @@ use ig_xio::{ChaosHook, Link, RetryPolicy, TcpLink};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Live-progress callback: invoked for every parsed `112 Perf Marker`.
+pub type ProgressFn = dyn Fn(&PerfMarker) + Send + Sync;
+
 /// Per-transfer options.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TransferOpts {
     /// Parallel TCP streams.
     pub parallelism: usize,
@@ -35,6 +38,22 @@ pub struct TransferOpts {
     /// Optional chaos hook wrapped around the client's own data streams
     /// (the chaos matrix's client-side fault site).
     pub chaos: Option<Arc<ChaosHook>>,
+    /// Optional live-progress observer fed each parsed 112 marker as it
+    /// arrives on the control channel (globus-url-copy's `-vb` display).
+    pub on_progress: Option<Arc<ProgressFn>>,
+}
+
+impl std::fmt::Debug for TransferOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferOpts")
+            .field("parallelism", &self.parallelism)
+            .field("block_size", &self.block_size)
+            .field("striped", &self.striped)
+            .field("io_timeout", &self.io_timeout)
+            .field("chaos", &self.chaos.is_some())
+            .field("on_progress", &self.on_progress.is_some())
+            .finish()
+    }
 }
 
 impl Default for TransferOpts {
@@ -45,6 +64,7 @@ impl Default for TransferOpts {
             striped: false,
             io_timeout: Some(Duration::from_secs(30)),
             chaos: None,
+            on_progress: None,
         }
     }
 }
@@ -80,6 +100,28 @@ impl TransferOpts {
     pub fn chaos(mut self, hook: Arc<ChaosHook>) -> Self {
         self.chaos = Some(hook);
         self
+    }
+
+    /// Builder: live-progress observer for 112 markers.
+    pub fn on_progress(mut self, f: impl Fn(&PerfMarker) + Send + Sync + 'static) -> Self {
+        self.on_progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Feed one preliminary reply through the marker pipeline: parsed 112
+    /// markers update the client registry (counter + live progress gauge)
+    /// and reach the `on_progress` observer.
+    fn observe_marker(&self, obs: &ig_obs::Obs, reply: &Reply) -> Option<PerfMarker> {
+        if reply.code != 112 {
+            return None;
+        }
+        let marker = PerfMarker::from_reply(reply).ok()?;
+        obs.metrics().add("client.perf_markers", 1);
+        obs.metrics().set_gauge("client.transfer_progress_bytes", marker.stripe_bytes as f64);
+        if let Some(cb) = &self.on_progress {
+            cb(&marker);
+        }
+        Some(marker)
     }
 
     /// The accept deadline: the configured `io_timeout`, with a generous
@@ -227,7 +269,10 @@ pub fn get_bytes(
         };
         receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
     }
-    let final_reply = read_until_final(session, |_| {})?;
+    let obs = Arc::clone(&session.config.obs);
+    let final_reply = read_until_final(session, |r| {
+        let _ = opts.observe_marker(&obs, r);
+    })?;
     let received = receiver.finish();
     if final_reply.is_error() {
         return Err(ClientError::ServerError(final_reply));
@@ -283,7 +328,10 @@ pub fn get_partial(
         };
         receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
     }
-    let final_reply = read_until_final(session, |_| {})?;
+    let obs = Arc::clone(&session.config.obs);
+    let final_reply = read_until_final(session, |r| {
+        let _ = opts.observe_marker(&obs, r);
+    })?;
     let received = receiver.finish();
     if final_reply.is_error() {
         return Err(ClientError::ServerError(final_reply));
@@ -348,6 +396,10 @@ pub struct ThirdPartyOutcome {
     pub checkpoint: ByteRanges,
     /// Count of 112 performance markers observed from the sender.
     pub perf_markers: usize,
+    /// The parsed 112-marker series in arrival order: each entry carries
+    /// the sender's cumulative stripe byte count, so the series is the
+    /// transfer's live progress curve.
+    pub progress: Vec<PerfMarker>,
 }
 
 impl ThirdPartyOutcome {
@@ -400,13 +452,19 @@ pub fn third_party(
             src_reply: Reply::new(226, "not started"),
             checkpoint: resume_from.cloned().unwrap_or_default(),
             perf_markers: 0,
+            progress: Vec::new(),
         });
     }
     src.send_cmd(&Command::Retr(src_path.into()))?;
     let mut perf_markers = 0usize;
+    let mut progress = Vec::new();
+    let src_obs = Arc::clone(&src.config.obs);
     let src_reply = read_until_final(src, |r| {
         if r.code == 112 {
             perf_markers += 1;
+            if let Some(m) = opts.observe_marker(&src_obs, r) {
+                progress.push(m);
+            }
         }
     })?;
     let mut checkpoint = resume_from.cloned().unwrap_or_default();
@@ -417,7 +475,7 @@ pub fn third_party(
             }
         }
     })?;
-    Ok(ThirdPartyOutcome { dst_reply, src_reply, checkpoint, perf_markers })
+    Ok(ThirdPartyOutcome { dst_reply, src_reply, checkpoint, perf_markers, progress })
 }
 
 /// Third-party transfer with checkpoint restart under a [`RetryPolicy`]:

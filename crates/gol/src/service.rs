@@ -5,6 +5,7 @@ use crate::error::{GolError, Result};
 use crate::tuning::tune;
 use ig_client::{transfer, ClientConfig, ClientSession, RetryPolicy, TransferOpts};
 use ig_gcmu::{GcmuEndpoint, OAuthServer};
+use ig_obs::kv;
 use ig_pki::time::Clock;
 use ig_pki::{Credential, DistinguishedName, TrustStore};
 use ig_protocol::{ByteRanges, HostPort};
@@ -94,6 +95,9 @@ pub struct GlobusOnline {
     reactivators: RwLock<HashMap<(String, String), Reactivator>>,
     /// Event log (human-readable; the "highly monitored" bit of §VI-A).
     pub events: Mutex<Vec<String>>,
+    /// Structured observability hub: every `events` entry has a typed
+    /// counterpart here (`gol.activate`, `gol.reactivate`, `gol.submit`).
+    pub obs: Arc<ig_obs::Obs>,
     clock: Clock,
     seed: AtomicU64,
 }
@@ -106,9 +110,16 @@ impl GlobusOnline {
             activations: RwLock::new(HashMap::new()),
             reactivators: RwLock::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
+            obs: ig_obs::Obs::global(),
             clock,
             seed: AtomicU64::new(seed),
         }
+    }
+
+    /// Builder: a private observability hub.
+    pub fn with_obs(mut self, obs: Arc<ig_obs::Obs>) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn log(&self, msg: String) {
@@ -181,6 +192,11 @@ impl GlobusOnline {
         self.activations
             .write()
             .insert((go_user.to_string(), endpoint.to_string()), activation);
+        self.obs.event(
+            "gol.activate",
+            vec![kv("user", go_user), kv("endpoint", endpoint), kv("method", "password")],
+        );
+        self.obs.metrics().add("gol.activations", 1);
         self.log(format!("{go_user} activated {endpoint} via password"));
         Ok(audit)
     }
@@ -224,6 +240,11 @@ impl GlobusOnline {
         self.activations
             .write()
             .insert((go_user.to_string(), endpoint.to_string()), activation);
+        self.obs.event(
+            "gol.activate",
+            vec![kv("user", go_user), kv("endpoint", endpoint), kv("method", "oauth")],
+        );
+        self.obs.metrics().add("gol.activations", 1);
         self.log(format!("{go_user} activated {endpoint} via OAuth"));
         Ok(audit)
     }
@@ -264,6 +285,9 @@ impl GlobusOnline {
         };
         let fresh = react()?;
         self.activations.write().insert(key, fresh.clone());
+        self.obs
+            .event("gol.reactivate", vec![kv("user", go_user), kv("endpoint", endpoint)]);
+        self.obs.metrics().add("gol.reactivations", 1);
         self.log(format!("{go_user}: reactivated {endpoint} (credential expired)"));
         Ok(fresh)
     }
@@ -300,6 +324,16 @@ impl GlobusOnline {
         let mut attempts = 0u32;
         loop {
             attempts += 1;
+            self.obs.event(
+                "gol.submit",
+                vec![
+                    kv("user", go_user),
+                    kv("src", req.src_endpoint.as_str()),
+                    kv("dst", req.dst_endpoint.as_str()),
+                    kv("attempt", attempts),
+                ],
+            );
+            self.obs.metrics().add("gol.submit_attempts", 1);
             // Fig 6: (re-)authenticate with the stored short-term creds,
             // minting fresh ones first if they expired mid-request.
             let src_act = self.active_credentials(go_user, &req.src_endpoint)?;
@@ -329,6 +363,8 @@ impl GlobusOnline {
             let _ = src.quit();
             let _ = dst.quit();
             if outcome.is_success() {
+                self.obs.metrics().add("gol.transfers_ok", 1);
+                self.obs.metrics().add("gol.bytes_on_wire", bytes_on_wire);
                 self.log(format!(
                     "{go_user}: {}:{} -> {}:{} complete after {attempts} attempt(s)",
                     req.src_endpoint, req.src_path, req.dst_endpoint, req.dst_path
@@ -350,6 +386,7 @@ impl GlobusOnline {
             ));
             checkpoint = Some(outcome.checkpoint);
             if attempts >= policy.max_attempts {
+                self.obs.metrics().add("gol.transfers_failed", 1);
                 return Err(GolError::TransferFailed { attempts, last_error });
             }
             // Seeded backoff; never sleep past the overall deadline.

@@ -132,13 +132,18 @@ impl SecureContext {
 
     /// Seal an outgoing message at `level`.
     pub fn seal(&mut self, level: ProtectionLevel, plaintext: &[u8]) -> Vec<u8> {
-        self.sealer.seal(level, plaintext)
+        let t0 = std::time::Instant::now();
+        let out = self.sealer.seal(level, plaintext);
+        crate::obs_hooks::record_seal(t0.elapsed());
+        out
     }
 
     /// Seal an outgoing message at `level` into a reused output buffer
     /// (allocation-free once `out` has reached steady-state capacity).
     pub fn seal_into(&mut self, level: ProtectionLevel, plaintext: &[u8], out: &mut Vec<u8>) {
-        self.sealer.seal_into(level, plaintext, out)
+        let t0 = std::time::Instant::now();
+        self.sealer.seal_into(level, plaintext, out);
+        crate::obs_hooks::record_seal(t0.elapsed());
     }
 
     /// Seal a message gathered from multiple plaintext segments (e.g. a
@@ -147,12 +152,17 @@ impl SecureContext {
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        self.sealer.seal_parts_into(level, parts, out)
+        let t0 = std::time::Instant::now();
+        self.sealer.seal_parts_into(level, parts, out);
+        crate::obs_hooks::record_seal(t0.elapsed());
     }
 
     /// Open an incoming record.
     pub fn open(&mut self, record: &[u8]) -> Result<(ProtectionLevel, Vec<u8>)> {
-        self.opener.open(record)
+        let t0 = std::time::Instant::now();
+        let out = self.opener.open(record);
+        crate::obs_hooks::record_open(t0.elapsed());
+        out
     }
 
     /// Open an incoming record in place, decrypting inside `record` and
@@ -161,7 +171,10 @@ impl SecureContext {
         &mut self,
         record: &'a mut [u8],
     ) -> Result<(ProtectionLevel, &'a mut [u8])> {
-        self.opener.open_in_place(record)
+        let t0 = std::time::Instant::now();
+        let out = self.opener.open_in_place(record);
+        crate::obs_hooks::record_open(t0.elapsed());
+        out
     }
 
     /// Open a record in place and enforce a minimum protection level.

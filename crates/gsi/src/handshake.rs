@@ -97,6 +97,13 @@ impl Initiator {
 
     /// Feed the next acceptor token.
     pub fn step<R: Rng + ?Sized>(&mut self, token: &[u8], rng: &mut R) -> Result<Step> {
+        let t0 = std::time::Instant::now();
+        let out = self.step_inner(token, rng);
+        crate::obs_hooks::record_handshake_step("initiator", t0.elapsed());
+        out
+    }
+
+    fn step_inner<R: Rng + ?Sized>(&mut self, token: &[u8], rng: &mut R) -> Result<Step> {
         let msg = HandshakeMsg::decode(token)?;
         match std::mem::replace(&mut self.state, InitState::Terminal) {
             InitState::AwaitServerHello => {
@@ -220,6 +227,13 @@ impl Acceptor {
 
     /// Feed the next initiator token.
     pub fn step<R: Rng + ?Sized>(&mut self, token: &[u8], rng: &mut R) -> Result<Step> {
+        let t0 = std::time::Instant::now();
+        let out = self.step_inner(token, rng);
+        crate::obs_hooks::record_handshake_step("acceptor", t0.elapsed());
+        out
+    }
+
+    fn step_inner<R: Rng + ?Sized>(&mut self, token: &[u8], rng: &mut R) -> Result<Step> {
         let msg = HandshakeMsg::decode(token)?;
         match std::mem::replace(&mut self.state, AcceptState::Terminal) {
             AcceptState::AwaitHello => {

@@ -35,6 +35,7 @@ pub mod error;
 pub mod handshake;
 pub mod keys;
 pub mod messages;
+mod obs_hooks;
 pub mod record;
 
 pub use context::{GsiConfig, SecureContext, SecureStream};

@@ -77,6 +77,23 @@ impl OnlineCa {
         csr: &CertificateSigningRequest,
         requested_lifetime: u64,
     ) -> Result<Certificate> {
+        let t0 = std::time::Instant::now();
+        let out = self.issue_inner(username, csr, requested_lifetime);
+        let metrics = ig_obs::Obs::global().metrics();
+        metrics.observe("myproxy.issue_ns", t0.elapsed().as_nanos() as u64);
+        metrics.add(
+            if out.is_ok() { "myproxy.issued" } else { "myproxy.issue_refused" },
+            1,
+        );
+        out
+    }
+
+    fn issue_inner(
+        &self,
+        username: &str,
+        csr: &CertificateSigningRequest,
+        requested_lifetime: u64,
+    ) -> Result<Certificate> {
         if username.is_empty() || username.contains(char::is_whitespace) {
             return Err(MyProxyError::IssuanceRefused(format!(
                 "unusable username {username:?}"

@@ -47,6 +47,26 @@ pub fn myproxy_logon<R: Rng + ?Sized>(
     key_bits: usize,
     rng: &mut R,
 ) -> Result<LogonOutput> {
+    let t0 = std::time::Instant::now();
+    let out = logon_inner(addr, username, password, lifetime, trust, bootstrap, clock, key_bits, rng);
+    let metrics = ig_obs::Obs::global().metrics();
+    metrics.observe("myproxy.logon_ns", t0.elapsed().as_nanos() as u64);
+    metrics.add(if out.is_ok() { "myproxy.logons_ok" } else { "myproxy.logons_err" }, 1);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn logon_inner<R: Rng + ?Sized>(
+    addr: HostPort,
+    username: &str,
+    password: &str,
+    lifetime: u64,
+    trust: TrustStore,
+    bootstrap: bool,
+    clock: Clock,
+    key_bits: usize,
+    rng: &mut R,
+) -> Result<LogonOutput> {
     // Step 1 of §IV-A: generate the private key locally.
     let keys = ig_crypto::RsaKeyPair::generate(rng, key_bits)
         .map_err(|e| MyProxyError::IssuanceRefused(e.to_string()))?;

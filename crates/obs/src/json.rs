@@ -1,0 +1,154 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! `ig-obs` sits below every other runtime crate in the dependency graph,
+//! so it cannot pull in `serde_json`. Trace lines and metric snapshots
+//! only ever *emit* JSON (never parse it), and the full grammar we need
+//! is: objects with string keys, strings, booleans, u64/i64, and finite
+//! f64 — small enough to write by hand, like `ig-crypto` does for its
+//! primitives.
+
+/// A typed field value attached to an event or metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Finite float (NaN/inf are emitted as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Build a `(key, value)` field pair; sugar for event call sites.
+pub fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+/// Append `s` as a JSON string literal (quotes included) to `out`.
+pub fn escape_str_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a [`Value`] in JSON syntax to `out`.
+///
+/// f64 uses Rust's shortest-roundtrip `Display`, which is deterministic
+/// for a given bit pattern — a requirement for byte-stable trace replays.
+pub fn value_into(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => escape_str_into(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Append `fields` as a JSON object, preserving insertion order.
+pub fn fields_into(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_str_into(out, k);
+        out.push(':');
+        value_into(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_controls_and_quotes() {
+        let mut s = String::new();
+        escape_str_into(&mut s, "a\"b\\c\nd\x01e");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn values_render() {
+        let mut s = String::new();
+        value_into(&mut s, &Value::U64(7));
+        value_into(&mut s, &Value::I64(-2));
+        value_into(&mut s, &Value::Bool(true));
+        value_into(&mut s, &Value::F64(1.5));
+        value_into(&mut s, &Value::F64(f64::NAN));
+        assert_eq!(s, "7-2true1.5null");
+    }
+
+    #[test]
+    fn fields_preserve_order() {
+        let mut s = String::new();
+        fields_into(&mut s, &[kv("z", 1u64), kv("a", "x")]);
+        assert_eq!(s, "{\"z\":1,\"a\":\"x\"}");
+    }
+}

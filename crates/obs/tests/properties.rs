@@ -1,0 +1,102 @@
+//! Property and concurrency tests for `ig-obs` internals.
+
+use ig_obs::{kv, Histogram, Tracer};
+use proptest::prelude::*;
+
+/// Oracle check: for each snapshot quantile, the histogram's answer must
+/// land within one log-linear bucket of the exact order statistic.
+fn check_quantiles(samples: &[u64]) {
+    let h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in [0.5, 0.95, 0.99] {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = h.quantile(q);
+        let be = Histogram::bucket_of(exact) as i64;
+        let ba = Histogram::bucket_of(approx) as i64;
+        assert!(
+            (be - ba).abs() <= 1,
+            "q={q}: exact {exact} (bucket {be}) vs histogram {approx} (bucket {ba}) \
+             for {} samples",
+            sorted.len()
+        );
+    }
+    assert_eq!(h.count(), samples.len() as u64);
+    assert_eq!(h.min(), sorted[0]);
+    assert_eq!(h.max(), *sorted.last().unwrap());
+}
+
+proptest! {
+    #[test]
+    fn quantiles_within_one_bucket_of_oracle(
+        samples in proptest::collection::vec(any::<u64>(), 1..400)
+    ) {
+        check_quantiles(&samples);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_small_range(
+        samples in proptest::collection::vec(0u64..10_000, 1..400)
+    ) {
+        check_quantiles(&samples);
+    }
+}
+
+#[test]
+fn quantiles_on_edge_sets() {
+    check_quantiles(&[0]);
+    check_quantiles(&[u64::MAX]);
+    check_quantiles(&[0, u64::MAX]);
+    check_quantiles(&(1..=1000u64).collect::<Vec<_>>());
+    check_quantiles(&[7; 64]);
+    check_quantiles(&[1, 1, 1, 1 << 40]);
+}
+
+/// Events recorded from parallel threads (as parallel DTP streams do)
+/// must interleave with strictly increasing sequence numbers in buffer
+/// order, with no events lost.
+#[test]
+fn parallel_events_interleave_with_increasing_seq() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 200;
+    let tracer = std::sync::Arc::new(Tracer::new("dtp"));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let tr = std::sync::Arc::clone(&tracer);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                tr.record(t as u64 + 1, "stream.block", vec![kv("t", t), kv("i", i)], true);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = tracer.events();
+    assert_eq!(events.len(), THREADS * PER_THREAD as usize);
+    for pair in events.windows(2) {
+        assert!(
+            pair[1].seq > pair[0].seq,
+            "seq must be strictly increasing: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+    }
+    // Per-thread order is preserved within the interleaving.
+    for t in 0..THREADS {
+        let span = t as u64 + 1;
+        let mine: Vec<u64> = events
+            .iter()
+            .filter(|e| e.span == span)
+            .map(|e| match &e.fields[1].1 {
+                ig_obs::Value::U64(i) => *i,
+                other => panic!("unexpected field {other:?}"),
+            })
+            .collect();
+        assert_eq!(mine, (0..PER_THREAD).collect::<Vec<_>>());
+    }
+}

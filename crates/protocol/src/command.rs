@@ -180,6 +180,58 @@ pub enum ProtectedKind {
 }
 
 impl Command {
+    /// Canonical wire verb for this command (`"RETR"`, `"SITE"`, ...).
+    /// `Unknown` maps to `"UNKNOWN"` rather than echoing attacker-chosen
+    /// text so the string is safe to use as a metric label.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::User(_) => "USER",
+            Command::Pass(_) => "PASS",
+            Command::Auth(_) => "AUTH",
+            Command::Adat(_) => "ADAT",
+            Command::Type(_) => "TYPE",
+            Command::Mode(_) => "MODE",
+            Command::Pasv => "PASV",
+            Command::Port(_) => "PORT",
+            Command::Spas => "SPAS",
+            Command::Spor(_) => "SPOR",
+            Command::Retr(_) => "RETR",
+            Command::Stor(_) => "STOR",
+            Command::Eret { .. } => "ERET",
+            Command::Esto { .. } => "ESTO",
+            Command::List(_) => "LIST",
+            Command::Nlst(_) => "NLST",
+            Command::Mlsd(_) => "MLSD",
+            Command::Mlst(_) => "MLST",
+            Command::Size(_) => "SIZE",
+            Command::Mdtm(_) => "MDTM",
+            Command::Dele(_) => "DELE",
+            Command::Mkd(_) => "MKD",
+            Command::Rmd(_) => "RMD",
+            Command::Cwd(_) => "CWD",
+            Command::Cdup => "CDUP",
+            Command::Pwd => "PWD",
+            Command::Rest(_) => "REST",
+            Command::Pbsz(_) => "PBSZ",
+            Command::Prot(_) => "PROT",
+            Command::Dcau(_) => "DCAU",
+            Command::Dcsc { .. } => "DCSC",
+            Command::Opts { .. } => "OPTS",
+            Command::Site(_) => "SITE",
+            Command::Feat => "FEAT",
+            Command::Noop => "NOOP",
+            Command::Abor => "ABOR",
+            Command::Quit => "QUIT",
+            Command::Allo(_) => "ALLO",
+            Command::Cksm { .. } => "CKSM",
+            Command::Protected { kind, .. } => match kind {
+                ProtectedKind::Mic => "MIC",
+                ProtectedKind::Enc => "ENC",
+            },
+            Command::Unknown { .. } => "UNKNOWN",
+        }
+    }
+
     /// Parse one command line (without CRLF).
     pub fn parse(line: &str) -> Result<Self> {
         let line = line.trim_end_matches(['\r', '\n']);
@@ -501,6 +553,16 @@ mod tests {
         assert_eq!(roundtrip("PWD"), Command::Pwd);
         assert_eq!(roundtrip("LIST"), Command::List(None));
         assert_eq!(roundtrip("LIST /tmp"), Command::List(Some("/tmp".into())));
+    }
+
+    #[test]
+    fn verb_matches_wire_form() {
+        for line in ["USER alice", "RETR /f", "SITE STATS", "PASV", "DCSC D", "CKSM SHA256 0 -1 /f"] {
+            let cmd = Command::parse(line).unwrap();
+            assert_eq!(cmd.verb(), line.split(' ').next().unwrap());
+        }
+        let unk = Command::parse("XWEIRD stuff").unwrap();
+        assert_eq!(unk.verb(), "UNKNOWN");
     }
 
     #[test]

@@ -146,8 +146,11 @@ pub struct BlockView<'a> {
 
 impl<'a> BlockView<'a> {
     /// Parse one block from a complete message without copying the payload.
+    /// Malformed frames bump the global `protocol.bad_blocks` counter
+    /// (the success path records nothing — parsing stays allocation-free).
     pub fn parse(data: &'a [u8]) -> Result<Self> {
         if data.len() < HEADER_LEN {
+            ig_obs::Obs::global().metrics().add("protocol.bad_blocks", 1);
             return Err(ProtocolError::BadBlock(format!(
                 "message of {} bytes shorter than header",
                 data.len()
@@ -158,6 +161,7 @@ impl<'a> BlockView<'a> {
         let offset = u64::from_be_bytes(data[9..17].try_into().expect("sized"));
         let body = &data[HEADER_LEN..];
         if body.len() as u64 != count {
+            ig_obs::Obs::global().metrics().add("protocol.bad_blocks", 1);
             return Err(ProtocolError::BadBlock(format!(
                 "declared {count} payload bytes but message carries {}",
                 body.len()

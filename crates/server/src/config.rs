@@ -59,6 +59,10 @@ pub struct ServerConfig {
     /// Optional chaos hook wrapped around every data stream the server
     /// opens or accepts (the chaos matrix's server-side fault site).
     pub data_chaos: Option<std::sync::Arc<ig_xio::ChaosHook>>,
+    /// Observability hub: session/transfer spans, command RTT metrics,
+    /// and the registry `SITE STATS` serves. Defaults to
+    /// [`ig_obs::Obs::global`]; tests pass a private hub per server.
+    pub obs: Arc<ig_obs::Obs>,
 }
 
 impl ServerConfig {
@@ -90,6 +94,7 @@ impl ServerConfig {
             stall_timeout: std::time::Duration::from_secs(30),
             control_idle_timeout: None,
             data_chaos: None,
+            obs: ig_obs::Obs::global(),
         }
     }
 
@@ -141,6 +146,13 @@ impl ServerConfig {
     /// Builder: wrap server-side data streams in a chaos hook.
     pub fn with_data_chaos(mut self, hook: std::sync::Arc<ig_xio::ChaosHook>) -> Self {
         self.data_chaos = Some(hook);
+        self
+    }
+
+    /// Builder: a private observability hub (tests isolate metrics and
+    /// traces per server instance this way).
+    pub fn with_obs(mut self, obs: Arc<ig_obs::Obs>) -> Self {
+        self.obs = obs;
         self
     }
 }

@@ -22,6 +22,7 @@ use ig_pki::Credential;
 use ig_protocol::command::{Command, DcauMode, ModeCode, ProtectedKind};
 use ig_protocol::markers::{PerfMarker, RestartMarker};
 use ig_protocol::secure_line;
+use ig_obs::kv;
 use ig_protocol::{dcsc, ByteRanges, HostPort, Reply};
 use ig_xio::Link;
 use rand::Rng;
@@ -55,6 +56,10 @@ pub struct Session<R: Rng> {
     listeners: Vec<DataListener>,
     port_targets: Vec<HostPort>,
     cwd: String,
+    /// The session-lifetime span; command events hang off it.
+    span: ig_obs::Span,
+    /// Cached handle for the per-command RTT histogram.
+    cmd_rtt: Arc<ig_obs::Histogram>,
 }
 
 fn send_reply(
@@ -75,11 +80,24 @@ fn send_reply(
 
 /// Run one session to completion over `link`.
 pub fn run_session<R: Rng>(
+    link: Box<dyn Link>,
+    config: Arc<ServerConfig>,
+    rng: R,
+) -> Result<()> {
+    let obs = Arc::clone(&config.obs);
+    let out = run_session_inner(link, config, rng);
+    obs.dump_if_env();
+    out
+}
+
+fn run_session_inner<R: Rng>(
     mut link: Box<dyn Link>,
     config: Arc<ServerConfig>,
     rng: R,
 ) -> Result<()> {
     let banner = Reply::service_ready(&config.banner);
+    let span = config.obs.span("session", vec![kv("endpoint", config.name.as_str())]);
+    let cmd_rtt = config.obs.metrics().histogram("server.cmd_rtt_ns");
     let mut session = Session {
         config,
         rng,
@@ -98,6 +116,8 @@ pub fn run_session<R: Rng>(
         listeners: Vec::new(),
         port_targets: Vec::new(),
         cwd: "/".to_string(),
+        span,
+        cmd_rtt,
     };
     if let Some(idle) = session.config.control_idle_timeout {
         let _ = link.set_recv_timeout(Some(idle));
@@ -197,6 +217,7 @@ pub fn run_session<R: Rng>(
 
 impl<R: Rng> Session<R> {
     fn reply(&mut self, link: &mut Box<dyn Link>, wrap: bool, reply: Reply) -> Result<()> {
+        self.config.obs.metrics().add(&format!("server.reply_{}", reply.code), 1);
         send_reply(&mut self.ctx, link, wrap, &reply)
     }
 
@@ -235,7 +256,30 @@ impl<R: Rng> Session<R> {
         }
     }
 
+    /// Dispatch one command, recording a replay-stable `cmd.dispatch`
+    /// event on the session span and the command RTT (recv-to-reply on
+    /// the server side) in `server.cmd_rtt_ns`.
     fn handle(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        cmd: Command,
+        wrap: bool,
+    ) -> Result<LoopControl> {
+        let verb = cmd.verb();
+        self.span.event("cmd.dispatch", vec![kv("verb", verb)]);
+        self.config.obs.metrics().add("server.commands", 1);
+        let t0 = Instant::now();
+        let out = self.handle_inner(link, cmd, wrap);
+        self.cmd_rtt.record(t0.elapsed().as_nanos() as u64);
+        if let Err(e) = &out {
+            // Error text can carry addresses/OS details: unstable.
+            self.span
+                .event_unstable("cmd.error", vec![kv("verb", verb), kv("error", e.to_string())]);
+        }
+        out
+    }
+
+    fn handle_inner(
         &mut self,
         link: &mut Box<dyn Link>,
         cmd: Command,
@@ -700,18 +744,36 @@ impl<R: Rng> Session<R> {
                     }
                 }
             }
+            (Some("STATS"), _) => {
+                // Observability surface (§ DESIGN.md 10): one line of JSON
+                // holding the usage totals (the E1 pipeline's source) and a
+                // snapshot of the same metrics registry every layer records
+                // into, so the two can never drift apart.
+                let stats = format!(
+                    "{{\"component\":\"{}\",\"usage\":{{\"transfers\":{},\"bytes\":{}}},\"metrics\":{}}}",
+                    self.config.obs.component(),
+                    self.config.usage.total_transfers(),
+                    self.config.usage.total_bytes(),
+                    self.config.obs.metrics().snapshot_json()
+                );
+                self.reply(link, wrap, Reply::new(250, stats))
+            }
             _ => self.reply(link, wrap, Reply::ok("SITE command ignored.")),
         }
     }
 
     /// Wrap a fully-established data stream in the configured chaos
-    /// hook, if any. Outermost so the faults hit post-handshake wire
-    /// traffic (the handshake itself runs clean).
+    /// hook, if any, then in an [`ig_xio::ObsLink`] recording per-block
+    /// DTP latency. Chaos sits above the handshake (faults hit
+    /// post-handshake wire traffic; the handshake itself runs clean) and
+    /// below the observer, so recorded block latencies include any
+    /// chaos-injected delays.
     fn chaosify(&self, stream: Box<dyn Link>) -> Box<dyn Link> {
-        match &self.config.data_chaos {
+        let stream = match &self.config.data_chaos {
             Some(hook) => hook.wrap(stream),
             None => stream,
-        }
+        };
+        Box::new(ig_xio::ObsLink::new(stream, Arc::clone(&self.config.obs), "server.dtp"))
     }
 
     /// Build the data streams for an outgoing (sending) transfer.
@@ -804,6 +866,14 @@ impl<R: Rng> Session<R> {
             }
         };
         let stream_count = streams.len() as u32;
+        let tspan = self.config.obs.span(
+            "transfer",
+            vec![
+                kv("direction", "send"),
+                kv("streams", stream_count),
+                kv("bytes_expected", total_len),
+            ],
+        );
         self.reply(link, wrap, Reply::opening_data())?;
         let progress = Progress::new();
         let progress2 = Arc::clone(&progress);
@@ -831,11 +901,16 @@ impl<R: Rng> Session<R> {
             if bytes != last_bytes {
                 last_bytes = bytes;
                 last_progress = Instant::now();
+                // 112 markers are sourced from the registry: progress is
+                // published as a gauge first and the marker reads it back,
+                // so `SITE STATS` and the control channel cannot disagree.
+                let metrics = self.config.obs.metrics();
+                metrics.set_gauge("server.transfer_progress_bytes", bytes as f64);
                 let marker = PerfMarker {
                     timestamp: start.elapsed().as_secs_f64(),
                     stripe_index: 0,
                     total_stripes: self.config.stripes as u32,
-                    stripe_bytes: bytes,
+                    stripe_bytes: metrics.gauge_value("server.transfer_progress_bytes") as u64,
                 };
                 self.reply(link, wrap, marker.to_reply())?;
             } else if last_progress.elapsed() > self.config.stall_timeout {
@@ -856,10 +931,19 @@ impl<R: Rng> Session<R> {
                     inbound: false,
                     streams: stream_count,
                 });
-                let _ = total_len;
+                // Mirrored at the same call site as `usage.record` so the
+                // SITE STATS counters can never drift from usage.rs.
+                let metrics = self.config.obs.metrics();
+                metrics.add("server.transfers_out", 1);
+                metrics.add("server.bytes_out", bytes);
+                tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
                 self.reply(link, wrap, Reply::transfer_complete())
             }
-            Err(e) => self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}"))),
+            Err(e) => {
+                self.config.obs.metrics().add("server.transfer_errors", 1);
+                tspan.end_with(vec![kv("outcome", "error")]);
+                self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}")))
+            }
         }
     }
 
@@ -876,6 +960,10 @@ impl<R: Rng> Session<R> {
             // Fresh upload: start from scratch.
             let _ = self.config.dsi.truncate(&user, path, 0);
         }
+        let tspan = self.config.obs.span(
+            "transfer",
+            vec![kv("direction", "recv"), kv("resuming", resuming.is_some())],
+        );
         self.reply(link, wrap, Reply::opening_data())?;
         let progress = Progress::new();
         if let Some(have) = &resuming {
@@ -960,9 +1048,19 @@ impl<R: Rng> Session<R> {
                     inbound: true,
                     streams: connected as u32,
                 });
+                // Same call site as `usage.record`: SITE STATS stays in
+                // lock-step with usage.rs.
+                let metrics = self.config.obs.metrics();
+                metrics.add("server.transfers_in", 1);
+                metrics.add("server.bytes_in", bytes);
+                tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
                 self.reply(link, wrap, Reply::transfer_complete())
             }
-            Err(e) => self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}"))),
+            Err(e) => {
+                self.config.obs.metrics().add("server.transfer_errors", 1);
+                tspan.end_with(vec![kv("outcome", "error")]);
+                self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}")))
+            }
         }
     }
 }

@@ -292,6 +292,8 @@ fn run_client_cell(
     kind_name: &str,
     seed: u64,
     cell: usize,
+    obs: &Arc<ig_obs::Obs>,
+    hooks: &mut Vec<Arc<ChaosHook>>,
 ) -> String {
     let direction = match (chan, op) {
         // GET is the receive path on the client's own data channels.
@@ -306,6 +308,8 @@ fn run_client_cell(
         Chan::Data => Trigger::OnRecord(1),
     };
     let hook = ChaosHook::disarmed(ChaosConfig::single(seed, FaultSpec { kind, direction, trigger, max_fires: 1 }));
+    hook.set_obs(obs);
+    hooks.push(Arc::clone(&hook));
     let data = payload();
     let path = format!("/home/alice/cell-{cell}.bin");
     let label = format!("{}/{}/{kind_name}", op.name(), chan.name());
@@ -386,18 +390,32 @@ fn run_tp_cell(w: &TpWorld, chan: Chan, kind_name: &str, hook: &Arc<ChaosHook>, 
 }
 
 /// The full 8 kinds × {control, data} × {PUT, GET, 3PT} sweep as a pure
-/// function of `seed`.
-fn run_matrix(seed: u64) -> Vec<String> {
+/// function of `seed`. Also returns (fault fires, `chaos.fault` trace
+/// events) summed over every hook: the two must agree — a fired fault
+/// with no trace event is an observability hole.
+fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
     let mut records = Vec::new();
     let mut cell = 0usize;
     let cell_seed = |cell: usize| splitmix64(seed ^ (cell as u64).wrapping_mul(0x9E37_79B9));
+    let obs = ig_obs::Obs::new("chaos-matrix");
+    let mut hooks: Vec<Arc<ChaosHook>> = Vec::new();
 
     // PUT/GET: one clean server, faults injected client-side.
     let w = world(seed);
     for (name, kind) in kinds() {
         for chan in [Chan::Control, Chan::Data] {
             for op in [Op::Put, Op::Get] {
-                records.push(run_client_cell(&w, op, chan, kind, name, cell_seed(cell), cell));
+                records.push(run_client_cell(
+                    &w,
+                    op,
+                    chan,
+                    kind,
+                    name,
+                    cell_seed(cell),
+                    cell,
+                    &obs,
+                    &mut hooks,
+                ));
                 cell += 1;
             }
         }
@@ -409,6 +427,8 @@ fn run_matrix(seed: u64) -> Vec<String> {
     for (name, kind) in kinds() {
         let spec = FaultSpec::send(kind, Trigger::Probability(1.0));
         let hook = ChaosHook::disarmed(ChaosConfig::single(cell_seed(cell), spec));
+        hook.set_obs(&obs);
+        hooks.push(Arc::clone(&hook));
         records.push(run_tp_cell(&tw, Chan::Control, name, &hook, cell));
         cell += 1;
     }
@@ -418,17 +438,21 @@ fn run_matrix(seed: u64) -> Vec<String> {
     for (i, (name, kind)) in kinds().into_iter().enumerate() {
         let spec = FaultSpec::send(kind, Trigger::OnRecord(1));
         let hook = ChaosHook::disarmed(ChaosConfig::single(cell_seed(cell), spec));
+        hook.set_obs(&obs);
+        hooks.push(Arc::clone(&hook));
         let tw = tp_world(seed.wrapping_add(10 + i as u64), Some(Arc::clone(&hook)));
         records.push(run_tp_cell(&tw, Chan::Data, name, &hook, cell));
         cell += 1;
     }
-    records
+    let fired: u64 = hooks.iter().map(|h| h.total_fires()).sum();
+    let traced = obs.count_events("chaos.fault") as u64;
+    (records, fired, traced)
 }
 
 #[test]
 fn matrix_survives_all_faults_and_replays_byte_identical() {
     let seed = chaos_seed();
-    let first = run_matrix(seed);
+    let (first, fired, traced) = run_matrix(seed);
     assert_eq!(first.len(), 48, "8 kinds x 2 channels x 3 operations");
     for r in &first {
         assert!(
@@ -441,8 +465,13 @@ fn matrix_survives_all_faults_and_replays_byte_identical() {
     for r in &first {
         assert!(!r.contains("fires=0"), "fault never fired: {r}");
     }
+    // Observability contract: every fired fault — Delay included — left
+    // exactly one `chaos.fault` trace event.
+    assert!(fired > 0, "matrix fired no faults at all");
+    assert_eq!(fired, traced, "every fired fault must emit a chaos.fault trace event");
     // Exact replay: the matrix is a pure function of the seed — attempt
     // counts, first-error classes and fire counts must all reproduce.
-    let second = run_matrix(seed);
+    let (second, fired2, traced2) = run_matrix(seed);
     assert_eq!(first, second, "chaos schedule must replay byte-identically under one seed");
+    assert_eq!((fired, traced), (fired2, traced2), "fault/trace totals must replay");
 }

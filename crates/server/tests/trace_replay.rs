@@ -1,0 +1,174 @@
+//! Chaos-replay trace determinism: one failing chaos cell run twice
+//! under the same seed must produce **byte-identical** stable trace
+//! exports — the property that makes a trace diffable across replays.
+//!
+//! The control channel runs over in-process pipes and every event field
+//! in the stable export is a pure function of seeds and causal order
+//! (no ports, no wall-clock), so the whole JSONL document reproduces.
+//!
+//! When `IG_TRACE=path` is set, the test also appends the stable export
+//! to `path` — `scripts/ci.sh` runs the test twice into two files and
+//! `cmp`s them byte-for-byte.
+
+use ig_client::{transfer, ClientConfig, ClientSession, RetryPolicy, TransferOpts};
+use ig_pki::cert::Validity;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
+use ig_protocol::command::DcauMode;
+use ig_server::listener::serve_link;
+use ig_server::{Dsi, GridmapAuthz, MemDsi, ServerConfig};
+use ig_xio::{pipe, ChaosConfig, ChaosHook, FaultKind, FaultSpec, Trigger};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NOW: u64 = 1_000_000;
+const SEED: u64 = 0xD15EA5E;
+const PAYLOAD_LEN: usize = 40_000;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+fn payload() -> Vec<u8> {
+    (0..PAYLOAD_LEN as u32).map(|i| (i * 37 % 251) as u8).collect()
+}
+
+/// Collapse an error to a replay-stable class (OS error text may vary).
+fn classify(e: &ig_client::ClientError) -> String {
+    match e {
+        ig_client::ClientError::ServerError(r) => format!("server-{}", r.code),
+        ig_client::ClientError::Timeout(_) => "timeout".into(),
+        other => format!("{:?}", std::mem::discriminant(other)),
+    }
+}
+
+/// One failing-then-recovering PUT under a seeded Drop fault, with
+/// private client/server observability hubs. Returns the combined
+/// stable export (client block then server block).
+fn run_cell() -> String {
+    let server_obs = ig_obs::Obs::new("server");
+    let client_obs = ig_obs::Obs::new("client");
+
+    // Deterministic PKI world.
+    let mut rng = ig_crypto::rng::seeded(SEED);
+    let mut ca =
+        CertificateAuthority::create(&mut rng, dn("/O=Replay CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(
+            dn("/CN=replay.example.org"),
+            &host_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(
+            dn("/O=Grid/CN=Alice Smith"),
+            &user_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+    let dsi = Arc::new(MemDsi::new());
+    let server_cfg = ServerConfig::new(
+        "replay.example.org",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::clone(&dsi) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_millis(250))
+    .with_obs(Arc::clone(&server_obs));
+
+    // Control channel over pipes: no ports anywhere near the trace.
+    let (server_end, client_end) = pipe();
+    let server_thread =
+        serve_link(Box::new(server_end), Arc::new(server_cfg), ig_crypto::rng::seeded(SEED + 1));
+
+    let client_cfg = ClientConfig::new(
+        Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_seed(SEED + 2)
+    .no_delegation()
+    .with_retry(RetryPolicy::once().with_attempt_timeout(Some(Duration::from_millis(800))))
+    .with_obs(Arc::clone(&client_obs));
+    let mut session = ClientSession::from_link(Box::new(client_end), client_cfg).unwrap();
+    session.login().unwrap();
+    session.set_dcau(DcauMode::None).unwrap();
+
+    // The chaos cell: drop the second data record on the first attempt.
+    let hook = ChaosHook::disarmed(ChaosConfig::single(
+        SEED + 3,
+        FaultSpec::send(FaultKind::Drop, Trigger::OnRecord(1)),
+    ));
+    hook.set_obs(&client_obs);
+    let data = payload();
+    let opts = TransferOpts::default()
+        .block(8 * 1024)
+        .timeout(Some(Duration::from_millis(500)))
+        .chaos(Arc::clone(&hook));
+    hook.arm();
+    let result = RetryPolicy::immediate(3).run_with_obs(&client_obs, "put", |attempt| {
+        if attempt > 1 {
+            hook.disarm(); // fault budget spent; recovery attempt runs clean
+        }
+        transfer::put_bytes(&mut session, "/home/alice/replay.bin", &data, &opts)
+            .map_err(|e| classify(&e))
+    });
+    assert!(result.is_ok(), "PUT never recovered: {:?}", result.err().map(|e| e.to_string()));
+    assert_eq!(hook.total_fires(), 1, "the seeded fault must fire exactly once");
+    session.quit().unwrap();
+    server_thread.join().unwrap().unwrap();
+
+    format!("{}{}", client_obs.export_stable(), server_obs.export_stable())
+}
+
+#[test]
+fn stable_trace_is_byte_identical_across_replays() {
+    // `dump_if_env` fires inside `quit()` (client thread) and
+    // `run_session` (server thread); with IG_TRACE set their concurrent
+    // appends would interleave nondeterministically. Capture the path
+    // and clear the gate so this test is the file's only writer.
+    let trace_path = std::env::var("IG_TRACE").ok().filter(|p| !p.is_empty());
+    std::env::remove_var("IG_TRACE");
+
+    let first = run_cell();
+    let second = run_cell();
+    assert_eq!(first, second, "stable exports must replay byte-identically");
+
+    // The trace carries the whole story: the fault that fired (with its
+    // trigger and seed), the retry that recovered, the commands that
+    // drove the session, and span-scoped structure.
+    assert!(first.contains("\"event\":\"chaos.fault\""), "missing chaos.fault:\n{first}");
+    assert!(first.contains("\"kind\":\"Drop\""), "fault kind missing:\n{first}");
+    assert!(first.contains(&format!("\"seed\":{}", SEED + 3)), "fault seed missing");
+    assert!(first.contains("\"event\":\"retry.attempt\""), "missing retry.attempt");
+    assert!(first.contains("\"op\":\"put\",\"attempt\":2"), "missing recovery attempt");
+    assert!(first.contains("\"event\":\"cmd.dispatch\""), "missing cmd.dispatch");
+    assert!(first.contains("\"name\":\"session\""), "missing session span");
+    assert!(first.contains("\"name\":\"transfer\""), "missing transfer span");
+    // Span ids: at least one event anchored to a non-root span.
+    assert!(first.contains("\"span\":1"), "span ids missing:\n{first}");
+    // Both components exported.
+    assert!(first.contains("\"component\":\"client\""));
+    assert!(first.contains("\"component\":\"server\""));
+
+    // CI's replay gate: append this run's stable trace to $IG_TRACE,
+    // then `cmp` the files from two separate process invocations.
+    if let Some(path) = trace_path {
+        use std::io::Write as _;
+        let mut f =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path).unwrap();
+        f.write_all(first.as_bytes()).unwrap();
+    }
+}

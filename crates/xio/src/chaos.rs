@@ -18,6 +18,8 @@
 
 use crate::link::Link;
 use crate::retry::splitmix64;
+use ig_obs::{kv, Obs};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -145,6 +147,10 @@ pub struct ChaosHook {
     armed: AtomicBool,
     next_link: AtomicU64,
     fired: Vec<AtomicU64>,
+    /// Optional trace sink: every fired fault — *including* soft kinds
+    /// like `Delay` that surface nowhere else — emits a `chaos.fault`
+    /// event here with its trigger, seed, link and record position.
+    obs: Mutex<Option<Arc<Obs>>>,
 }
 
 impl ChaosHook {
@@ -167,7 +173,31 @@ impl ChaosHook {
             armed: AtomicBool::new(armed),
             next_link: AtomicU64::new(0),
             fired,
+            obs: Mutex::new(None),
         })
+    }
+
+    /// Route fault-fired events into `obs` (call before wrapping links).
+    pub fn set_obs(&self, obs: &Arc<Obs>) {
+        *self.obs.lock() = Some(Arc::clone(obs));
+    }
+
+    /// Emit the replay-stable `chaos.fault` trace event for one fire.
+    fn emit_fault(&self, link: u64, record: u64, dir: Direction, spec: &FaultSpec) {
+        if let Some(obs) = self.obs.lock().clone() {
+            obs.event(
+                "chaos.fault",
+                vec![
+                    kv("kind", format!("{:?}", spec.kind)),
+                    kv("direction", format!("{dir:?}")),
+                    kv("trigger", format!("{:?}", spec.trigger)),
+                    kv("seed", self.config.seed),
+                    kv("link", link),
+                    kv("record", record),
+                ],
+            );
+            obs.metrics().add("chaos.faults_fired", 1);
+        }
     }
 
     /// Start injecting faults.
@@ -239,6 +269,7 @@ struct DirState {
 pub struct ChaosLink<L: Link> {
     inner: L,
     hook: Arc<ChaosHook>,
+    index: u64,
     rng: StdRng,
     send: DirState,
     recv: DirState,
@@ -254,6 +285,7 @@ impl<L: Link> ChaosLink<L> {
         ChaosLink {
             inner,
             hook,
+            index,
             rng,
             send: DirState::default(),
             recv: DirState::default(),
@@ -293,6 +325,7 @@ impl<L: Link> ChaosLink<L> {
                 Trigger::Probability(p) => self.rng.gen::<f64>() < p,
             };
             if hit && self.hook.try_fire(i) {
+                self.hook.emit_fault(self.index, record, dir, spec);
                 fired.push(kind);
             }
         }
@@ -687,6 +720,48 @@ mod tests {
         assert_eq!(b.recv().unwrap().len(), 100);
         assert_eq!(b.recv().unwrap(), &[3u8]);
         assert_eq!(hook.total_fires(), 1);
+    }
+
+    #[test]
+    fn every_fired_fault_emits_a_trace_event_including_delay() {
+        // Delay is the softest fault — the payload still arrives, just
+        // maximally late — so without the trace event it is invisible.
+        let spec = FaultSpec::send(FaultKind::Delay, Trigger::OnRecord(0));
+        let hook = ChaosHook::new(ChaosConfig::single(7, spec));
+        let obs = Obs::new("chaos-test");
+        hook.set_obs(&obs);
+        let (a, mut b) = pipe();
+        let mut l = hook.wrap(Box::new(a));
+        l.send(b"late").unwrap();
+        l.send(b"ontime").unwrap();
+        assert_eq!(b.recv().unwrap(), b"ontime");
+        assert_eq!(hook.total_fires(), 1);
+        assert_eq!(obs.count_events("chaos.fault"), 1);
+        let trace = obs.export_stable();
+        assert!(trace.contains("\"kind\":\"Delay\""), "{trace}");
+        assert!(trace.contains("\"seed\":7"), "{trace}");
+        assert!(trace.contains("\"record\":0"), "{trace}");
+        assert_eq!(obs.metrics().counter_value("chaos.faults_fired"), 1);
+    }
+
+    #[test]
+    fn fault_events_match_fires_across_kinds() {
+        for kind in [FaultKind::Drop, FaultKind::Delay, FaultKind::Duplicate, FaultKind::Reorder] {
+            let spec = FaultSpec::send(kind, Trigger::OnRecord(1));
+            let hook = ChaosHook::new(ChaosConfig::single(11, spec));
+            let obs = Obs::new("chaos-test");
+            hook.set_obs(&obs);
+            let (a, _b) = pipe();
+            let mut l = hook.wrap(Box::new(a));
+            for _ in 0..4 {
+                l.send(b"m").unwrap();
+            }
+            assert_eq!(
+                hook.total_fires() as usize,
+                obs.count_events("chaos.fault"),
+                "fires and trace events must agree for {kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   limits in the striping experiment E5);
 //! * [`telemetry::Telemetry`] — byte/message counters and throughput
 //!   (the usage-reporting hooks behind Fig 1);
+//! * [`obs::ObsLink`] — per-message latency histograms and byte counters
+//!   into an `ig-obs` registry (DTP block latency for `SITE STATS`);
 //! * [`secure::SecureLink`] — a GSI security context as a driver, so a
 //!   data channel gains DCAU + `PROT` protection by pushing one more
 //!   driver onto the stack, exactly the XIO composition model;
@@ -26,6 +28,7 @@
 
 pub mod chaos;
 pub mod link;
+pub mod obs;
 pub mod retry;
 pub mod secure;
 pub mod telemetry;
@@ -33,6 +36,7 @@ pub mod throttle;
 
 pub use chaos::{ChaosConfig, ChaosHook, ChaosLink, Direction, FaultKind, FaultSpec, Trigger};
 pub use link::{pipe, Link, PipeLink, TcpLink};
+pub use obs::ObsLink;
 pub use retry::{splitmix64, RetryError, RetryPolicy};
 pub use secure::{secure_accept, secure_connect, SecureLink};
 pub use telemetry::{Counters, Telemetry};

@@ -204,6 +204,41 @@ impl RetryPolicy {
         Duration::from_secs_f64((capped * factor).max(0.0))
     }
 
+    /// [`Self::run`] with per-attempt trace events: `retry.attempt`
+    /// before each try, `retry.ok`/`retry.err` after, all tagged with
+    /// `op` so a chaos trace shows exactly which layer retried and why.
+    /// Also bumps the `xio.retry_attempts` counter.
+    pub fn run_with_obs<T, E: std::fmt::Display>(
+        &self,
+        obs: &ig_obs::Obs,
+        label: &str,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, RetryError<E>> {
+        self.run(|attempt| {
+            obs.event(
+                "retry.attempt",
+                vec![ig_obs::kv("op", label), ig_obs::kv("attempt", attempt)],
+            );
+            obs.metrics().add("xio.retry_attempts", 1);
+            let out = op(attempt);
+            match &out {
+                Ok(_) => obs.event(
+                    "retry.ok",
+                    vec![ig_obs::kv("op", label), ig_obs::kv("attempt", attempt)],
+                ),
+                Err(e) => obs.event(
+                    "retry.err",
+                    vec![
+                        ig_obs::kv("op", label),
+                        ig_obs::kv("attempt", attempt),
+                        ig_obs::kv("error", e.to_string()),
+                    ],
+                ),
+            }
+            out
+        })
+    }
+
     /// Run `op` under this policy. `op` receives the 1-based attempt
     /// number; backoff sleeps happen between failed attempts, clamped so
     /// the overall deadline is never slept past.
@@ -328,6 +363,27 @@ mod tests {
         });
         assert_eq!(calls, 1);
         assert_eq!(p.backoff(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_with_obs_traces_attempts() {
+        let p = RetryPolicy::immediate(3);
+        let obs = ig_obs::Obs::new("retry-test");
+        let out: Result<u32, RetryError<&str>> = p.run_with_obs(&obs, "dial", |attempt| {
+            if attempt < 2 {
+                Err("refused")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(obs.count_events("retry.attempt"), 2);
+        assert_eq!(obs.count_events("retry.err"), 1);
+        assert_eq!(obs.count_events("retry.ok"), 1);
+        assert_eq!(obs.metrics().counter_value("xio.retry_attempts"), 2);
+        let trace = obs.export_stable();
+        assert!(trace.contains("\"op\":\"dial\""), "{trace}");
+        assert!(trace.contains("\"error\":\"refused\""), "{trace}");
     }
 
     #[test]

@@ -5,11 +5,22 @@
 //! reporting") and the performance markers GridFTP emits mid-transfer.
 
 use crate::link::Link;
-use parking_lot::Mutex;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Process-wide epoch so the start instant can live in an atomic as a
+/// nanosecond offset instead of behind a `Mutex<Instant>` — `elapsed_s`
+/// sits on the hot throughput path.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn nanos_since_epoch() -> u64 {
+    process_epoch().elapsed().as_nanos() as u64
+}
 
 /// Shared counters; clone the `Arc` to watch a live transfer.
 #[derive(Debug)]
@@ -22,7 +33,8 @@ pub struct Counters {
     pub msgs_sent: AtomicU64,
     /// Messages received.
     pub msgs_received: AtomicU64,
-    start: Mutex<Instant>,
+    /// Creation/reset time as nanoseconds past [`process_epoch`].
+    start_nanos: AtomicU64,
 }
 
 impl Default for Counters {
@@ -32,7 +44,7 @@ impl Default for Counters {
             bytes_received: AtomicU64::new(0),
             msgs_sent: AtomicU64::new(0),
             msgs_received: AtomicU64::new(0),
-            start: Mutex::new(Instant::now()),
+            start_nanos: AtomicU64::new(nanos_since_epoch()),
         }
     }
 }
@@ -49,12 +61,13 @@ impl Counters {
         self.bytes_received.store(0, Ordering::Relaxed);
         self.msgs_sent.store(0, Ordering::Relaxed);
         self.msgs_received.store(0, Ordering::Relaxed);
-        *self.start.lock() = Instant::now();
+        self.start_nanos.store(nanos_since_epoch(), Ordering::Relaxed);
     }
 
-    /// Seconds since creation/reset.
+    /// Seconds since creation/reset. Lock-free.
     pub fn elapsed_s(&self) -> f64 {
-        self.start.lock().elapsed().as_secs_f64()
+        let start = self.start_nanos.load(Ordering::Relaxed);
+        nanos_since_epoch().saturating_sub(start) as f64 / 1e9
     }
 
     /// Mean send throughput since reset, bytes/second.
@@ -65,6 +78,29 @@ impl Counters {
         } else {
             0.0
         }
+    }
+
+    /// Mean receive throughput since reset, bytes/second.
+    pub fn recv_throughput(&self) -> f64 {
+        let e = self.elapsed_s();
+        if e > 0.0 {
+            self.bytes_received.load(Ordering::Relaxed) as f64 / e
+        } else {
+            0.0
+        }
+    }
+
+    /// Publish a snapshot of these counters into an `ig-obs` registry as
+    /// `{prefix}.*` gauges, so `SITE STATS`-style consumers read the
+    /// same numbers the link accounting produced.
+    pub fn export_into(&self, registry: &ig_obs::Registry, prefix: &str) {
+        let set = |name: &str, v: f64| registry.set_gauge(&format!("{prefix}.{name}"), v);
+        set("bytes_sent", self.bytes_sent.load(Ordering::Relaxed) as f64);
+        set("bytes_received", self.bytes_received.load(Ordering::Relaxed) as f64);
+        set("msgs_sent", self.msgs_sent.load(Ordering::Relaxed) as f64);
+        set("msgs_received", self.msgs_received.load(Ordering::Relaxed) as f64);
+        set("send_throughput", self.send_throughput());
+        set("recv_throughput", self.recv_throughput());
     }
 }
 
@@ -194,5 +230,26 @@ mod tests {
         assert!(c.send_throughput() > 0.0);
         c.reset();
         assert_eq!(c.bytes_sent.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn recv_throughput_and_registry_export() {
+        let (a, b) = pipe();
+        let c = Counters::new();
+        let mut ta = Telemetry::new(a, Counters::new());
+        let mut tb = Telemetry::new(b, Arc::clone(&c));
+        ta.send(&[1u8; 500]).unwrap();
+        assert_eq!(tb.recv().unwrap().len(), 500);
+        assert!(c.recv_throughput() > 0.0);
+        let reg = ig_obs::Registry::new();
+        c.export_into(&reg, "link");
+        assert_eq!(reg.gauge_value("link.bytes_received"), 500.0);
+        assert_eq!(reg.gauge_value("link.msgs_received"), 1.0);
+        assert!(reg.gauge_value("link.recv_throughput") > 0.0);
+        // Re-export after more traffic: snapshot follows the counters.
+        ta.send(&[1u8; 100]).unwrap();
+        assert_eq!(tb.recv().unwrap().len(), 100);
+        c.export_into(&reg, "link");
+        assert_eq!(reg.gauge_value("link.bytes_received"), 600.0);
     }
 }

@@ -29,4 +29,20 @@ for seed in 12648430 3405691582; do
     cargo test -q -p ig-server --test chaos_matrix -- --nocapture
 done
 
+# Replay-determinism gate: a failing chaos cell traced with IG_TRACE
+# under a fixed seed must dump byte-identical JSONL across two separate
+# process runs (the trace_replay test also asserts this in-process; this
+# checks the exported artifact end to end).
+echo "==> trace replay determinism (IG_TRACE, two runs, byte-compared)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+for run in a b; do
+  IG_TRACE="${trace_dir}/${run}.jsonl" timeout 300 \
+    cargo test -q -p ig-server --test trace_replay
+done
+cmp "${trace_dir}/a.jsonl" "${trace_dir}/b.jsonl"
+grep -q '"event":"chaos.fault"' "${trace_dir}/a.jsonl"
+grep -q '"event":"retry.attempt"' "${trace_dir}/a.jsonl"
+echo "    traces are byte-identical"
+
 echo "CI gate passed."
