@@ -14,6 +14,22 @@ use ig_bench::experiments as exp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // E14's idle-session herd helper mode: hold connections for the
+    // parent `report` process, then exit when it closes our stdin.
+    if args.first().map(String::as_str) == Some("--e14-hold") {
+        match (args.get(1), args.get(2)) {
+            (Some(addr), Some(count)) => exp::e14_sessions::hold_main(addr, count),
+            _ => {
+                eprintln!("usage: report --e14-hold <addr> <count>");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Let E14 hold its herd out-of-process (client fds and RSS land in
+    // the helper, not in the measured server process).
+    if let Ok(me) = std::env::current_exe() {
+        std::env::set_var(exp::e14_sessions::HELPER_ENV, me);
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let exp_filter = args
         .iter()
@@ -47,8 +63,9 @@ fn main() {
         Some("e11") => print!("{}", exp::e11_myproxy::table(fast)),
         Some("e12") => print!("{}", exp::e12_overheads::table()),
         Some("e13") => print!("{}", exp::e13_obs::table(fast)),
+        Some("e14") => print!("{}", exp::e14_sessions::table(fast)),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; use e1..e13");
+            eprintln!("unknown experiment {other:?}; use e1..e14");
             std::process::exit(2);
         }
     }

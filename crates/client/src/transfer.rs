@@ -267,7 +267,7 @@ pub fn get_bytes(
                 return Err(ClientError::Timeout("data connection never arrived".into()));
             }
         };
-        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
+        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
     }
     let obs = Arc::clone(&session.config.obs);
     let final_reply = read_until_final(session, |r| {
@@ -326,7 +326,7 @@ pub fn get_partial(
                 return Err(ClientError::ServerError(reply));
             }
         };
-        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?));
+        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
     }
     let obs = Arc::clone(&session.config.obs);
     let final_reply = read_until_final(session, |r| {
@@ -353,7 +353,7 @@ pub fn list(session: &mut ClientSession, path: &str) -> Result<Vec<String>> {
     let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
     for _ in 0..session.parallelism {
         let tcp = listener.accept(Duration::from_secs(30))?;
-        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?);
+        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?)?;
     }
     let final_reply = read_until_final(session, |_| {})?;
     let _ = receiver.finish();

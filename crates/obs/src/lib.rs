@@ -27,6 +27,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod process;
 pub mod trace;
 
 pub use json::{kv, Value};

@@ -54,6 +54,21 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
+
+    /// Atomically add `delta` (may be negative). Lets many threads keep
+    /// a live count in one gauge — e.g. `server.sessions_active` with
+    /// +1 on session start and -1 on drop.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 /// Map a sample to its bucket index.

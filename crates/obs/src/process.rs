@@ -1,0 +1,31 @@
+//! Process-level resource readings for capacity experiments.
+
+/// Resident set size of this process in bytes (`/proc/self/statm`),
+/// or `None` off Linux. Page size is read once from the kernel's
+/// reported granularity (4096 on every platform this runs on; statm
+/// reports pages).
+pub fn resident_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let rss_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+        Some(rss_pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn resident_bytes_is_plausible() {
+        let rss = super::resident_bytes().expect("linux has statm");
+        // Any live Rust process is at least a few hundred KiB and
+        // (in this workspace) well under 100 GiB.
+        assert!(rss > 100 * 1024, "implausibly small RSS {rss}");
+        assert!(rss < 100 * 1024 * 1024 * 1024, "implausibly large RSS {rss}");
+    }
+}

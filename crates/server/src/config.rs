@@ -8,6 +8,32 @@ use ig_pki::{Credential, TrustStore};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+/// Which concurrency core drives control sessions.
+///
+/// Both cores run the identical protocol machine
+/// (`session::Session::process_message`); they differ only in how
+/// sessions are multiplexed onto OS resources.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ServerCore {
+    /// One blocking thread per control session (portable fallback).
+    #[default]
+    Threaded,
+    /// One epoll reactor thread holding every idle session, plus a
+    /// bounded sharded worker pool for command execution. Linux only;
+    /// `GridFtpServer::start` returns a typed error elsewhere.
+    Reactor,
+}
+
+impl ServerCore {
+    /// Stable lowercase label used in `SITE STATS` and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerCore::Threaded => "threaded",
+            ServerCore::Reactor => "reactor",
+        }
+    }
+}
+
 /// Everything a GridFTP server instance needs.
 #[derive(Clone)]
 pub struct ServerConfig {
@@ -63,6 +89,17 @@ pub struct ServerConfig {
     /// and the registry `SITE STATS` serves. Defaults to
     /// [`ig_obs::Obs::global`]; tests pass a private hub per server.
     pub obs: Arc<ig_obs::Obs>,
+    /// Concurrency core for control sessions.
+    pub core: ServerCore,
+    /// Reactor worker pool: number of shards (independent bounded
+    /// queues; a session always hashes to the same shard, preserving
+    /// per-session command order).
+    pub worker_shards: usize,
+    /// Reactor worker pool: threads per shard.
+    pub workers_per_shard: usize,
+    /// Reactor worker pool: queued jobs per shard before backpressure
+    /// (the reactor parks further frames in per-session buffers).
+    pub dispatch_queue: usize,
 }
 
 impl ServerConfig {
@@ -95,6 +132,10 @@ impl ServerConfig {
             control_idle_timeout: None,
             data_chaos: None,
             obs: ig_obs::Obs::global(),
+            core: ServerCore::default(),
+            worker_shards: 4,
+            workers_per_shard: 2,
+            dispatch_queue: 64,
         }
     }
 
@@ -153,6 +194,26 @@ impl ServerConfig {
     /// traces per server instance this way).
     pub fn with_obs(mut self, obs: Arc<ig_obs::Obs>) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder: select the concurrency core.
+    pub fn with_core(mut self, core: ServerCore) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Builder: size the reactor worker pool.
+    pub fn with_worker_pool(
+        mut self,
+        shards: usize,
+        workers_per_shard: usize,
+        dispatch_queue: usize,
+    ) -> Self {
+        assert!(shards >= 1 && workers_per_shard >= 1 && dispatch_queue >= 1);
+        self.worker_shards = shards;
+        self.workers_per_shard = workers_per_shard;
+        self.dispatch_queue = dispatch_queue;
         self
     }
 }

@@ -81,27 +81,44 @@ pub fn send_ranges(
     for (i, mut stream) in streams.into_iter().enumerate() {
         let rx = rxs.remove(0);
         let progress = Arc::clone(progress);
-        workers.push(std::thread::spawn(move || -> Result<()> {
-            // First stream announces how many EODs to expect.
-            if i == 0 {
+        let spawned = std::thread::Builder::new()
+            .name(format!("dtp-stream-{i}"))
+            .spawn(move || -> Result<()> {
+                // First stream announces how many EODs to expect.
+                if i == 0 {
+                    stream
+                        .send(&Block::eof_count(n as u64).encode())
+                        .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
+                }
+                while let Ok((offset, chunk, start, end)) = rx.recv() {
+                    let len = (end - start) as u64;
+                    let header = mode_e::encode_header(0, len, offset);
+                    stream
+                        .send_vectored(&[
+                            IoSlice::new(&header),
+                            IoSlice::new(&chunk[start..end]),
+                        ])
+                        .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
+                    progress.bytes.fetch_add(len, Ordering::Relaxed);
+                }
                 stream
-                    .send(&Block::eof_count(n as u64).encode())
-                    .map_err(|e| ServerError::Data(format!("send EOF count: {e}")))?;
+                    .send(&Block::eod().encode())
+                    .map_err(|e| ServerError::Data(format!("send EOD: {e}")))?;
+                let _ = stream.close();
+                Ok(())
+            });
+        match spawned {
+            Ok(w) => workers.push(w),
+            Err(e) => {
+                // Dropping `txs` ends already-spawned workers cleanly
+                // (their queues disconnect and they send EOD/close).
+                drop(txs);
+                for w in workers {
+                    let _ = w.join();
+                }
+                return Err(ServerError::Spawn(format!("dtp stream worker {i}: {e}")));
             }
-            while let Ok((offset, chunk, start, end)) = rx.recv() {
-                let len = (end - start) as u64;
-                let header = mode_e::encode_header(0, len, offset);
-                stream
-                    .send_vectored(&[IoSlice::new(&header), IoSlice::new(&chunk[start..end])])
-                    .map_err(|e| ServerError::Data(format!("send block: {e}")))?;
-                progress.bytes.fetch_add(len, Ordering::Relaxed);
-            }
-            stream
-                .send(&Block::eod().encode())
-                .map_err(|e| ServerError::Data(format!("send EOD: {e}")))?;
-            let _ = stream.close();
-            Ok(())
-        }));
+        }
     }
     // Reader: stream file ranges into the queues in block-sized pieces,
     // strictly round-robin over streams. Each read chunk is shared with
@@ -308,12 +325,15 @@ impl Receiver {
     }
 
     /// Handle one data connection on a background thread.
-    pub fn add_stream(&self, mut link: Box<dyn Link>) {
+    ///
+    /// A refused spawn (thread exhaustion) surfaces as
+    /// [`ServerError::Spawn`] instead of panicking mid-transfer.
+    pub fn add_stream(&self, mut link: Box<dyn Link>) -> Result<()> {
         if let Some(idle) = self.idle {
             let _ = link.set_recv_timeout(Some(idle));
         }
         let shared = Arc::clone(&self.shared);
-        let handle = std::thread::spawn(move || {
+        let spawned = std::thread::Builder::new().name("dtp-recv".into()).spawn(move || {
             // One receive buffer per connection, reused for every block;
             // blocks are parsed as borrowed views straight out of it.
             let mut msg = Vec::new();
@@ -360,7 +380,13 @@ impl Receiver {
                 }
             }
         });
-        self.threads.lock().push(handle);
+        match spawned {
+            Ok(handle) => {
+                self.threads.lock().push(handle);
+                Ok(())
+            }
+            Err(e) => Err(ServerError::Spawn(format!("dtp receive worker: {e}"))),
+        }
     }
 
     /// All announced connections closed cleanly?
@@ -419,7 +445,7 @@ mod tests {
         for _ in 0..streams {
             let (a, b) = pipe();
             sender_links.push(Box::new(a));
-            receiver.add_stream(Box::new(b));
+            receiver.add_stream(Box::new(b)).unwrap();
         }
         let progress_tx = Progress::new();
         let len = data.len() as u64;
@@ -475,7 +501,7 @@ mod tests {
         let progress = Progress::new();
         let receiver = Receiver::new(Arc::clone(&dst), user.clone(), "/out", Arc::clone(&progress));
         let (a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         let sent = send_ranges(
             vec![Box::new(a)],
             &dsi,
@@ -500,7 +526,7 @@ mod tests {
         let user = UserContext::superuser();
         let receiver = Receiver::new(dst, user, "/out", Progress::new());
         let (a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         // Send one data block then drop without EOD.
         let mut a: Box<dyn Link> = Box::new(a);
         a.send(&Block::eof_count(1).encode()).unwrap();
@@ -515,7 +541,7 @@ mod tests {
         let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
         let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
         let (mut a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         a.send(b"definitely not a block").unwrap();
         let err = receiver.finish().unwrap_err();
         assert!(err.to_string().contains("bad block"));
@@ -529,7 +555,7 @@ mod tests {
         let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new())
             .with_idle(std::time::Duration::from_millis(50));
         let (a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         let err = receiver.finish().unwrap_err();
         assert!(matches!(err, ServerError::Timeout(_)), "{err}");
         drop(a); // keep the peer open for the whole test
@@ -541,14 +567,14 @@ mod tests {
         let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
         let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
         let (a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         drop(a);
         assert!(matches!(receiver.finish().unwrap_err(), ServerError::Truncated(_)));
         // ...while an unparseable frame surfaces as Corrupt.
         let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
         let receiver = Receiver::new(dst, UserContext::superuser(), "/out", Progress::new());
         let (mut a, b) = pipe();
-        receiver.add_stream(Box::new(b));
+        receiver.add_stream(Box::new(b)).unwrap();
         a.send(b"not mode e").unwrap();
         assert!(matches!(receiver.finish().unwrap_err(), ServerError::Corrupt(_)));
     }

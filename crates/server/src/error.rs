@@ -30,6 +30,14 @@ pub enum ServerError {
     Pki(ig_pki::PkiError),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The OS refused to spawn a worker thread (resource exhaustion).
+    /// Previously these sites panicked or silently discarded the
+    /// failure; now they surface here and in the
+    /// `server.spawn_failures` counter.
+    Spawn(String),
+    /// The requested feature is unavailable on this platform (e.g. the
+    /// epoll reactor core off Linux).
+    Unsupported(String),
 }
 
 impl fmt::Display for ServerError {
@@ -47,6 +55,8 @@ impl fmt::Display for ServerError {
             ServerError::Gsi(e) => write!(f, "security: {e}"),
             ServerError::Pki(e) => write!(f, "pki: {e}"),
             ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Spawn(m) => write!(f, "thread spawn: {m}"),
+            ServerError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }
 }

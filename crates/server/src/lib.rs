@@ -36,13 +36,16 @@ pub mod dtp;
 pub mod error;
 pub mod fault;
 pub mod listener;
+mod pool;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod session;
 pub mod striped;
 pub mod usage;
 pub mod users;
 
 pub use authz::{AuthzCallout, ChainAuthz, GcmuAuthz, GridmapAuthz};
-pub use config::ServerConfig;
+pub use config::{ServerConfig, ServerCore};
 pub use dsi::{memory::MemDsi, posix::PosixDsi, Dsi};
 pub use dtp::RecvFault;
 pub use error::ServerError;

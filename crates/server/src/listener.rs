@@ -1,7 +1,9 @@
-//! Server front door: TCP accept loop + in-process session entry.
+//! Server front door: binds the control port and starts the selected
+//! concurrency core — the portable thread-per-session accept loop, or
+//! (on Linux) the epoll reactor ([`crate::reactor`]).
 
-use crate::config::ServerConfig;
-use crate::error::Result;
+use crate::config::{ServerConfig, ServerCore};
+use crate::error::{Result, ServerError};
 use crate::session::run_session;
 use ig_protocol::HostPort;
 use ig_xio::{Link, TcpLink};
@@ -16,14 +18,21 @@ pub struct GridFtpServer {
     config: Arc<ServerConfig>,
     addr: HostPort,
     stop: Arc<AtomicBool>,
-    seed: AtomicU64,
+    /// Session-seed counter, bumped once per accepted connection in
+    /// accept order — shared with the reactor so both cores seed
+    /// identically.
+    seed: Arc<AtomicU64>,
+    /// Reactor wakeup handle (shutdown pokes the event loop out of
+    /// `epoll_wait`). `None` under the threaded core.
+    #[cfg(target_os = "linux")]
+    wake: std::sync::Mutex<Option<Arc<ig_xio::WakeFd>>>,
 }
 
 impl GridFtpServer {
     /// Bind the control channel on `config.data_ip:0` and start serving.
     ///
     /// `seed` makes all session randomness deterministic (each session
-    /// derives `seed + n`).
+    /// derives `seed + n` in accept order, on either core).
     pub fn start(config: ServerConfig, seed: u64) -> Result<Arc<Self>> {
         let listener = TcpListener::bind((config.data_ip, 0))?;
         let addr = HostPort::from_socket_addr(listener.local_addr()?)?;
@@ -31,28 +40,33 @@ impl GridFtpServer {
             config: Arc::new(config),
             addr,
             stop: Arc::new(AtomicBool::new(false)),
-            seed: AtomicU64::new(seed),
+            seed: Arc::new(AtomicU64::new(seed)),
+            #[cfg(target_os = "linux")]
+            wake: std::sync::Mutex::new(None),
         });
-        let server2 = Arc::clone(&server);
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if server2.stop.load(Ordering::SeqCst) {
-                    break;
+        match server.config.core {
+            ServerCore::Threaded => start_threaded(&server, listener)?,
+            ServerCore::Reactor => {
+                #[cfg(target_os = "linux")]
+                {
+                    let handle = crate::reactor::spawn(
+                        listener,
+                        Arc::clone(&server.config),
+                        Arc::clone(&server.seed),
+                        Arc::clone(&server.stop),
+                    )?;
+                    *server.wake.lock().unwrap() = Some(handle.wake);
                 }
-                match stream {
-                    Ok(s) => {
-                        let cfg = Arc::clone(&server2.config);
-                        let session_seed = server2.seed.fetch_add(1, Ordering::SeqCst);
-                        std::thread::spawn(move || {
-                            let rng = StdRng::seed_from_u64(session_seed);
-                            let link: Box<dyn Link> = Box::new(TcpLink::new(s));
-                            let _ = run_session(link, cfg, rng);
-                        });
-                    }
-                    Err(_) => break,
+                #[cfg(not(target_os = "linux"))]
+                {
+                    drop(listener);
+                    return Err(ServerError::Unsupported(
+                        "the reactor core requires epoll (Linux); use ServerCore::Threaded"
+                            .into(),
+                    ));
                 }
             }
-        });
+        }
         Ok(server)
     }
 
@@ -69,8 +83,55 @@ impl GridFtpServer {
     /// Stop accepting new sessions (existing sessions run to completion).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let Some(wake) = self.wake.lock().unwrap().as_ref() {
+            wake.wake();
+        }
+        // Unblocks the threaded accept loop (harmless no-op connection
+        // under the reactor, which checks the stop flag on wakeup).
         let _ = std::net::TcpStream::connect(self.addr.to_socket_addr());
     }
+}
+
+/// The portable core: one blocking accept loop, one thread per session.
+fn start_threaded(server: &Arc<GridFtpServer>, listener: TcpListener) -> Result<()> {
+    let server2 = Arc::clone(server);
+    std::thread::Builder::new()
+        .name("ig-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if server2.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let cfg = Arc::clone(&server2.config);
+                        let session_seed = server2.seed.fetch_add(1, Ordering::SeqCst);
+                        let spawned = std::thread::Builder::new()
+                            .name("ig-session".into())
+                            .spawn(move || {
+                                let rng = StdRng::seed_from_u64(session_seed);
+                                let link: Box<dyn Link> = Box::new(TcpLink::new(s));
+                                let _ = run_session(link, cfg, rng);
+                            });
+                        if spawned.is_err() {
+                            // Out of threads: shed this connection (the
+                            // socket drop is the refusal) and count it
+                            // rather than tearing the server down.
+                            server2
+                                .config
+                                .obs
+                                .metrics()
+                                .counter("server.spawn_failures")
+                                .inc();
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .map_err(|e| ServerError::Spawn(format!("accept loop: {e}")))?;
+    Ok(())
 }
 
 impl Drop for GridFtpServer {

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 /// Marker emission period during transfers.
 const MARKER_PERIOD: Duration = Duration::from_millis(50);
 
-enum LoopControl {
+pub(crate) enum LoopControl {
     Continue,
     Quit,
 }
@@ -60,6 +60,21 @@ pub struct Session<R: Rng> {
     span: ig_obs::Span,
     /// Cached handle for the per-command RTT histogram.
     cmd_rtt: Arc<ig_obs::Histogram>,
+    /// Live-session gauge: +1 in `new`, -1 when this guard drops — one
+    /// accounting shared by the threaded and reactor cores. Declared
+    /// after `span` on purpose: fields drop in declaration order, so
+    /// the span's `span.end` is already in the trace by the time the
+    /// gauge reads zero (tests poll the gauge, then export).
+    sessions_active: ActiveSessionGuard,
+}
+
+/// Decrements `server.sessions_active` when the session is dropped.
+struct ActiveSessionGuard(Arc<ig_obs::Gauge>);
+
+impl Drop for ActiveSessionGuard {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
 }
 
 fn send_reply(
@@ -95,34 +110,11 @@ fn run_session_inner<R: Rng>(
     config: Arc<ServerConfig>,
     rng: R,
 ) -> Result<()> {
-    let banner = Reply::service_ready(&config.banner);
-    let span = config.obs.span("session", vec![kv("endpoint", config.name.as_str())]);
-    let cmd_rtt = config.obs.metrics().histogram("server.cmd_rtt_ns");
-    let mut session = Session {
-        config,
-        rng,
-        ctx: None,
-        acceptor: None,
-        identity: None,
-        user: None,
-        delegated: None,
-        pending_deleg: None,
-        dcsc: None,
-        mode: ModeCode::Stream,
-        parallelism: 1,
-        prot: ProtectionLevel::Clear,
-        dcau: DcauMode::Self_,
-        restart: None,
-        listeners: Vec::new(),
-        port_targets: Vec::new(),
-        cwd: "/".to_string(),
-        span,
-        cmd_rtt,
-    };
+    let mut session = Session::new(config, rng);
     if let Some(idle) = session.config.control_idle_timeout {
         let _ = link.set_recv_timeout(Some(idle));
     }
-    send_reply(&mut session.ctx, &mut link, false, &banner)?;
+    session.greet(&mut link)?;
     loop {
         let msg = match link.recv() {
             Ok(m) => m,
@@ -145,16 +137,73 @@ fn run_session_inner<R: Rng>(
             }
             Err(_) => return Ok(()), // client went away
         };
+        match session.process_message(&mut link, msg)? {
+            LoopControl::Continue => {}
+            LoopControl::Quit => return Ok(()),
+        }
+    }
+}
+
+impl<R: Rng> Session<R> {
+    /// Fresh pre-auth session state. Both server cores build sessions
+    /// here so the protocol machine is identical by construction.
+    pub(crate) fn new(config: Arc<ServerConfig>, rng: R) -> Session<R> {
+        let span = config.obs.span("session", vec![kv("endpoint", config.name.as_str())]);
+        let cmd_rtt = config.obs.metrics().histogram("server.cmd_rtt_ns");
+        let sessions_active = config.obs.metrics().gauge("server.sessions_active");
+        sessions_active.add(1.0);
+        let sessions_active = ActiveSessionGuard(sessions_active);
+        Session {
+            config,
+            rng,
+            ctx: None,
+            acceptor: None,
+            identity: None,
+            user: None,
+            delegated: None,
+            pending_deleg: None,
+            dcsc: None,
+            mode: ModeCode::Stream,
+            parallelism: 1,
+            prot: ProtectionLevel::Clear,
+            dcau: DcauMode::Self_,
+            restart: None,
+            listeners: Vec::new(),
+            port_targets: Vec::new(),
+            cwd: "/".to_string(),
+            span,
+            cmd_rtt,
+            sessions_active,
+        }
+    }
+
+    /// Send the 220 service-ready banner (always unwrapped).
+    pub(crate) fn greet(&mut self, link: &mut Box<dyn Link>) -> Result<()> {
+        let banner = Reply::service_ready(&self.config.banner);
+        send_reply(&mut self.ctx, link, false, &banner)
+    }
+
+    /// One resumable step of the protocol machine: decode a complete
+    /// inbound message, dispatch it, and write the reply to `link`.
+    /// The threaded core calls this from its blocking recv loop; the
+    /// reactor core calls it from a pool worker with a frame the event
+    /// loop buffered. An `Err` is session-fatal and has already sent
+    /// the 421 (best effort).
+    pub(crate) fn process_message(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        msg: Vec<u8>,
+    ) -> Result<LoopControl> {
         let line = match String::from_utf8(msg) {
             Ok(l) => l,
             Err(_) => {
                 send_reply(
-                    &mut session.ctx,
-                    &mut link,
+                    &mut self.ctx,
+                    link,
                     false,
                     &Reply::syntax_error("Command not UTF-8."),
                 )?;
-                continue;
+                return Ok(LoopControl::Continue);
             }
         };
         let parsed = Command::parse(&line);
@@ -162,60 +211,56 @@ fn run_session_inner<R: Rng>(
             Ok(c) => c,
             Err(e) => {
                 send_reply(
-                    &mut session.ctx,
-                    &mut link,
+                    &mut self.ctx,
+                    link,
                     false,
                     &Reply::syntax_error(&format!("Syntax error: {e}")),
                 )?;
-                continue;
+                return Ok(LoopControl::Continue);
             }
         };
         // Unwrap RFC 2228 envelopes.
         let (cmd, wrapped) = match &cmd {
             Command::Protected { .. } => {
-                if session.ctx.is_none() {
+                if self.ctx.is_none() {
                     send_reply(
-                        &mut session.ctx,
-                        &mut link,
+                        &mut self.ctx,
+                        link,
                         false,
                         &Reply::new(503, "Protected commands require completed AUTH."),
                     )?;
-                    continue;
+                    return Ok(LoopControl::Continue);
                 }
-                let ctx = session.ctx.as_mut().expect("checked above");
+                let ctx = self.ctx.as_mut().expect("checked above");
                 match secure_line::unprotect_command(ctx, &cmd) {
                     Ok(inner) => (inner, true),
                     Err(e) => {
                         send_reply(
-                            &mut session.ctx,
-                            &mut link,
+                            &mut self.ctx,
+                            link,
                             false,
                             &Reply::new(535, format!("Protection error: {e}")),
                         )?;
-                        continue;
+                        return Ok(LoopControl::Continue);
                     }
                 }
             }
             _ => (cmd, false),
         };
-        match session.handle(&mut link, cmd, wrapped) {
-            Ok(LoopControl::Continue) => {}
-            Ok(LoopControl::Quit) => return Ok(()),
+        match self.handle(link, cmd, wrapped) {
+            Ok(ctl) => Ok(ctl),
             Err(e) => {
                 // Session-fatal error: try to notify, then drop.
                 let _ = send_reply(
-                    &mut session.ctx,
-                    &mut link,
+                    &mut self.ctx,
+                    link,
                     false,
                     &Reply::new(421, format!("Service error: {e}")),
                 );
-                return Err(e);
+                Err(e)
             }
         }
     }
-}
-
-impl<R: Rng> Session<R> {
     fn reply(&mut self, link: &mut Box<dyn Link>, wrap: bool, reply: Reply) -> Result<()> {
         self.config.obs.metrics().add(&format!("server.reply_{}", reply.code), 1);
         send_reply(&mut self.ctx, link, wrap, &reply)
@@ -750,8 +795,9 @@ impl<R: Rng> Session<R> {
                 // snapshot of the same metrics registry every layer records
                 // into, so the two can never drift apart.
                 let stats = format!(
-                    "{{\"component\":\"{}\",\"usage\":{{\"transfers\":{},\"bytes\":{}}},\"metrics\":{}}}",
+                    "{{\"component\":\"{}\",\"core\":\"{}\",\"usage\":{{\"transfers\":{},\"bytes\":{}}},\"metrics\":{}}}",
                     self.config.obs.component(),
+                    self.config.core.label(),
                     self.config.usage.total_transfers(),
                     self.config.usage.total_bytes(),
                     self.config.obs.metrics().snapshot_json()
@@ -880,17 +926,36 @@ impl<R: Rng> Session<R> {
         let dsi = Arc::clone(&self.config.dsi);
         let user2 = user.clone();
         let block_size = self.config.block_size;
-        let worker = std::thread::spawn(move || -> Result<u64> {
-            match source {
-                TransferSource::File(path)
-                | TransferSource::Partial { path, .. } => {
-                    send_ranges(streams, &dsi, &user2, &path, &ranges, block_size, &progress2)
+        let spawned = std::thread::Builder::new().name("dtp-send".into()).spawn(
+            move || -> Result<u64> {
+                match source {
+                    TransferSource::File(path)
+                    | TransferSource::Partial { path, .. } => {
+                        send_ranges(streams, &dsi, &user2, &path, &ranges, block_size, &progress2)
+                    }
+                    TransferSource::Buffer(buf) => {
+                        crate::dtp::send_buffer(streams, &buf, block_size, &progress2)
+                    }
                 }
-                TransferSource::Buffer(buf) => {
-                    crate::dtp::send_buffer(streams, &buf, block_size, &progress2)
-                }
+            },
+        );
+        let worker = match spawned {
+            Ok(w) => w,
+            Err(e) => {
+                // Thread exhaustion is an operational signal, not a
+                // session-fatal bug: count it, fail this transfer, keep
+                // the control channel up.
+                self.config.obs.metrics().add("server.spawn_failures", 1);
+                self.port_targets.clear();
+                self.listeners.clear();
+                tspan.end_with(vec![kv("outcome", "spawn-error")]);
+                return self.reply(
+                    link,
+                    wrap,
+                    Reply::new(426, format!("Transfer failed: cannot spawn sender: {e}")),
+                );
             }
-        });
+        };
         // Poll progress, emitting 112 perf markers.
         let start = Instant::now();
         let mut last_bytes = 0u64;
@@ -997,7 +1062,17 @@ impl<R: Rng> Session<R> {
                             .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
                         let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
                         let secured = wrap_connect(throttled, &sec, &mut self.rng)?;
-                        receiver.add_stream(self.chaosify(secured));
+                        if let Err(e) = receiver.add_stream(self.chaosify(secured)) {
+                            self.config.obs.metrics().add("server.spawn_failures", 1);
+                            self.listeners.clear();
+                            self.port_targets.clear();
+                            tspan.end_with(vec![kv("outcome", "spawn-error")]);
+                            return self.reply(
+                                link,
+                                wrap,
+                                Reply::new(426, format!("Transfer failed: {e}")),
+                            );
+                        }
                         connected += 1;
                     }
                 }
@@ -1007,7 +1082,17 @@ impl<R: Rng> Session<R> {
                     let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
                     match wrap_accept(throttled, &sec, &mut self.rng) {
                         Ok(s) => {
-                            receiver.add_stream(self.chaosify(s));
+                            if let Err(e) = receiver.add_stream(self.chaosify(s)) {
+                                self.config.obs.metrics().add("server.spawn_failures", 1);
+                                self.listeners.clear();
+                                self.port_targets.clear();
+                                tspan.end_with(vec![kv("outcome", "spawn-error")]);
+                                return self.reply(
+                                    link,
+                                    wrap,
+                                    Reply::new(426, format!("Transfer failed: {e}")),
+                                );
+                            }
                             connected += 1;
                             last_progress = Instant::now();
                         }

@@ -23,7 +23,7 @@ use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, Trust
 use ig_protocol::command::DcauMode;
 use ig_protocol::{ByteRanges, HostPort};
 use ig_server::dsi::read_all;
-use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, UserContext};
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, ServerCore, UserContext};
 use ig_xio::{
     splitmix64, ChaosConfig, ChaosHook, Direction, FaultKind, FaultSpec, Link, TcpLink, Trigger,
 };
@@ -124,6 +124,7 @@ fn server_cfg(
     trust: TrustStore,
     dsi: Arc<MemDsi>,
     data_chaos: Option<Arc<ChaosHook>>,
+    core: ServerCore,
 ) -> ServerConfig {
     let mut gridmap = Gridmap::new();
     gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
@@ -136,14 +137,15 @@ fn server_cfg(
     )
     .with_clock(Clock::Fixed(NOW))
     .with_stall_timeout(STALL)
-    .with_control_idle_timeout(Duration::from_secs(5));
+    .with_control_idle_timeout(Duration::from_secs(5))
+    .with_core(core);
     if let Some(hook) = data_chaos {
         cfg = cfg.with_data_chaos(hook);
     }
     cfg
 }
 
-fn world(seed: u64) -> World {
+fn world(seed: u64, core: ServerCore) -> World {
     let mut rng = ig_crypto::rng::seeded(seed);
     let mut ca =
         CertificateAuthority::create(&mut rng, dn("/O=Chaos CA"), 512, 0, NOW * 10).unwrap();
@@ -166,6 +168,7 @@ fn world(seed: u64) -> World {
         trust.clone(),
         Arc::clone(&dsi),
         None,
+        core,
     );
     let server = GridFtpServer::start(cfg, seed * 100).unwrap();
     let cfg = client_cfg(Credential::new(vec![user_cert], user_keys.private).unwrap(), trust, seed);
@@ -182,7 +185,7 @@ struct TpWorld {
     dst_dsi: Arc<MemDsi>,
 }
 
-fn tp_world(seed: u64, src_chaos: Option<Arc<ChaosHook>>) -> TpWorld {
+fn tp_world(seed: u64, src_chaos: Option<Arc<ChaosHook>>, core: ServerCore) -> TpWorld {
     let mut rng = ig_crypto::rng::seeded(seed);
     let mut ca = CertificateAuthority::create(&mut rng, dn("/O=TP CA"), 512, 0, NOW * 10).unwrap();
     let mut host = |rng: &mut _, name: &str| {
@@ -205,12 +208,12 @@ fn tp_world(seed: u64, src_chaos: Option<Arc<ChaosHook>>) -> TpWorld {
     src_dsi.put("/home/alice/src.bin", &payload());
     let dst_dsi = Arc::new(MemDsi::new());
     let src = GridFtpServer::start(
-        server_cfg("src.example.org", src_cred, trust.clone(), src_dsi, src_chaos),
+        server_cfg("src.example.org", src_cred, trust.clone(), src_dsi, src_chaos, core),
         seed * 100,
     )
     .unwrap();
     let dst = GridFtpServer::start(
-        server_cfg("dst.example.org", dst_cred, trust.clone(), Arc::clone(&dst_dsi), None),
+        server_cfg("dst.example.org", dst_cred, trust.clone(), Arc::clone(&dst_dsi), None, core),
         seed * 100 + 50,
     )
     .unwrap();
@@ -393,7 +396,7 @@ fn run_tp_cell(w: &TpWorld, chan: Chan, kind_name: &str, hook: &Arc<ChaosHook>, 
 /// function of `seed`. Also returns (fault fires, `chaos.fault` trace
 /// events) summed over every hook: the two must agree — a fired fault
 /// with no trace event is an observability hole.
-fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
+fn run_matrix(seed: u64, core: ServerCore) -> (Vec<String>, u64, u64) {
     let mut records = Vec::new();
     let mut cell = 0usize;
     let cell_seed = |cell: usize| splitmix64(seed ^ (cell as u64).wrapping_mul(0x9E37_79B9));
@@ -401,7 +404,7 @@ fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
     let mut hooks: Vec<Arc<ChaosHook>> = Vec::new();
 
     // PUT/GET: one clean server, faults injected client-side.
-    let w = world(seed);
+    let w = world(seed, core);
     for (name, kind) in kinds() {
         for chan in [Chan::Control, Chan::Data] {
             for op in [Op::Put, Op::Get] {
@@ -423,7 +426,7 @@ fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
 
     // 3PT control: one clean pair, faults on the mediator's destination
     // control link.
-    let tw = tp_world(seed.wrapping_add(1), None);
+    let tw = tp_world(seed.wrapping_add(1), None, core);
     for (name, kind) in kinds() {
         let spec = FaultSpec::send(kind, Trigger::Probability(1.0));
         let hook = ChaosHook::disarmed(ChaosConfig::single(cell_seed(cell), spec));
@@ -440,7 +443,7 @@ fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
         let hook = ChaosHook::disarmed(ChaosConfig::single(cell_seed(cell), spec));
         hook.set_obs(&obs);
         hooks.push(Arc::clone(&hook));
-        let tw = tp_world(seed.wrapping_add(10 + i as u64), Some(Arc::clone(&hook)));
+        let tw = tp_world(seed.wrapping_add(10 + i as u64), Some(Arc::clone(&hook)), core);
         records.push(run_tp_cell(&tw, Chan::Data, name, &hook, cell));
         cell += 1;
     }
@@ -451,8 +454,22 @@ fn run_matrix(seed: u64) -> (Vec<String>, u64, u64) {
 
 #[test]
 fn matrix_survives_all_faults_and_replays_byte_identical() {
+    run_matrix_scenario(ServerCore::Threaded);
+}
+
+/// The identical 48-cell sweep with every server on the epoll reactor
+/// core. Recovery behaviour and determinism (per-core byte-identical
+/// replay under one seed) must hold there too — sessions are seeded in
+/// accept order on both cores, so the chaos schedule is unchanged.
+#[cfg(target_os = "linux")]
+#[test]
+fn matrix_survives_and_replays_on_reactor_core() {
+    run_matrix_scenario(ServerCore::Reactor);
+}
+
+fn run_matrix_scenario(core: ServerCore) {
     let seed = chaos_seed();
-    let (first, fired, traced) = run_matrix(seed);
+    let (first, fired, traced) = run_matrix(seed, core);
     assert_eq!(first.len(), 48, "8 kinds x 2 channels x 3 operations");
     for r in &first {
         assert!(
@@ -471,7 +488,7 @@ fn matrix_survives_all_faults_and_replays_byte_identical() {
     assert_eq!(fired, traced, "every fired fault must emit a chaos.fault trace event");
     // Exact replay: the matrix is a pure function of the seed — attempt
     // counts, first-error classes and fire counts must all reproduce.
-    let (second, fired2, traced2) = run_matrix(seed);
+    let (second, fired2, traced2) = run_matrix(seed, core);
     assert_eq!(first, second, "chaos schedule must replay byte-identically under one seed");
     assert_eq!((fired, traced), (fired2, traced2), "fault/trace totals must replay");
 }

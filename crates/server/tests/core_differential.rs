@@ -1,0 +1,261 @@
+//! Differential testing of the two concurrency cores.
+//!
+//! The epoll reactor must be observationally identical to the blocking
+//! thread-per-session core: same replies, same ordering, same transfer
+//! results. The interesting divergence risk is *partial reads* — the
+//! reactor reassembles command frames from whatever byte fragments
+//! epoll hands it, while the threaded core blocks in `read_exact` — so
+//! the property test drives both servers with identical command scripts
+//! cut at arbitrary byte boundaries and demands byte-equal reply
+//! streams. A deterministic authenticated PUT/GET differential over
+//! `MemDsi` covers the post-auth path.
+
+#![cfg(target_os = "linux")]
+
+use ig_client::{transfer, ClientConfig, ClientSession, RetryPolicy, TransferOpts};
+use ig_pki::cert::Validity;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
+use ig_protocol::command::{Command, DcauMode};
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, ServerCore};
+use ig_xio::{Link, TcpLink};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const NOW: u64 = 1_000_000;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+/// Pre-auth command vocabulary. Every entry must elicit a reply without
+/// closing the session (530s, 500s, and 504s included on purpose) so a
+/// script of N commands + QUIT always yields exactly N + 1 replies.
+const VOCAB: &[&str] = &[
+    "FEAT",
+    "NOOP",
+    "TYPE I",
+    "TYPE A",
+    "TYPE Q",
+    "MODE E",
+    "MODE S",
+    "MODE X",
+    "RETR /x",
+    "STOR /x",
+    "PASV",
+    "XYZZY",
+    "",
+    "ADAT aGVsbG8=",
+    "AUTH KERBEROS",
+];
+
+fn preauth_config() -> ServerConfig {
+    let mut rng = ig_crypto::rng::seeded(0xD1FF);
+    let (ca, cred) = ig_gsi::context::test_support::ca_and_credential(
+        &mut rng,
+        "/O=Diff CA",
+        "/CN=diff.example.org",
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+    ServerConfig::new(
+        "diff.example.org",
+        cred,
+        trust,
+        Arc::new(ig_server::GcmuAuthz::new("diff.example.org")),
+        Arc::new(MemDsi::new()),
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_secs(5))
+}
+
+/// Both servers live for the whole test binary — each proptest case
+/// opens a fresh connection rather than a fresh server.
+fn servers() -> &'static (Arc<GridFtpServer>, Arc<GridFtpServer>) {
+    static SERVERS: OnceLock<(Arc<GridFtpServer>, Arc<GridFtpServer>)> = OnceLock::new();
+    SERVERS.get_or_init(|| {
+        let threaded = GridFtpServer::start(
+            preauth_config().with_core(ServerCore::Threaded),
+            11,
+        )
+        .unwrap();
+        let reactor = GridFtpServer::start(
+            preauth_config().with_core(ServerCore::Reactor),
+            11,
+        )
+        .unwrap();
+        (threaded, reactor)
+    })
+}
+
+/// Run `cmds` + QUIT against one server, writing the framed wire bytes
+/// in the fragment pattern given by `cuts`, and collect every reply
+/// (banner first). A torn-down connection records a `<closed>` sentinel
+/// so early hangups also have to match across cores.
+fn drive(server: &GridFtpServer, cmds: &[&str], cuts: &[usize]) -> Vec<String> {
+    let stream = TcpStream::connect(server.addr().to_socket_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut link = TcpLink::new(stream);
+
+    let mut replies = Vec::with_capacity(cmds.len() + 2);
+    match link.recv() {
+        Ok(banner) => replies.push(String::from_utf8_lossy(&banner).into_owned()),
+        Err(_) => {
+            replies.push("<closed>".into());
+            return replies;
+        }
+    }
+
+    // One contiguous byte string of length-prefixed frames, then cut it
+    // wherever proptest said to — frame boundaries get no special
+    // treatment, so length prefixes and payloads tear mid-field.
+    let mut wire = Vec::new();
+    for cmd in cmds.iter().map(|c| c.as_bytes()).chain(std::iter::once(&b"QUIT"[..])) {
+        wire.extend_from_slice(&(cmd.len() as u32).to_be_bytes());
+        wire.extend_from_slice(cmd);
+    }
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(wire.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    for pair in bounds.windows(2) {
+        writer.write_all(&wire[pair[0]..pair[1]]).unwrap();
+        writer.flush().unwrap();
+        // Give the fragment a chance to arrive alone at the reactor.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    for _ in 0..=cmds.len() {
+        match link.recv() {
+            Ok(reply) => replies.push(String::from_utf8_lossy(&reply).into_owned()),
+            Err(_) => {
+                replies.push("<closed>".into());
+                break;
+            }
+        }
+    }
+    replies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same script, same arbitrary fragmentation → byte-equal replies
+    /// from both cores, in order, including the banner and the 221.
+    #[test]
+    fn partial_reads_reply_identically_across_cores(
+        picks in proptest::collection::vec(0usize..VOCAB.len(), 0..8),
+        cuts in proptest::collection::vec(0usize..512, 0..12),
+    ) {
+        let cmds: Vec<&str> = picks.iter().map(|&i| VOCAB[i]).collect();
+        let (threaded, reactor) = servers();
+        let a = drive(threaded, &cmds, &cuts);
+        let b = drive(reactor, &cmds, &cuts);
+        prop_assert_eq!(&a, &b, "cores diverged on script {:?}", cmds);
+        let last = a.last().unwrap();
+        prop_assert!(
+            last.starts_with("221"),
+            "script must end in a clean 221: {:?}",
+            a
+        );
+    }
+}
+
+/// The full authenticated path: login, PUT, GET, and a fixed sequence
+/// of filesystem commands must produce an identical transcript on both
+/// cores over a fresh `MemDsi` each.
+fn authed_transcript(core: ServerCore) -> Vec<String> {
+    let mut rng = ig_crypto::rng::seeded(0xA0D1FF);
+    let mut ca =
+        CertificateAuthority::create(&mut rng, dn("/O=Diff CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(
+            dn("/CN=diff.example.org"),
+            &host_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(
+            dn("/O=Grid/CN=Alice Smith"),
+            &user_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+    let cfg = ServerConfig::new(
+        "diff.example.org",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::new(MemDsi::new()) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_secs(5))
+    .with_core(core);
+    let server = GridFtpServer::start(cfg, 23).unwrap();
+
+    let client_cfg = ClientConfig::new(
+        Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_seed(31)
+    .no_delegation()
+    .with_retry(RetryPolicy::once().with_attempt_timeout(Some(Duration::from_secs(5))))
+    .with_obs(ig_obs::Obs::new("diff-client"));
+    let link: Box<dyn Link> =
+        Box::new(TcpLink::connect(server.addr().to_socket_addr()).unwrap());
+    let mut session = ClientSession::from_link(link, client_cfg).unwrap();
+    session.login().unwrap();
+    session.set_dcau(DcauMode::None).unwrap();
+
+    let mut transcript = Vec::new();
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i * 7 % 253) as u8).collect();
+    let opts = TransferOpts::default().block(4096).timeout(Some(Duration::from_secs(5)));
+    let sent =
+        transfer::put_bytes(&mut session, "/home/alice/diff.bin", &data, &opts).unwrap();
+    transcript.push(format!("put {sent}"));
+    let got = transfer::get_bytes(&mut session, "/home/alice/diff.bin", &opts).unwrap();
+    transcript.push(format!("get {} match={}", got.len(), got == data));
+
+    for cmd in [
+        Command::Size("/home/alice/diff.bin".into()),
+        Command::Mkd("/home/alice/d".into()),
+        Command::Cwd("/home/alice/d".into()),
+        Command::Cdup,
+        Command::Rmd("/home/alice/d".into()),
+        Command::Mlst(Some("/home/alice/diff.bin".into())),
+        Command::Dele("/home/alice/diff.bin".into()),
+        Command::Size("/home/alice/diff.bin".into()),
+    ] {
+        let reply = session.command(&cmd).unwrap();
+        transcript.push(format!("{} {}", reply.code, reply.text()));
+    }
+    session.quit().unwrap();
+    server.shutdown();
+    transcript
+}
+
+#[test]
+fn authenticated_transcript_identical_across_cores() {
+    let threaded = authed_transcript(ServerCore::Threaded);
+    let reactor = authed_transcript(ServerCore::Reactor);
+    assert_eq!(threaded, reactor, "authenticated transcripts diverged");
+    assert_eq!(threaded[0], "put 20000");
+    assert!(threaded[1].ends_with("match=true"), "GET payload corrupt: {}", threaded[1]);
+}

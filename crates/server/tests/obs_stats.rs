@@ -14,7 +14,7 @@ use ig_pki::cert::Validity;
 use ig_pki::time::Clock;
 use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
 use ig_protocol::command::{Command, DcauMode};
-use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig};
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, ServerCore};
 use ig_xio::{Link, TcpLink};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -36,6 +36,19 @@ fn payload() -> Vec<u8> {
 
 #[test]
 fn site_stats_agrees_with_usage_and_markers_drive_progress() {
+    run_stats_scenario(ServerCore::Threaded);
+}
+
+/// The identical scenario through the epoll reactor core: the stats
+/// surface, usage accounting, and marker-driven progress must not care
+/// which concurrency core multiplexed the session.
+#[cfg(target_os = "linux")]
+#[test]
+fn site_stats_and_markers_on_reactor_core() {
+    run_stats_scenario(ServerCore::Reactor);
+}
+
+fn run_stats_scenario(core: ServerCore) {
     let server_obs = ig_obs::Obs::new("stats-server");
     let client_obs = ig_obs::Obs::new("stats-client");
 
@@ -77,7 +90,8 @@ fn site_stats_agrees_with_usage_and_markers_drive_progress() {
     .with_stripes(1, Some(STRIPE_RATE))
     .with_block_size(BLOCK)
     .with_stall_timeout(Duration::from_secs(3))
-    .with_obs(Arc::clone(&server_obs));
+    .with_obs(Arc::clone(&server_obs))
+    .with_core(core);
     let server = GridFtpServer::start(cfg, 7).unwrap();
 
     let client_cfg = ClientConfig::new(
@@ -151,7 +165,28 @@ fn site_stats_agrees_with_usage_and_markers_drive_progress() {
     assert!(stats.contains("\"server.commands\":"), "missing command counter: {stats}");
     assert!(stats.contains("\"server.cmd_rtt_ns\":"), "missing RTT histogram: {stats}");
     assert!(stats.contains("\"component\":\"stats-server\""), "wrong component: {stats}");
+    // The serving core labels the stats line, and the live-session gauge
+    // counts this one session regardless of core.
+    let label = format!("\"core\":\"{}\"", core.label());
+    assert!(stats.contains(&label), "missing {label} in SITE STATS: {stats}");
+    assert!(
+        stats.contains("\"server.sessions_active\":1"),
+        "live-session gauge missing or wrong in SITE STATS: {stats}"
+    );
 
     session.quit().unwrap();
     server.shutdown();
+    // After QUIT the session object is torn down on either core and the
+    // gauge returns to zero (poll briefly: teardown is asynchronous).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if server_obs.metrics().gauge_value("server.sessions_active") == 0.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sessions_active gauge never returned to 0"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }

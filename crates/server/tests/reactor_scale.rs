@@ -1,0 +1,235 @@
+//! The reactor's reason to exist: many idle control sessions, cheaply.
+//!
+//! This is the in-tree smoke version of experiment E14 (the bench crate
+//! runs the full 10k-session sweep): hold hundreds of idle sessions on
+//! one reactor thread while a handful of authenticated sessions move
+//! real bytes, and check that
+//! * the `server.sessions_held` gauge sees every connection,
+//! * command RTT stays sane under the idle herd plus active transfers,
+//! * resident memory grows by kilobytes per idle session, not by a
+//!   thread stack per session.
+//!
+//! Budgets are deliberately loose — CI boxes are slow and single-core —
+//! but loose budgets still catch the failure modes that matter here
+//! (a thread per session, an accept stall, an O(sessions) wakeup storm).
+
+#![cfg(target_os = "linux")]
+
+use ig_client::{transfer, ClientConfig, ClientSession, RetryPolicy, TransferOpts};
+use ig_pki::cert::Validity;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
+use ig_protocol::command::DcauMode;
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerCore, ServerConfig};
+use ig_xio::{Link, TcpLink};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NOW: u64 = 1_000_000;
+const IDLE_SESSIONS: usize = 800;
+const ACTIVE_SESSIONS: usize = 8;
+const PUT_LEN: usize = 64 * 1024;
+/// Loose per-idle-session resident ceiling. A thread-per-session server
+/// pays a stack plus TLS per session (tens to hundreds of KiB touched);
+/// a reactor entry is a token, buffers, and a state machine.
+const RSS_PER_IDLE_CEILING: u64 = 48 * 1024;
+/// Loose absolute p99 budget for a NOOP round trip while the server
+/// holds the idle herd and runs the active transfers (1-CPU CI).
+const P99_BUDGET: Duration = Duration::from_secs(2);
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct World {
+    server: Arc<GridFtpServer>,
+    server_obs: Arc<ig_obs::Obs>,
+    user_cred: Credential,
+    trust: TrustStore,
+}
+
+fn world() -> World {
+    let server_obs = ig_obs::Obs::new("scale-server");
+    let mut rng = ig_crypto::rng::seeded(0x5CA1E);
+    let mut ca =
+        CertificateAuthority::create(&mut rng, dn("/O=Scale CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(
+            dn("/CN=scale.example.org"),
+            &host_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(
+            dn("/O=Grid/CN=Alice Smith"),
+            &user_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+    let cfg = ServerConfig::new(
+        "scale.example.org",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::new(MemDsi::new()) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_secs(5))
+    .with_obs(Arc::clone(&server_obs))
+    .with_core(ServerCore::Reactor)
+    .with_worker_pool(4, 2, 64);
+    let server = GridFtpServer::start(cfg, 5).unwrap();
+    World {
+        server,
+        server_obs,
+        user_cred: Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    }
+}
+
+fn login(w: &World) -> ClientSession {
+    let cfg = ClientConfig::new(w.user_cred.clone(), w.trust.clone())
+        .with_clock(Clock::Fixed(NOW))
+        .with_seed(77)
+        .no_delegation()
+        .with_retry(RetryPolicy::once().with_attempt_timeout(Some(Duration::from_secs(10))));
+    let link: Box<dyn Link> =
+        Box::new(TcpLink::connect(w.server.addr().to_socket_addr()).unwrap());
+    let mut session = ClientSession::from_link(link, cfg).unwrap();
+    session.login().unwrap();
+    session.set_dcau(DcauMode::None).unwrap();
+    session
+}
+
+fn gauge(w: &World, name: &str) -> f64 {
+    w.server_obs.metrics().gauge_value(name)
+}
+
+fn wait_for_held(w: &World, at_least: f64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gauge(w, "server.sessions_held") < at_least {
+        assert!(
+            Instant::now() < deadline,
+            "reactor never registered the idle herd: held={}",
+            gauge(w, "server.sessions_held")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn p99(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() * 99 / 100]
+}
+
+#[test]
+fn reactor_holds_idle_herd_within_memory_and_rtt_budgets() {
+    let w = world();
+
+    // Baseline RSS after server start but before the herd arrives.
+    let rss_before = ig_obs::process::resident_bytes();
+
+    // The idle herd: connect, take the banner, then just sit there.
+    let mut idle = Vec::with_capacity(IDLE_SESSIONS);
+    for i in 0..IDLE_SESSIONS {
+        let mut link = TcpLink::connect(w.server.addr().to_socket_addr())
+            .unwrap_or_else(|e| panic!("idle connect #{i} failed: {e}"));
+        let banner = link.recv().unwrap();
+        assert!(banner.starts_with(b"220"), "bad banner for idle #{i}");
+        idle.push(link);
+    }
+    wait_for_held(&w, IDLE_SESSIONS as f64);
+
+    if let (Some(before), Some(after)) = (rss_before, ig_obs::process::resident_bytes()) {
+        let delta = after.saturating_sub(before);
+        let per_session = delta / IDLE_SESSIONS as u64;
+        assert!(
+            per_session < RSS_PER_IDLE_CEILING,
+            "idle sessions too fat: {delta} bytes for {IDLE_SESSIONS} \
+             sessions = {per_session} B/session (ceiling {RSS_PER_IDLE_CEILING})"
+        );
+    }
+
+    // Active load: authenticated PUTs racing in their own threads while
+    // the herd sits on the same reactor.
+    let active: Vec<_> = (0..ACTIVE_SESSIONS)
+        .map(|i| {
+            let mut session = login(&w);
+            std::thread::spawn(move || {
+                let data: Vec<u8> = (0..PUT_LEN as u32).map(|b| (b * 11 % 241) as u8).collect();
+                let opts = TransferOpts::default()
+                    .block(8 * 1024)
+                    .timeout(Some(Duration::from_secs(10)));
+                let sent = transfer::put_bytes(
+                    &mut session,
+                    &format!("/home/alice/scale-{i}.bin"),
+                    &data,
+                    &opts,
+                )
+                .unwrap();
+                assert_eq!(sent, PUT_LEN as u64);
+                session.quit().unwrap();
+            })
+        })
+        .collect();
+
+    // Command RTT through the loaded reactor, measured on a fresh
+    // pre-auth session (NOOP answers before login).
+    let mut probe = TcpLink::connect(w.server.addr().to_socket_addr()).unwrap();
+    let _banner = probe.recv().unwrap();
+    let mut rtts = Vec::with_capacity(200);
+    for _ in 0..200 {
+        let t0 = Instant::now();
+        probe.send(b"NOOP").unwrap();
+        let reply = probe.recv().unwrap();
+        rtts.push(t0.elapsed());
+        assert!(reply.starts_with(b"200"), "NOOP got {:?}", String::from_utf8_lossy(&reply));
+    }
+    let p99 = p99(&mut rtts);
+    assert!(
+        p99 < P99_BUDGET,
+        "p99 NOOP RTT {p99:?} blew the {P99_BUDGET:?} budget under \
+         {IDLE_SESSIONS} idle + {ACTIVE_SESSIONS} active sessions"
+    );
+
+    for t in active {
+        t.join().unwrap();
+    }
+
+    // The reactor actually multiplexed all of this on epoll.
+    assert!(
+        w.server_obs.metrics().counter_value("server.reactor_wakeups") > 0,
+        "reactor wakeup counter never moved"
+    );
+    let held = gauge(&w, "server.sessions_held");
+    assert!(
+        held >= IDLE_SESSIONS as f64,
+        "sessions_held fell below the idle herd: {held}"
+    );
+
+    // Hang up the herd; the reactor reaps every entry.
+    probe.send(b"QUIT").unwrap();
+    let _ = probe.recv();
+    drop(probe);
+    drop(idle);
+    w.server.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gauge(&w, "server.sessions_active") != 0.0 {
+        assert!(
+            Instant::now() < deadline,
+            "sessions never tore down: active={} held={}",
+            gauge(&w, "server.sessions_active"),
+            gauge(&w, "server.sessions_held")
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

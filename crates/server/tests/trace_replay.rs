@@ -17,6 +17,8 @@ use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, Trust
 use ig_protocol::command::DcauMode;
 use ig_server::listener::serve_link;
 use ig_server::{Dsi, GridmapAuthz, MemDsi, ServerConfig};
+#[cfg(target_os = "linux")]
+use ig_server::{GridFtpServer, ServerCore};
 use ig_xio::{pipe, ChaosConfig, ChaosHook, FaultKind, FaultSpec, Trigger};
 use std::sync::Arc;
 use std::time::Duration;
@@ -133,14 +135,147 @@ fn run_cell() -> String {
     format!("{}{}", client_obs.export_stable(), server_obs.export_stable())
 }
 
+/// The same failing-then-recovering PUT against a reactor-core server
+/// over TCP loopback. The reactor records metrics and unstable events
+/// only — never stable trace events — so the stable export must still
+/// be a pure function of seeds and causal order even though ephemeral
+/// ports and epoll scheduling differ between runs.
+#[cfg(target_os = "linux")]
+fn run_cell_reactor() -> String {
+    use ig_xio::{Link, TcpLink};
+
+    let server_obs = ig_obs::Obs::new("server");
+    let client_obs = ig_obs::Obs::new("client");
+
+    let mut rng = ig_crypto::rng::seeded(SEED);
+    let mut ca =
+        CertificateAuthority::create(&mut rng, dn("/O=Replay CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(
+            dn("/CN=replay.example.org"),
+            &host_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(
+            dn("/O=Grid/CN=Alice Smith"),
+            &user_keys.public,
+            Validity::starting_at(0, NOW * 10),
+            vec![],
+        )
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+    let dsi = Arc::new(MemDsi::new());
+    let server_cfg = ServerConfig::new(
+        "replay.example.org",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::clone(&dsi) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_millis(250))
+    .with_obs(Arc::clone(&server_obs))
+    .with_core(ServerCore::Reactor);
+    let server = GridFtpServer::start(server_cfg, SEED + 1).unwrap();
+
+    let client_cfg = ClientConfig::new(
+        Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_seed(SEED + 2)
+    .no_delegation()
+    .with_retry(RetryPolicy::once().with_attempt_timeout(Some(Duration::from_millis(800))))
+    .with_obs(Arc::clone(&client_obs));
+    let link: Box<dyn Link> =
+        Box::new(TcpLink::connect(server.addr().to_socket_addr()).unwrap());
+    let mut session = ClientSession::from_link(link, client_cfg).unwrap();
+    session.login().unwrap();
+    session.set_dcau(DcauMode::None).unwrap();
+
+    let hook = ChaosHook::disarmed(ChaosConfig::single(
+        SEED + 3,
+        FaultSpec::send(FaultKind::Drop, Trigger::OnRecord(1)),
+    ));
+    hook.set_obs(&client_obs);
+    let data = payload();
+    let opts = TransferOpts::default()
+        .block(8 * 1024)
+        .timeout(Some(Duration::from_millis(500)))
+        .chaos(Arc::clone(&hook));
+    hook.arm();
+    let result = RetryPolicy::immediate(3).run_with_obs(&client_obs, "put", |attempt| {
+        if attempt > 1 {
+            hook.disarm();
+        }
+        transfer::put_bytes(&mut session, "/home/alice/replay.bin", &data, &opts)
+            .map_err(|e| classify(&e))
+    });
+    assert!(result.is_ok(), "PUT never recovered: {:?}", result.err().map(|e| e.to_string()));
+    assert_eq!(hook.total_fires(), 1, "the seeded fault must fire exactly once");
+    session.quit().unwrap();
+    // Session teardown (and so the server's `span.end`) happens on the
+    // reactor thread after QUIT completes; wait for it before exporting.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server_obs.metrics().gauge_value("server.sessions_active") != 0.0 {
+        assert!(std::time::Instant::now() < deadline, "reactor session never tore down");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+
+    format!("{}{}", client_obs.export_stable(), server_obs.export_stable())
+}
+
+/// Capture `$IG_TRACE` and clear it from the environment exactly once,
+/// before either test runs a session. `dump_if_env` fires from client
+/// and server threads; with the variable still set, tests running in
+/// parallel would interleave appends nondeterministically and break
+/// CI's byte-compare of the exported artifact. Every test in this
+/// binary must call this before starting any session.
+fn trace_gate_path() -> Option<&'static str> {
+    static PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let p = std::env::var("IG_TRACE").ok().filter(|p| !p.is_empty());
+        std::env::remove_var("IG_TRACE");
+        p
+    })
+    .as_deref()
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stable_trace_replays_byte_identical_on_reactor_core() {
+    let _ = trace_gate_path();
+    let first = run_cell_reactor();
+    let second = run_cell_reactor();
+    assert_eq!(
+        first, second,
+        "reactor-core stable exports must replay byte-identically"
+    );
+    // The reactor multiplexed the session, but the trace still tells the
+    // full protocol story with no reactor-internal noise in it.
+    assert!(first.contains("\"event\":\"chaos.fault\""), "missing chaos.fault:\n{first}");
+    assert!(first.contains("\"event\":\"cmd.dispatch\""), "missing cmd.dispatch");
+    assert!(first.contains("\"name\":\"session\""), "missing session span");
+    assert!(first.contains("\"name\":\"transfer\""), "missing transfer span");
+    assert!(first.contains("\"component\":\"server\""));
+    assert!(!first.contains("reactor"), "reactor internals leaked into stable trace");
+}
+
 #[test]
 fn stable_trace_is_byte_identical_across_replays() {
-    // `dump_if_env` fires inside `quit()` (client thread) and
-    // `run_session` (server thread); with IG_TRACE set their concurrent
-    // appends would interleave nondeterministically. Capture the path
-    // and clear the gate so this test is the file's only writer.
-    let trace_path = std::env::var("IG_TRACE").ok().filter(|p| !p.is_empty());
-    std::env::remove_var("IG_TRACE");
+    // Capture the path and clear the gate (shared, once) so this test
+    // is the file's only writer — see `trace_gate_path`.
+    let trace_path = trace_gate_path();
 
     let first = run_cell();
     let second = run_cell();

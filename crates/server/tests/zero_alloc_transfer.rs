@@ -61,7 +61,7 @@ fn transfer_allocations_scale_with_chunks_not_blocks() {
         let out = TcpLink::connect(addr).unwrap();
         let (inbound, _) = listener.accept().unwrap();
         sender_links.push(Box::new(out));
-        receiver.add_stream(Box::new(TcpLink::new(inbound)));
+        receiver.add_stream(Box::new(TcpLink::new(inbound))).unwrap();
     }
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);

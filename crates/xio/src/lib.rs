@@ -22,20 +22,31 @@
 //!   reset) so recovery paths are testable and failures replay exactly;
 //! * [`retry::RetryPolicy`] — the shared retry/timeout/backoff policy
 //!   every retrying layer (client dial, third-party transfer, hosted
-//!   service) consumes instead of hand-rolled loops.
+//!   service) consumes instead of hand-rolled loops;
+//! * [`epoll`] (Linux) + [`nb::NbFramed`] + [`wheel::DeadlineWheel`] —
+//!   the readiness, nonblocking-framing, and timer primitives behind
+//!   the server's event-driven reactor core (`ServerConfig::core`).
 
 #![deny(rust_2018_idioms)]
 
 pub mod chaos;
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod link;
+pub mod nb;
 pub mod obs;
 pub mod retry;
 pub mod secure;
 pub mod telemetry;
 pub mod throttle;
+pub mod wheel;
 
 pub use chaos::{ChaosConfig, ChaosHook, ChaosLink, Direction, FaultKind, FaultSpec, Trigger};
+#[cfg(target_os = "linux")]
+pub use epoll::{wait_writable, Epoll, Event, Interest, WakeFd};
 pub use link::{pipe, Link, PipeLink, TcpLink};
+pub use nb::{FrameBuf, NbFramed};
+pub use wheel::DeadlineWheel;
 pub use obs::ObsLink;
 pub use retry::{splitmix64, RetryError, RetryPolicy};
 pub use secure::{secure_accept, secure_connect, SecureLink};

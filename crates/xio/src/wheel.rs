@@ -1,0 +1,194 @@
+//! A hashed deadline wheel: O(1) schedule/cancel for the reactor's
+//! idle- and stall-timeout population.
+//!
+//! With tens of thousands of sessions each carrying a control-idle
+//! deadline, a heap would pay O(log n) per rearm; the wheel pays O(1)
+//! amortized by hashing deadlines into coarse tick slots and lazily
+//! discarding cancelled entries via generation counters. Timeouts fire
+//! at tick granularity — fine for second-scale idle policies.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+struct Slot {
+    token: u64,
+    generation: u64,
+    tick: u64,
+}
+
+/// A hashed timing wheel keyed by opaque `u64` tokens.
+pub struct DeadlineWheel {
+    tick: Duration,
+    slots: Vec<Vec<Slot>>,
+    /// Next absolute tick to sweep.
+    cursor: u64,
+    start: Instant,
+    /// token -> generation of its live (most recent) schedule.
+    live: HashMap<u64, u64>,
+    generation: u64,
+}
+
+impl DeadlineWheel {
+    pub fn new(tick: Duration, slots: usize) -> DeadlineWheel {
+        assert!(!tick.is_zero() && slots > 0);
+        DeadlineWheel {
+            tick,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            start: Instant::now(),
+            live: HashMap::new(),
+            generation: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.start).as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Arm (or rearm) `token` to fire at `deadline`. A later schedule
+    /// supersedes any earlier one for the same token.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        self.generation += 1;
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        self.slots[idx].push(Slot { token, generation: self.generation, tick });
+        self.live.insert(token, self.generation);
+    }
+
+    /// Disarm `token`. O(1): the stale slot entry is skipped at sweep.
+    pub fn cancel(&mut self, token: u64) {
+        self.live.remove(&token);
+    }
+
+    /// Any timers armed?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Poll timeout hint for the event loop: `None` when no timers are
+    /// armed (sleep forever), otherwise one tick (the wheel fires at
+    /// tick granularity, so finer sleeps buy nothing).
+    pub fn next_timeout(&self) -> Option<Duration> {
+        if self.live.is_empty() {
+            None
+        } else {
+            Some(self.tick)
+        }
+    }
+
+    /// Sweep every slot whose tick has passed, appending expired tokens
+    /// to `out`. Entries superseded by a rearm or cancel are dropped
+    /// silently; entries hashed into a swept slot but due in a later
+    /// rotation are put back.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let now_tick = self.tick_of(now);
+        if self.live.is_empty() {
+            // Nothing armed: skip the cursor forward so a long idle
+            // stretch never causes a catch-up sweep.
+            self.cursor = self.cursor.max(now_tick);
+            return;
+        }
+        // Bound the sweep to one full rotation: beyond that every slot
+        // has already been visited once.
+        let last = now_tick.min(self.cursor + self.slots.len() as u64 - 1);
+        while self.cursor <= last {
+            let idx = (self.cursor % self.slots.len() as u64) as usize;
+            let entries = std::mem::take(&mut self.slots[idx]);
+            for e in entries {
+                if self.live.get(&e.token) != Some(&e.generation) {
+                    continue; // cancelled or rearmed
+                }
+                if e.tick <= now_tick {
+                    self.live.remove(&e.token);
+                    out.push(e.token);
+                } else {
+                    self.slots[idx].push(e); // due a rotation later
+                }
+            }
+            self.cursor += 1;
+        }
+        // After a full rotation every due entry has fired; safe to jump.
+        self.cursor = self.cursor.max(now_tick + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    fn at(wheel: &DeadlineWheel, ms: u64) -> Instant {
+        wheel.start + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let mut w = DeadlineWheel::new(TICK, 64);
+        let d = at(&w, 50);
+        w.schedule(1, d);
+        let mut out = Vec::new();
+        w.expire(at(&w, 30), &mut out);
+        assert!(out.is_empty());
+        w.expire(at(&w, 80), &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_suppresses_fire() {
+        let mut w = DeadlineWheel::new(TICK, 64);
+        w.schedule(1, at(&w, 20));
+        w.schedule(2, at(&w, 20));
+        w.cancel(1);
+        let mut out = Vec::new();
+        w.expire(at(&w, 100), &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn rearm_supersedes_earlier_deadline() {
+        let mut w = DeadlineWheel::new(TICK, 64);
+        w.schedule(1, at(&w, 20));
+        w.schedule(1, at(&w, 200)); // pushed out
+        let mut out = Vec::new();
+        w.expire(at(&w, 100), &mut out);
+        assert!(out.is_empty(), "superseded deadline must not fire");
+        w.expire(at(&w, 300), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn deadline_beyond_one_rotation_waits_for_its_turn() {
+        let mut w = DeadlineWheel::new(TICK, 8); // rotation = 80ms
+        w.schedule(1, at(&w, 250));
+        let mut out = Vec::new();
+        w.expire(at(&w, 100), &mut out);
+        w.expire(at(&w, 200), &mut out);
+        assert!(out.is_empty());
+        w.expire(at(&w, 260), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn idle_stretch_skips_catch_up() {
+        let mut w = DeadlineWheel::new(TICK, 8);
+        let mut out = Vec::new();
+        // A long quiet period with nothing armed...
+        w.expire(at(&w, 10_000), &mut out);
+        // ...must not make a later timer sweep thousands of ticks.
+        w.schedule(1, at(&w, 10_050));
+        w.expire(at(&w, 10_100), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn timeout_hint_tracks_armed_state() {
+        let mut w = DeadlineWheel::new(TICK, 8);
+        assert!(w.next_timeout().is_none());
+        w.schedule(9, at(&w, 30));
+        assert_eq!(w.next_timeout(), Some(TICK));
+        w.cancel(9);
+        assert!(w.next_timeout().is_none());
+    }
+}

@@ -103,3 +103,39 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `FrameBuf` decode is invariant under how the byte stream is cut
+    /// into read chunks — the property the reactor core's partial-read
+    /// path stands on (`nb.rs` holds the exhaustive single-cut case).
+    #[test]
+    fn framebuf_decode_is_chunking_invariant(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 0..8),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..12),
+    ) {
+        use ig_xio::FrameBuf;
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&FrameBuf::encode(f));
+        }
+        let mut points: Vec<usize> = cuts.iter().map(|i| i.index(wire.len() + 1)).collect();
+        points.push(0);
+        points.push(wire.len());
+        points.sort_unstable();
+        points.dedup();
+
+        let mut fb = FrameBuf::new();
+        let mut got = Vec::new();
+        for w in points.windows(2) {
+            fb.push(&wire[w[0]..w[1]]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+}

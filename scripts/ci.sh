@@ -45,4 +45,23 @@ grep -q '"event":"chaos.fault"' "${trace_dir}/a.jsonl"
 grep -q '"event":"retry.attempt"' "${trace_dir}/a.jsonl"
 echo "    traces are byte-identical"
 
+# E14 session-scalability smoke. Two layers:
+# * the reactor_scale test holds an 800-session idle herd plus active
+#   PUTs in-process and *asserts* the p99-RTT budget and the
+#   per-idle-session resident-memory ceiling;
+# * the bench experiment drives the full fast-mode herd (~2,000 idle
+#   reactor sessions held by a helper process + 50 authenticated PUTs
+#   per core) through the report binary, wall-clock guarded by timeout,
+#   and the gate checks the reactor actually held its herd.
+echo "==> E14 session scalability smoke (reactor herd, wall-clock guarded)"
+timeout 600 cargo test -q -p ig-server --test reactor_scale
+e14_out="$(timeout 900 cargo run -q --release -p ig-bench --bin report -- --exp e14 --fast)"
+echo "${e14_out}"
+held="$(echo "${e14_out}" | awk '$1 == "reactor" {print $2}')"
+if [[ -z "${held}" || "${held}" -lt 2000 ]]; then
+  echo "E14: reactor held '${held:-0}' idle sessions, expected 2000" >&2
+  exit 1
+fi
+echo "    reactor held ${held} idle sessions"
+
 echo "CI gate passed."
