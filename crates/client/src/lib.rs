@@ -20,4 +20,8 @@ pub mod transfer;
 pub use error::ClientError;
 pub use ig_xio::{RetryError, RetryPolicy};
 pub use session::{ClientConfig, ClientSession};
-pub use transfer::{third_party, third_party_with_retry, ThirdPartyOutcome, TransferOpts};
+pub use transfer::{
+    get_dir, get_dir_resume, get_dir_with_retry, get_files_pipelined, put_dir, put_dir_resume,
+    put_dir_with_retry, third_party, third_party_with_retry, DirTransferOutcome,
+    ThirdPartyOutcome, TransferOpts,
+};

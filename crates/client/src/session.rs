@@ -214,6 +214,33 @@ impl ClientSession {
         Ok(reply)
     }
 
+    /// Pipeline a window of commands: send them all before reading any
+    /// reply, then collect one final reply per command, in order
+    /// (preliminary 1xx replies are skipped). The server answers queued
+    /// commands strictly in order on both cores, so `replies[i]` is the
+    /// answer to `cmds[i]`. Error finals are returned in place, not
+    /// raised — a pipelined 5xx must not desynchronise the remaining
+    /// replies.
+    pub fn pipeline(&mut self, cmds: &[Command]) -> Result<Vec<Reply>> {
+        self.span
+            .event("cmd.pipeline", vec![kv("window", cmds.len() as u64)]);
+        let t0 = std::time::Instant::now();
+        for cmd in cmds {
+            self.send_cmd(cmd)?;
+        }
+        let mut replies = Vec::with_capacity(cmds.len());
+        while replies.len() < cmds.len() {
+            let reply = self.read_reply()?;
+            if reply.is_preliminary() {
+                continue;
+            }
+            self.config.obs.metrics().add(&format!("client.reply_{}", reply.code), 1);
+            replies.push(reply);
+        }
+        self.cmd_rtt.record(t0.elapsed().as_nanos() as u64);
+        Ok(replies)
+    }
+
     /// Authenticate with `AUTH GSSAPI` + `ADAT`, then (by default)
     /// delegate a proxy so the server can act on the data channel.
     pub fn login(&mut self) -> Result<()> {

@@ -13,7 +13,7 @@ use ig_protocol::command::Command;
 use ig_protocol::markers::{PerfMarker, RestartMarker};
 use ig_protocol::{ByteRanges, Reply};
 use ig_server::data::{wrap_accept, wrap_connect, DataListener, DataSecurity};
-use ig_server::dtp::{send_ranges, Progress, Receiver};
+use ig_server::dtp::{send_dir, send_ranges, Progress, Receiver};
 use ig_server::{Dsi, MemDsi, UserContext};
 use ig_xio::{ChaosHook, Link, RetryPolicy, TcpLink};
 use std::sync::Arc;
@@ -476,6 +476,347 @@ pub fn third_party(
         }
     })?;
     Ok(ThirdPartyOutcome { dst_reply, src_reply, checkpoint, perf_markers, progress })
+}
+
+/// Outcome of a directory-stream transfer attempt (PUT or GET side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirTransferOutcome {
+    /// Walk entries confirmed complete at the destination, cumulative
+    /// across resumed attempts — the next attempt's skip count.
+    pub entries_done: u64,
+    /// Total walk entries in the tree when known: PUT walks the local
+    /// tree up front; GET learns the total once the stream completes
+    /// (0 while unknown).
+    pub entries_total: u64,
+    /// The whole tree arrived and every per-file checksum verified.
+    pub complete: bool,
+    /// Attempts spent (1 unless a retry wrapper resumed).
+    pub attempts: u32,
+}
+
+/// First integer in a reply's text — the entry count the server's
+/// `226 Directory stream complete (<n> entries).` and
+/// `426 Directory stream failed after <n> entries: …` replies carry.
+fn parse_entry_count(reply: &Reply) -> Option<u64> {
+    let digits: String = reply
+        .text()
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Upload the whole tree under `local_root` (from `local` storage) to
+/// `remote_root` as one streamed `ESTO DIR` transfer: every file and
+/// directory flows over a single MODE E data-channel setup instead of
+/// paying per-file control round-trips and DCAU handshakes.
+pub fn put_dir(
+    session: &mut ClientSession,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    opts: &TransferOpts,
+) -> Result<DirTransferOutcome> {
+    put_dir_resume(session, local, local_root, remote_root, 0, opts)
+}
+
+/// [`put_dir`] resuming at walk entry `skip` — the `entries_done` a
+/// previous failed attempt reported. Protocol-level failures (the
+/// server's 426 after a mid-stream fault) return `Ok` with
+/// `complete: false` and the new cumulative `entries_done`; only
+/// control-channel/transport failures are `Err`.
+pub fn put_dir_resume(
+    session: &mut ClientSession,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    skip: u64,
+    opts: &TransferOpts,
+) -> Result<DirTransferOutcome> {
+    let user = UserContext::superuser();
+    let total =
+        ig_server::dsi::walk(local.as_ref(), &user, local_root).map_err(ClientError::from)?.len()
+            as u64;
+    if skip > total {
+        return Err(ClientError::Data(format!(
+            "resume skip {skip} beyond the local tree's {total} entries"
+        )));
+    }
+    session.set_mode_extended()?;
+    let addr = session.pasv()?;
+    session.send_cmd(&Command::Esto { module: "DIR".into(), args: remote_root.into() })?;
+    let opening = session.read_reply()?;
+    if !opening.is_preliminary() {
+        return Err(ClientError::ServerError(opening));
+    }
+    let sec = client_data_security(session);
+    let mut streams: Vec<Box<dyn Link>> = Vec::with_capacity(opts.parallelism);
+    for _ in 0..opts.parallelism {
+        let tcp = TcpLink::connect(addr.to_socket_addr())
+            .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
+        streams.push(opts.finish_stream(wrap_connect(tcp, &sec, &mut session.rng)?));
+    }
+    let progress = Progress::new();
+    let send_result =
+        send_dir(streams, local, &user, local_root, skip, opts.block_size, &progress);
+    // Always drain the final reply, even when our own send failed — it
+    // carries the server's entry count, i.e. the resume point.
+    let final_reply = read_until_final(session, |_| {})?;
+    if final_reply.is_success() {
+        // The server decoded the whole stream and verified every
+        // checksum; its verdict outranks any local send hiccup.
+        return Ok(DirTransferOutcome {
+            entries_done: total,
+            entries_total: total,
+            complete: true,
+            attempts: 1,
+        });
+    }
+    let _ = send_result; // the 426's entry count is the ground truth
+    let done_now = parse_entry_count(&final_reply).unwrap_or(0);
+    Ok(DirTransferOutcome {
+        entries_done: skip + done_now,
+        entries_total: total,
+        complete: false,
+        attempts: 1,
+    })
+}
+
+/// Download the whole tree under `remote_root` into `local` storage at
+/// `local_root` as one streamed `ERET DIR` transfer.
+pub fn get_dir(
+    session: &mut ClientSession,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    opts: &TransferOpts,
+) -> Result<DirTransferOutcome> {
+    get_dir_resume(session, local, local_root, remote_root, 0, opts)
+}
+
+/// [`get_dir`] resuming at walk entry `skip`: the server streams the
+/// tree starting at that entry, and every *complete* entry that arrives
+/// is expanded — a fault mid-file never leaves a partial file, so
+/// `entries_done` is always a safe next skip.
+pub fn get_dir_resume(
+    session: &mut ClientSession,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    skip: u64,
+    opts: &TransferOpts,
+) -> Result<DirTransferOutcome> {
+    session.set_mode_extended()?;
+    if session.parallelism != opts.parallelism {
+        session.set_parallelism(opts.parallelism)?;
+    }
+    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
+    session.command(&Command::Port(listener.addr()))?;
+    session.send_cmd(&Command::Eret {
+        module: "DIR".into(),
+        args: format!("{skip} {remote_root}"),
+    })?;
+    let sec = client_data_security(session);
+    let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+    let user = UserContext::superuser();
+    let progress = Progress::new();
+    let receiver =
+        Receiver::new(Arc::clone(&staging), user.clone(), "/stream", Arc::clone(&progress));
+    let mut connected = 0usize;
+    for _ in 0..opts.parallelism {
+        match listener.accept(opts.accept_deadline()) {
+            Ok(tcp) => {
+                receiver
+                    .add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+                connected += 1;
+            }
+            Err(_) if connected == 0 => {
+                // Refused before dialing (bad root, skip past the end):
+                // the queued error reply explains it.
+                let reply = read_until_final(session, |_| {})?;
+                return Err(ClientError::ServerError(reply));
+            }
+            // A partially-connected transfer still moves data; let the
+            // stream deadlines surface whatever is wrong.
+            Err(_) => break,
+        }
+    }
+    let obs = Arc::clone(&session.config.obs);
+    let final_reply = read_until_final(session, |r| {
+        let _ = opts.observe_marker(&obs, r);
+    })?;
+    let fin = receiver.finish();
+    // Expand the complete-entry prefix no matter how the stream ended:
+    // holes left by lost blocks fail a header magic or trailer checksum
+    // and stop the decoder at the last complete entry, never mid-file.
+    let staged = ig_server::dsi::read_all(staging.as_ref(), &user, "/stream", 1 << 20)
+        .unwrap_or_default();
+    let out = ig_server::dsi::expand_stream(local.as_ref(), &user, local_root, &staged)
+        .map_err(ClientError::from)?;
+    let complete = out.finished && out.error.is_none();
+    let done = skip + out.entries;
+    let _ = (fin, final_reply); // decoder verdict outranks transport noise
+    Ok(DirTransferOutcome {
+        entries_done: done,
+        entries_total: if complete { done } else { 0 },
+        complete,
+        attempts: 1,
+    })
+}
+
+/// Drive [`put_dir_resume`] under a [`RetryPolicy`], making a fresh
+/// session per attempt (mid-transfer faults can take the control channel
+/// with them) and resuming from the last confirmed entry count. The
+/// skip is monotone: a failed attempt can only move it forward.
+pub fn put_dir_with_retry(
+    mut make_session: impl FnMut() -> Result<ClientSession>,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    opts: &TransferOpts,
+    policy: &RetryPolicy,
+) -> Result<DirTransferOutcome> {
+    retry_dir(policy, |skip| {
+        let mut session = make_session()?;
+        let out = put_dir_resume(&mut session, local, local_root, remote_root, skip, opts);
+        let _ = session.quit();
+        out
+    })
+}
+
+/// Drive [`get_dir_resume`] under a [`RetryPolicy`] with a fresh session
+/// per attempt; see [`put_dir_with_retry`].
+pub fn get_dir_with_retry(
+    mut make_session: impl FnMut() -> Result<ClientSession>,
+    local: &Arc<dyn Dsi>,
+    local_root: &str,
+    remote_root: &str,
+    opts: &TransferOpts,
+    policy: &RetryPolicy,
+) -> Result<DirTransferOutcome> {
+    retry_dir(policy, |skip| {
+        let mut session = make_session()?;
+        let out = get_dir_resume(&mut session, local, local_root, remote_root, skip, opts);
+        let _ = session.quit();
+        out
+    })
+}
+
+/// The shared file-granular retry loop: run one attempt at the current
+/// skip, advance the skip monotonically from the outcome, stop on
+/// completion or an exhausted budget.
+fn retry_dir(
+    policy: &RetryPolicy,
+    mut attempt_at: impl FnMut(u64) -> Result<DirTransferOutcome>,
+) -> Result<DirTransferOutcome> {
+    let start = std::time::Instant::now();
+    let mut skip = 0u64;
+    let mut attempt = 0u32;
+    let mut last_err: Option<ClientError> = None;
+    loop {
+        attempt += 1;
+        match attempt_at(skip) {
+            Ok(out) if out.complete => {
+                return Ok(DirTransferOutcome { attempts: attempt, ..out });
+            }
+            Ok(out) => {
+                skip = skip.max(out.entries_done);
+                last_err = None;
+            }
+            Err(e) => last_err = Some(e),
+        }
+        if attempt >= policy.max_attempts {
+            return match last_err {
+                Some(e) => Err(e),
+                None => Ok(DirTransferOutcome {
+                    entries_done: skip,
+                    entries_total: 0,
+                    complete: false,
+                    attempts: attempt,
+                }),
+            };
+        }
+        let backoff = policy.backoff(attempt);
+        if let Some(deadline) = policy.overall_deadline {
+            if start.elapsed() + backoff >= deadline {
+                return Err(ClientError::Timeout(format!(
+                    "directory transfer: overall deadline exceeded after {attempt} attempt(s)"
+                )));
+            }
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
+}
+
+/// Fetch many small files over one session with control-channel
+/// pipelining: each window of `PORT`+`RETR` pairs is sent before any
+/// reply is read, so command latency overlaps instead of serialising
+/// (the `PIPE` declaration tells the server the window in play). Files
+/// are returned in request order; one data connection per file.
+///
+/// On a per-file server error the session is left with queued replies
+/// from the rest of the window — treat the session as dead.
+pub fn get_files_pipelined(
+    session: &mut ClientSession,
+    remote_paths: &[&str],
+    window: usize,
+    opts: &TransferOpts,
+) -> Result<Vec<Vec<u8>>> {
+    let window = window.clamp(1, 64);
+    session.set_mode_extended()?;
+    if session.parallelism != 1 {
+        // One connection per file: the server dials per its OPTS RETR
+        // parallelism, and we accept exactly one stream each.
+        session.set_parallelism(1)?;
+    }
+    session.command(&Command::Pipe(window as u32))?;
+    let sec = client_data_security(session);
+    let user = UserContext::superuser();
+    let mut out = Vec::with_capacity(remote_paths.len());
+    for chunk in remote_paths.chunks(window) {
+        let mut listeners = Vec::with_capacity(chunk.len());
+        for _ in chunk {
+            listeners.push(DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?);
+        }
+        // The whole window goes out before any reply is read.
+        for (listener, path) in listeners.iter().zip(chunk) {
+            session.send_cmd(&Command::Port(listener.addr()))?;
+            session.send_cmd(&Command::Retr((*path).into()))?;
+        }
+        for listener in &listeners {
+            // The server answers strictly in order, transferring as it
+            // goes; accept (and DCAU-handshake) this file's connection
+            // first — the server sends its 150 only after the
+            // handshake, so reading replies first would deadlock.
+            let tcp = match listener.accept(opts.accept_deadline()) {
+                Ok(t) => t,
+                Err(_) => {
+                    let _port_ack = read_until_final(session, |_| {})?;
+                    let fin = read_until_final(session, |_| {})?;
+                    return Err(ClientError::ServerError(fin));
+                }
+            };
+            let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+            let receiver =
+                Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
+            receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+            let port_ack = read_until_final(session, |_| {})?;
+            if port_ack.is_error() {
+                return Err(ClientError::ServerError(port_ack));
+            }
+            let final_reply = read_until_final(session, |_| {})?;
+            let received = receiver.finish();
+            if final_reply.is_error() {
+                return Err(ClientError::ServerError(final_reply));
+            }
+            received.map_err(ClientError::from)?;
+            out.push(ig_server::dsi::read_all(staging.as_ref(), &user, "/buf", 1 << 20)?);
+        }
+    }
+    Ok(out)
 }
 
 /// Third-party transfer with checkpoint restart under a [`RetryPolicy`]:

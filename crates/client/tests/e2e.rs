@@ -6,8 +6,10 @@ use ig_pki::cert::Validity;
 use ig_pki::time::Clock;
 use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
 use ig_protocol::command::{Command, DcauMode};
+use ig_server::dsi::{read_all, walk};
 use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, UserContext};
 use std::sync::Arc;
+use std::time::Duration;
 
 const NOW: u64 = 1_000_000;
 
@@ -398,5 +400,104 @@ fn eret_partial_retrieval() {
     assert!(err.to_string().contains("504"), "got {err}");
     // Missing file refused.
     assert!(transfer::get_partial(&mut s, "/home/alice/none", 0, 10, &TransferOpts::default()).is_err());
+    s.quit().unwrap();
+}
+
+#[test]
+fn dir_stream_roundtrip_with_dcau() {
+    // put_dir/get_dir over the default DCAU Self data channels (the
+    // differential suite runs them with DCAU off) — one MODE E setup
+    // moves the whole tree, files spanning multiple blocks.
+    let w = world(17);
+    let mut s = login(&w);
+    let local = Arc::new(MemDsi::new());
+    local.put("/up/a/one.bin", b"first");
+    local.put("/up/a/two.bin", &[9u8; 5000]);
+    local.put("/up/top.txt", b"top-level");
+    local.mkdir(&UserContext::superuser(), "/up/z").unwrap();
+    let local_dyn: Arc<dyn Dsi> = Arc::clone(&local) as Arc<dyn Dsi>;
+    let opts = TransferOpts::default().block(2048);
+
+    let out = transfer::put_dir(&mut s, &local_dyn, "/up", "/home/alice/up", &opts).unwrap();
+    assert!(out.complete, "put_dir must complete: {out:?}");
+    assert_eq!(out.entries_done, 5, "dirs a,z + files one,two,top");
+    assert_eq!(out.entries_done, out.entries_total);
+    let alice = UserContext::user("alice");
+    assert_eq!(w.dsi.size(&alice, "/home/alice/up/a/two.bin").unwrap(), 5000);
+
+    let back = Arc::new(MemDsi::new());
+    let back_dyn: Arc<dyn Dsi> = Arc::clone(&back) as Arc<dyn Dsi>;
+    let out2 = transfer::get_dir(&mut s, &back_dyn, "/dl", "/home/alice/up", &opts).unwrap();
+    assert!(out2.complete, "get_dir must complete: {out2:?}");
+    assert_eq!(out2.entries_done, 5);
+    let su = UserContext::superuser();
+    let want = walk(local.as_ref(), &su, "/up").unwrap();
+    assert_eq!(walk(back.as_ref(), &su, "/dl").unwrap(), want);
+    for e in want.iter().filter(|e| !e.is_dir) {
+        let a = read_all(local.as_ref(), &su, &format!("/up/{}", e.rel_path), 1 << 16).unwrap();
+        let b = read_all(back.as_ref(), &su, &format!("/dl/{}", e.rel_path), 1 << 16).unwrap();
+        assert_eq!(a, b, "payload diverged for {}", e.rel_path);
+    }
+
+    // Resume skip beyond the local tree is refused before anything moves.
+    let err =
+        transfer::put_dir_resume(&mut s, &local_dyn, "/up", "/home/alice/up2", 99, &opts)
+            .unwrap_err();
+    assert!(err.to_string().contains("resume skip"), "got {err}");
+    // Missing remote root surfaces as the server's refusal, not a hang.
+    let fast = TransferOpts::default().timeout(Some(Duration::from_millis(500)));
+    let err = transfer::get_dir(&mut s, &back_dyn, "/x", "/home/alice/nope", &fast).unwrap_err();
+    assert!(err.to_string().contains("550"), "got {err}");
+    s.quit().unwrap();
+}
+
+#[test]
+fn pipelined_small_file_fetch() {
+    // get_files_pipelined: windows of PORT+RETR pairs go out before any
+    // reply is read; files come back in request order over one session.
+    let w = world(18);
+    let payloads: Vec<Vec<u8>> =
+        (0..10).map(|i| (0..600).map(|j| ((j * 11 + i * 29) % 251) as u8).collect()).collect();
+    for (i, p) in payloads.iter().enumerate() {
+        w.dsi.put(&format!("/home/alice/small/f{i}.bin"), p);
+    }
+    let mut s = login(&w);
+    let paths: Vec<String> = (0..10).map(|i| format!("/home/alice/small/f{i}.bin")).collect();
+    let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+    // Window smaller than the batch: chunked; larger: single window.
+    for window in [4usize, 16] {
+        let got = transfer::get_files_pipelined(&mut s, &refs, window, &TransferOpts::default())
+            .unwrap();
+        assert_eq!(got.len(), 10, "window={window}");
+        for (i, (g, p)) in got.iter().zip(&payloads).enumerate() {
+            assert_eq!(g, p, "file {i} diverged at window={window}");
+        }
+    }
+    s.quit().unwrap();
+}
+
+#[test]
+fn pipelined_fetch_surfaces_missing_file() {
+    let w = world(19);
+    w.dsi.put("/home/alice/ok.bin", b"fine");
+    let mut s = login(&w);
+    let paths = ["/home/alice/ok.bin", "/home/alice/gone.bin"];
+    let fast = TransferOpts::default().timeout(Some(Duration::from_millis(500)));
+    let err = transfer::get_files_pipelined(&mut s, &paths, 8, &fast).unwrap_err();
+    // The good file transferred, then the missing one's 550 surfaced —
+    // the session is declared dead (queued replies), so just drop it.
+    assert!(err.to_string().contains("550"), "got {err}");
+}
+
+#[test]
+fn pipe_window_validation() {
+    let w = world(20);
+    let mut s = login(&w);
+    s.command(&Command::Pipe(8)).unwrap();
+    s.command(&Command::Pipe(1)).unwrap();
+    for bad in [0u32, 65, 1000] {
+        let err = s.command(&Command::Pipe(bad)).unwrap_err();
+        assert!(err.to_string().contains("501"), "PIPE {bad}: got {err}");
+    }
     s.quit().unwrap();
 }

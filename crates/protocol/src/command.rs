@@ -121,6 +121,13 @@ pub enum Command {
         /// Printable-ASCII blob for `P`.
         blob: Option<String>,
     },
+    /// `PIPE <n>` — announce a command-pipelining window: the client may
+    /// have up to `n` commands outstanding before reading replies. The
+    /// server replies 200 and (since replies are answered strictly in
+    /// order on both cores) the command is purely declarative — it lets a
+    /// server bound per-session queue growth and a client assert the
+    /// feature exists.
+    Pipe(u32),
     /// `OPTS <target> <params>` (e.g. `OPTS RETR Parallelism=8,8,8;`).
     Opts {
         /// Target command, e.g. `RETR`.
@@ -216,6 +223,7 @@ impl Command {
             Command::Prot(_) => "PROT",
             Command::Dcau(_) => "DCAU",
             Command::Dcsc { .. } => "DCSC",
+            Command::Pipe(_) => "PIPE",
             Command::Opts { .. } => "OPTS",
             Command::Site(_) => "SITE",
             Command::Feat => "FEAT",
@@ -383,6 +391,10 @@ impl Command {
                     }
                 }
             }
+            "PIPE" => Command::Pipe(
+                arg.parse()
+                    .map_err(|_| ProtocolError::BadCommand(format!("bad PIPE window {arg:?}")))?,
+            ),
             "OPTS" => {
                 let (target, params) = arg
                     .split_once(' ')
@@ -497,6 +509,7 @@ impl fmt::Display for Command {
             Command::Dcau(DcauMode::Subject(s)) => write!(f, "DCAU S {s}"),
             Command::Dcsc { context_type, blob: Some(b) } => write!(f, "DCSC {context_type} {b}"),
             Command::Dcsc { context_type, blob: None } => write!(f, "DCSC {context_type}"),
+            Command::Pipe(n) => write!(f, "PIPE {n}"),
             Command::Opts { target, params } => write!(f, "OPTS {target} {params}"),
             Command::Site(s) => write!(f, "SITE {s}"),
             Command::Feat => write!(f, "FEAT"),
@@ -638,6 +651,15 @@ mod tests {
             Command::Eret { module: "P".into(), args: "0,1048576 /data/big.dat".into() }
         );
         assert!(Command::parse("ERET P").is_err());
+    }
+
+    #[test]
+    fn pipe_command() {
+        assert_eq!(roundtrip("PIPE 8"), Command::Pipe(8));
+        assert_eq!(Command::parse("pipe 1").unwrap(), Command::Pipe(1));
+        assert!(Command::parse("PIPE").is_err());
+        assert!(Command::parse("PIPE lots").is_err());
+        assert!(Command::parse("PIPE -3").is_err());
     }
 
     #[test]

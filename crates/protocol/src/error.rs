@@ -17,6 +17,9 @@ pub enum ProtocolError {
     BadMarker(String),
     /// A DCSC blob was malformed.
     BadDcsc(String),
+    /// A streamed-directory frame was malformed (bad magic, truncated
+    /// header, checksum mismatch, illegal path).
+    BadStream(String),
     /// Control-channel protection failure.
     Secure(String),
 }
@@ -30,6 +33,7 @@ impl fmt::Display for ProtocolError {
             ProtocolError::BadBlock(m) => write!(f, "bad MODE E block: {m}"),
             ProtocolError::BadMarker(m) => write!(f, "bad marker: {m}"),
             ProtocolError::BadDcsc(m) => write!(f, "bad DCSC payload: {m}"),
+            ProtocolError::BadStream(m) => write!(f, "bad directory stream: {m}"),
             ProtocolError::Secure(m) => write!(f, "control-channel protection: {m}"),
         }
     }

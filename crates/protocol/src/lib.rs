@@ -32,6 +32,7 @@ pub mod mode_e;
 pub mod ranges;
 pub mod reply;
 pub mod secure_line;
+pub mod stream_dir;
 
 pub use addr::HostPort;
 pub use command::{Command, DcauMode, ModeCode, TypeCode};
@@ -39,3 +40,4 @@ pub use error::ProtocolError;
 pub use mode_e::{Block, BlockView};
 pub use ranges::ByteRanges;
 pub use reply::Reply;
+pub use stream_dir::{DirEvent, DirStreamDecoder, StreamEntry};

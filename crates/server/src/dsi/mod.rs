@@ -66,6 +66,106 @@ pub trait Dsi: Send + Sync {
     fn exists(&self, user: &UserContext, path: &str) -> bool;
 }
 
+/// One entry of a recursive walk; `rel_path` is `/`-separated and
+/// relative to the walk root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkEntry {
+    /// Path relative to the walk root.
+    pub rel_path: String,
+    /// Directory (true) or regular file (false).
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+}
+
+/// Join a DSI path and a child name without doubling separators.
+fn join(base: &str, name: &str) -> String {
+    if base.ends_with('/') {
+        format!("{base}{name}")
+    } else {
+        format!("{base}/{name}")
+    }
+}
+
+/// Recursively walk `root` in sorted depth-first pre-order: children
+/// sorted by name, each directory emitted before its contents, the root
+/// itself excluded. The order is deterministic for a given tree, which
+/// is what lets a directory-stream receiver resume at entry N — sender
+/// and receiver agree on which entry N is.
+pub fn walk(dsi: &dyn Dsi, user: &UserContext, root: &str) -> Result<Vec<WalkEntry>> {
+    fn walk_into(
+        dsi: &dyn Dsi,
+        user: &UserContext,
+        abs: &str,
+        rel: &str,
+        out: &mut Vec<WalkEntry>,
+    ) -> Result<()> {
+        let mut entries = dsi.list(user, abs)?;
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in entries {
+            let child_abs = join(abs, &e.name);
+            let child_rel =
+                if rel.is_empty() { e.name.clone() } else { format!("{rel}/{}", e.name) };
+            if e.is_dir {
+                out.push(WalkEntry { rel_path: child_rel.clone(), is_dir: true, size: 0 });
+                walk_into(dsi, user, &child_abs, &child_rel, out)?;
+            } else {
+                out.push(WalkEntry { rel_path: child_rel, is_dir: false, size: e.size });
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk_into(dsi, user, root, "", &mut out)?;
+    Ok(out)
+}
+
+/// Result of expanding a received directory stream into storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandOutcome {
+    /// Complete entries expanded (the file-granular resume point).
+    pub entries: u64,
+    /// True if the stream's end marker arrived with a matching count.
+    pub finished: bool,
+    /// Framing violation that stopped decoding, if any.
+    pub error: Option<String>,
+}
+
+/// Decode a directory-stream byte prefix and expand every *complete*
+/// entry under `root` (created first). Expansion is idempotent —
+/// directories are re-`mkdir`ed and files truncated-then-written — so
+/// replaying entries after a lost reply is safe. Storage failures
+/// propagate as `Err`; framing violations land in
+/// [`ExpandOutcome::error`] with the good prefix already expanded.
+pub fn expand_stream(
+    dsi: &dyn Dsi,
+    user: &UserContext,
+    root: &str,
+    data: &[u8],
+) -> Result<ExpandOutcome> {
+    use ig_protocol::stream_dir::{DirEvent, DirStreamDecoder};
+    dsi.mkdir(user, root)?;
+    let mut dec = DirStreamDecoder::new();
+    for event in dec.push(data) {
+        match event {
+            DirEvent::Dir(entry) => dsi.mkdir(user, &join(root, &entry.path))?,
+            DirEvent::File(entry, payload) => {
+                let path = join(root, &entry.path);
+                dsi.truncate(user, &path, 0)?;
+                if !payload.is_empty() {
+                    dsi.write(user, &path, 0, &payload)?;
+                }
+            }
+            DirEvent::End { .. } => {}
+        }
+    }
+    Ok(ExpandOutcome {
+        entries: dec.entries_done(),
+        finished: dec.finished(),
+        error: dec.error().map(|e| e.to_string()),
+    })
+}
+
 /// Read a whole file through a DSI in `chunk`-sized reads.
 pub fn read_all(dsi: &dyn Dsi, user: &UserContext, path: &str, chunk: usize) -> Result<Vec<u8>> {
     let size = dsi.size(user, path)?;
@@ -85,7 +185,9 @@ pub fn read_all(dsi: &dyn Dsi, user: &UserContext, path: &str, chunk: usize) -> 
 
 #[cfg(test)]
 mod tests {
+    use super::memory::MemDsi;
     use super::*;
+    use ig_protocol::stream_dir::{encode_tree, StreamEntry};
 
     #[test]
     fn mlsd_format() {
@@ -93,5 +195,113 @@ mod tests {
         assert_eq!(f.to_mlsd(), "type=file;size=1024; data.bin");
         let d = DirEntry { name: "sub".into(), size: 0, is_dir: true };
         assert_eq!(d.to_mlsd(), "type=dir;size=0; sub");
+    }
+
+    fn sample() -> MemDsi {
+        let dsi = MemDsi::new();
+        dsi.put("/tree/b.bin", b"bbbb");
+        dsi.put("/tree/a/one", b"1");
+        dsi.put("/tree/a/two", b"22");
+        dsi.put("/tree/c/deep/leaf", b"leafleaf");
+        let root = UserContext::superuser();
+        dsi.mkdir(&root, "/tree/empty").unwrap();
+        dsi
+    }
+
+    #[test]
+    fn walk_is_sorted_preorder_with_dirs_first() {
+        let dsi = sample();
+        let root = UserContext::superuser();
+        let got: Vec<(String, bool, u64)> = walk(&dsi, &root, "/tree")
+            .unwrap()
+            .into_iter()
+            .map(|e| (e.rel_path, e.is_dir, e.size))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), true, 0),
+                ("a/one".into(), false, 1),
+                ("a/two".into(), false, 2),
+                ("b.bin".into(), false, 4),
+                ("c".into(), true, 0),
+                ("c/deep".into(), true, 0),
+                ("c/deep/leaf".into(), false, 8),
+                ("empty".into(), true, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn walk_missing_root_errors() {
+        let dsi = MemDsi::new();
+        let root = UserContext::superuser();
+        assert!(walk(&dsi, &root, "/nope").is_err());
+    }
+
+    #[test]
+    fn expand_stream_roundtrips_a_walked_tree() {
+        let src = sample();
+        let root = UserContext::superuser();
+        let entries = walk(&src, &root, "/tree").unwrap();
+        let items: Vec<(StreamEntry, Vec<u8>)> = entries
+            .iter()
+            .map(|e| {
+                if e.is_dir {
+                    (StreamEntry::dir(e.rel_path.clone()), Vec::new())
+                } else {
+                    let data = read_all(&src, &root, &join("/tree", &e.rel_path), 4096).unwrap();
+                    (StreamEntry::file(e.rel_path.clone(), e.size), data)
+                }
+            })
+            .collect();
+        let wire = encode_tree(&items).unwrap();
+
+        let dst = MemDsi::new();
+        let out = expand_stream(&dst, &root, "/copy", &wire).unwrap();
+        assert_eq!(out, ExpandOutcome { entries: 8, finished: true, error: None });
+        // Same walk, same bytes on the other side.
+        assert_eq!(walk(&dst, &root, "/copy").unwrap(), entries);
+        assert_eq!(read_all(&dst, &root, "/copy/c/deep/leaf", 16).unwrap(), b"leafleaf");
+        assert_eq!(read_all(&dst, &root, "/copy/a/two", 16).unwrap(), b"22");
+        // Idempotent: expanding the same stream again changes nothing.
+        let again = expand_stream(&dst, &root, "/copy", &wire).unwrap();
+        assert_eq!(again.entries, 8);
+        assert_eq!(walk(&dst, &root, "/copy").unwrap(), entries);
+    }
+
+    #[test]
+    fn expand_stream_truncated_prefix_is_partial_not_error() {
+        let src = sample();
+        let root = UserContext::superuser();
+        let entries = walk(&src, &root, "/tree").unwrap();
+        let items: Vec<(StreamEntry, Vec<u8>)> = entries
+            .iter()
+            .map(|e| {
+                if e.is_dir {
+                    (StreamEntry::dir(e.rel_path.clone()), Vec::new())
+                } else {
+                    let data = read_all(&src, &root, &join("/tree", &e.rel_path), 4096).unwrap();
+                    (StreamEntry::file(e.rel_path.clone(), e.size), data)
+                }
+            })
+            .collect();
+        let wire = encode_tree(&items).unwrap();
+        let dst = MemDsi::new();
+        let out = expand_stream(&dst, &root, "/part", &wire[..wire.len() / 2]).unwrap();
+        assert!(!out.finished);
+        assert!(out.error.is_none());
+        assert!(out.entries > 0 && out.entries < 8);
+        // Every expanded file is complete — that is the resume guarantee.
+        for e in entries.iter().take(out.entries as usize) {
+            if !e.is_dir {
+                assert_eq!(
+                    dst.size(&root, &join("/part", &e.rel_path)).unwrap(),
+                    e.size,
+                    "partial file {} leaked into the tree",
+                    e.rel_path
+                );
+            }
+        }
     }
 }

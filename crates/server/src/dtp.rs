@@ -50,20 +50,15 @@ impl Progress {
     }
 }
 
-/// Send `ranges` of `path` over `streams` as MODE E blocks.
-///
-/// Returns the payload bytes sent. Stream workers send data blocks; the
-/// first stream additionally announces the EOD count (one per stream),
-/// and every stream ends with EOD — the GridFTP close protocol.
-pub fn send_ranges(
+/// Spawn one block-sending worker per stream, each draining its own
+/// bounded queue. Worker 0 announces the EOD count first; every worker
+/// ends with EOD + close when its queue disconnects — the GridFTP close
+/// protocol. Shared by the single-file and directory-stream senders.
+fn spawn_block_workers(
     streams: Vec<Box<dyn Link>>,
-    dsi: &Arc<dyn Dsi>,
-    user: &UserContext,
-    path: &str,
-    ranges: &[(u64, u64)],
-    block_size: usize,
     progress: &Arc<Progress>,
-) -> Result<u64> {
+) -> Result<(Vec<crossbeam::channel::Sender<BlockPiece>>, Vec<std::thread::JoinHandle<Result<()>>>)>
+{
     assert!(!streams.is_empty(), "need at least one stream");
     let n = streams.len();
     // One bounded queue per stream: strict round-robin. A shared queue
@@ -76,7 +71,6 @@ pub fn send_ranges(
         txs.push(tx);
         rxs.push(rx);
     }
-    // Stream workers.
     let mut workers = Vec::with_capacity(n);
     for (i, mut stream) in streams.into_iter().enumerate() {
         let rx = rxs.remove(0);
@@ -120,6 +114,48 @@ pub fn send_ranges(
             }
         }
     }
+    Ok((txs, workers))
+}
+
+/// Join block workers after the feed finished (or failed): worker errors
+/// win over feed errors only when the feed succeeded.
+fn join_block_workers(
+    workers: Vec<std::thread::JoinHandle<Result<()>>>,
+    feed_err: Option<ServerError>,
+) -> Result<()> {
+    let mut worker_err = None;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => worker_err = worker_err.or(Some(e)),
+            Err(_) => {
+                worker_err = worker_err.or(Some(ServerError::Data("stream worker panicked".into())))
+            }
+        }
+    }
+    match (worker_err, feed_err) {
+        (Some(e), _) => Err(e),
+        (None, Some(e)) => Err(e),
+        (None, None) => Ok(()),
+    }
+}
+
+/// Send `ranges` of `path` over `streams` as MODE E blocks.
+///
+/// Returns the payload bytes sent. Stream workers send data blocks; the
+/// first stream additionally announces the EOD count (one per stream),
+/// and every stream ends with EOD — the GridFTP close protocol.
+pub fn send_ranges(
+    streams: Vec<Box<dyn Link>>,
+    dsi: &Arc<dyn Dsi>,
+    user: &UserContext,
+    path: &str,
+    ranges: &[(u64, u64)],
+    block_size: usize,
+    progress: &Arc<Progress>,
+) -> Result<u64> {
+    let n = streams.len();
+    let (txs, workers) = spawn_block_workers(streams, progress)?;
     // Reader: stream file ranges into the queues in block-sized pieces,
     // strictly round-robin over streams. Each read chunk is shared with
     // the workers by reference; the per-block queue items carry only an
@@ -161,16 +197,104 @@ pub fn send_ranges(
         }
     }
     drop(txs); // signals workers to send EODs
-    for w in workers {
-        match w.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(e),
-            Err(_) => return Err(ServerError::Data("stream worker panicked".into())),
+    join_block_workers(workers, feed_err)?;
+    Ok(total)
+}
+
+/// Send the directory tree under `root` over `streams` as one streamed
+/// MODE E transfer in [`ig_protocol::stream_dir`] framing, skipping the
+/// first `skip` walk entries (file-granular resume). Returns the stream
+/// bytes sent.
+///
+/// The walk is sorted depth-first pre-order, so the entry sequence is
+/// deterministic and `skip` means the same thing to sender and receiver.
+/// Stream offsets start at 0 on every attempt: each resume attempt is a
+/// self-contained stream whose end marker counts only the entries it
+/// carried.
+pub fn send_dir(
+    streams: Vec<Box<dyn Link>>,
+    dsi: &Arc<dyn Dsi>,
+    user: &UserContext,
+    root: &str,
+    skip: u64,
+    block_size: usize,
+    progress: &Arc<Progress>,
+) -> Result<u64> {
+    use ig_protocol::stream_dir::{encode_end, encode_header, encode_trailer, StreamEntry};
+
+    let entries = crate::dsi::walk(dsi.as_ref(), user, root)?;
+    if skip as usize > entries.len() {
+        return Err(ServerError::Data(format!(
+            "resume skip {skip} beyond the tree's {} entries",
+            entries.len()
+        )));
+    }
+    let n = streams.len();
+    let (txs, workers) = spawn_block_workers(streams, progress)?;
+
+    // The feed walks the tree and pushes the framing + payload bytes as
+    // sequential-offset blocks, strict round-robin — the receiver's
+    // contiguous reassembled prefix is then exactly a decodable prefix of
+    // the entry stream.
+    let mut offset = 0u64;
+    let mut next_stream = 0usize;
+    let mut total = 0u64;
+    let mut feed = |chunk: Arc<[u8]>| -> Result<()> {
+        let mut start = 0usize;
+        while start < chunk.len() {
+            let end = (start + block_size).min(chunk.len());
+            let piece = (offset, Arc::clone(&chunk), start, end);
+            if txs[next_stream].send(piece).is_err() {
+                return Err(ServerError::Data("stream workers died".into()));
+            }
+            offset += (end - start) as u64;
+            total += (end - start) as u64;
+            next_stream = (next_stream + 1) % n;
+            start = end;
         }
-    }
-    if let Some(e) = feed_err {
-        return Err(e);
-    }
+        Ok(())
+    };
+
+    let read_chunk = block_size.max(64 * 1024);
+    let mut run = || -> Result<()> {
+        for entry in &entries[skip as usize..] {
+            let meta = if entry.is_dir {
+                StreamEntry::dir(entry.rel_path.clone())
+            } else {
+                StreamEntry::file(entry.rel_path.clone(), entry.size)
+            };
+            feed(Arc::from(encode_header(&meta)?))?;
+            if entry.is_dir {
+                continue;
+            }
+            let abs = if root.ends_with('/') {
+                format!("{root}{}", entry.rel_path)
+            } else {
+                format!("{root}/{}", entry.rel_path)
+            };
+            let mut hasher = ig_crypto::Sha256::new();
+            let mut sent = 0u64;
+            while sent < entry.size {
+                let want = read_chunk.min((entry.size - sent) as usize);
+                let data = dsi.read(user, &abs, sent, want)?;
+                if data.is_empty() {
+                    return Err(ServerError::Storage(format!(
+                        "{abs} shrank mid-stream ({sent} of {} bytes)",
+                        entry.size
+                    )));
+                }
+                sent += data.len() as u64;
+                hasher.update(&data);
+                feed(Arc::from(data))?;
+            }
+            feed(Arc::from(encode_trailer(&hasher.finalize())))?;
+        }
+        feed(Arc::from(encode_end(entries.len() as u64 - skip)))?;
+        Ok(())
+    };
+    let feed_err = run().err();
+    drop(txs); // signals workers to send EODs
+    join_block_workers(workers, feed_err)?;
     Ok(total)
 }
 
@@ -518,6 +642,96 @@ mod tests {
         let ranges = progress.ranges_snapshot();
         assert_eq!(ranges.ranges(), &[(100, 200), (300, 400)]);
         assert_eq!(dst.read(&user, "/out", 100, 100).unwrap(), &data[100..200]);
+    }
+
+    /// Stream a source tree over N pipes into a staging file, then
+    /// expand the staged bytes — the directory-transfer data path minus
+    /// the control channel.
+    fn dir_transfer(streams: usize, block: usize, skip: u64) -> (Arc<dyn Dsi>, u64) {
+        let src: Arc<dyn Dsi> = Arc::new({
+            let m = MemDsi::new();
+            m.put("/tree/a/one.bin", b"first file");
+            m.put("/tree/a/two.bin", &[7u8; 5000]);
+            m.put("/tree/top.txt", b"top");
+            m.put("/tree/z/deep/leaf", b"");
+            m
+        });
+        let user = UserContext::superuser();
+        let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let progress = Progress::new();
+        let receiver =
+            Receiver::new(Arc::clone(&staging), user.clone(), "/stream", Arc::clone(&progress));
+        let mut sender_links: Vec<Box<dyn Link>> = Vec::new();
+        for _ in 0..streams {
+            let (a, b) = pipe();
+            sender_links.push(Box::new(a));
+            receiver.add_stream(Box::new(b)).unwrap();
+        }
+        let sent =
+            send_dir(sender_links, &src, &user, "/tree", skip, block, &Progress::new()).unwrap();
+        let received = receiver.finish().unwrap();
+        assert_eq!(sent, received);
+        let data = crate::dsi::read_all(staging.as_ref(), &user, "/stream", 1 << 16).unwrap();
+        let dst: Arc<dyn Dsi> = Arc::new(MemDsi::new());
+        let out = crate::dsi::expand_stream(dst.as_ref(), &user, "/copy", &data).unwrap();
+        assert!(out.finished, "stream must carry its end marker: {out:?}");
+        assert_eq!(out.error, None);
+        (dst, out.entries)
+    }
+
+    #[test]
+    fn dir_stream_roundtrips_over_parallel_streams() {
+        for streams in [1usize, 3] {
+            let (dst, entries) = dir_transfer(streams, 512, 0);
+            let user = UserContext::superuser();
+            // 7 walk entries: a, a/one.bin, a/two.bin, top.txt, z, z/deep,
+            // z/deep/leaf.
+            assert_eq!(entries, 7, "streams={streams}");
+            assert_eq!(
+                crate::dsi::read_all(dst.as_ref(), &user, "/copy/a/two.bin", 1 << 16).unwrap(),
+                vec![7u8; 5000]
+            );
+            assert_eq!(
+                crate::dsi::read_all(dst.as_ref(), &user, "/copy/top.txt", 64).unwrap(),
+                b"top"
+            );
+            assert_eq!(dst.size(&user, "/copy/z/deep/leaf").unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn dir_stream_resume_skips_complete_entries() {
+        // Skipping the first 3 entries yields a stream of the remaining 4
+        // that still decodes and expands cleanly.
+        let (dst, entries) = dir_transfer(1, 256, 3);
+        assert_eq!(entries, 4);
+        let user = UserContext::superuser();
+        // Entry order: a, a/one.bin, a/two.bin, top.txt, z, z/deep, z/deep/leaf.
+        assert!(dst.exists(&user, "/copy/top.txt"));
+        assert!(!dst.exists(&user, "/copy/a/one.bin"));
+    }
+
+    #[test]
+    fn dir_stream_skip_past_end_is_typed_error() {
+        let src: Arc<dyn Dsi> = Arc::new({
+            let m = MemDsi::new();
+            m.put("/tree/f", b"x");
+            m
+        });
+        let user = UserContext::superuser();
+        let (a, b) = pipe();
+        drop(b);
+        let err = send_dir(
+            vec![Box::new(a)],
+            &src,
+            &user,
+            "/tree",
+            9,
+            256,
+            &Progress::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("skip"), "{err}");
     }
 
     #[test]

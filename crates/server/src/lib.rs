@@ -46,7 +46,7 @@ pub mod users;
 
 pub use authz::{AuthzCallout, ChainAuthz, GcmuAuthz, GridmapAuthz};
 pub use config::{ServerConfig, ServerCore};
-pub use dsi::{memory::MemDsi, posix::PosixDsi, Dsi};
+pub use dsi::{expand_stream, memory::MemDsi, posix::PosixDsi, read_all, walk, Dsi, ExpandOutcome, WalkEntry};
 pub use dtp::RecvFault;
 pub use error::ServerError;
 pub use fault::FaultInjector;

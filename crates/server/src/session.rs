@@ -8,7 +8,7 @@
 
 use crate::config::ServerConfig;
 use crate::data::{maybe_throttle, wrap_accept, wrap_connect, DataListener, DataSecurity};
-use crate::dtp::{send_ranges, Progress, Receiver};
+use crate::dtp::{send_dir, send_ranges, Progress, Receiver};
 use crate::error::{Result, ServerError};
 use crate::usage::TransferRecord;
 use crate::users::UserContext;
@@ -53,6 +53,10 @@ pub struct Session<R: Rng> {
     prot: ProtectionLevel,
     dcau: DcauMode,
     restart: Option<ByteRanges>,
+    /// Declared command-pipelining window (`PIPE <n>`). Both cores
+    /// already answer queued commands strictly in order, so the window
+    /// is declarative — stored for introspection, echoed in the reply.
+    pipe_window: u32,
     listeners: Vec<DataListener>,
     port_targets: Vec<HostPort>,
     cwd: String,
@@ -168,6 +172,7 @@ impl<R: Rng> Session<R> {
             prot: ProtectionLevel::Clear,
             dcau: DcauMode::Self_,
             restart: None,
+            pipe_window: 1,
             listeners: Vec::new(),
             port_targets: Vec::new(),
             cwd: "/".to_string(),
@@ -348,8 +353,9 @@ impl<R: Rng> Session<R> {
                     "PARALLEL",
                     "SPAS",
                     "SPOR",
-                    "ERET",
-                    "ESTO",
+                    "ERET P,DIR",
+                    "ESTO DIR",
+                    "PIPE",
                     "SIZE",
                     "MLST type*;size*;",
                     "REST STREAM",
@@ -432,6 +438,19 @@ impl<R: Rng> Session<R> {
             Command::Dcau(mode) => {
                 self.dcau = mode;
                 self.reply(link, wrap, Reply::ok("DCAU set."))?;
+            }
+            Command::Pipe(n) => {
+                if (1..=64).contains(&n) {
+                    self.pipe_window = n;
+                    let w = self.pipe_window;
+                    self.reply(
+                        link,
+                        wrap,
+                        Reply::ok(&format!("Pipelining window {w} accepted; replies stay ordered.")),
+                    )?;
+                } else {
+                    self.reply(link, wrap, Reply::new(501, "PIPE window must be 1..=64."))?;
+                }
             }
             Command::Dcsc { context_type, blob } => {
                 if !self.config.dcsc_enabled {
@@ -636,32 +655,61 @@ impl<R: Rng> Session<R> {
                 let p = self.resolve_path(&path);
                 self.run_send_transfer(link, wrap, TransferSource::File(p))?;
             }
-            Command::Eret { module, args } => {
+            Command::Eret { module, args } => match module.to_ascii_uppercase().as_str() {
                 // `ERET P <offset>,<length> <path>` — partial file
                 // retrieval (the classic GridFTP ERET module).
-                if module.to_ascii_uppercase() != "P" {
-                    self.reply(link, wrap, Reply::new(504, "Only the P (partial) ERET module is supported."))?;
-                    return Ok(LoopControl::Continue);
+                "P" => {
+                    let Some((range, path)) = args.split_once(' ') else {
+                        self.reply(link, wrap, Reply::syntax_error("ERET P needs <offset>,<length> <path>."))?;
+                        return Ok(LoopControl::Continue);
+                    };
+                    let parsed = range.split_once(',').and_then(|(o, l)| {
+                        Some((o.trim().parse::<u64>().ok()?, l.trim().parse::<u64>().ok()?))
+                    });
+                    let Some((offset, length)) = parsed else {
+                        self.reply(link, wrap, Reply::syntax_error("Bad ERET P range."))?;
+                        return Ok(LoopControl::Continue);
+                    };
+                    let p = self.resolve_path(path.trim());
+                    self.run_send_transfer(link, wrap, TransferSource::Partial { path: p, offset, length })?;
                 }
-                let Some((range, path)) = args.split_once(' ') else {
-                    self.reply(link, wrap, Reply::syntax_error("ERET P needs <offset>,<length> <path>."))?;
-                    return Ok(LoopControl::Continue);
-                };
-                let parsed = range.split_once(',').and_then(|(o, l)| {
-                    Some((o.trim().parse::<u64>().ok()?, l.trim().parse::<u64>().ok()?))
-                });
-                let Some((offset, length)) = parsed else {
-                    self.reply(link, wrap, Reply::syntax_error("Bad ERET P range."))?;
-                    return Ok(LoopControl::Continue);
-                };
-                let p = self.resolve_path(path.trim());
-                self.run_send_transfer(link, wrap, TransferSource::Partial { path: p, offset, length })?;
-            }
-            Command::Stor(path) | Command::Esto { args: path, .. } => {
-                let p = path.split_whitespace().last().unwrap_or(&path).to_string();
-                let p = self.resolve_path(&p);
+                // `ERET DIR <skip> <path>` — stream the tree under
+                // <path> as one directory stream, skipping the first
+                // <skip> walk entries (file-granular resume).
+                "DIR" => {
+                    let Some((skip, path)) = args.split_once(' ') else {
+                        self.reply(link, wrap, Reply::syntax_error("ERET DIR needs <skip> <path>."))?;
+                        return Ok(LoopControl::Continue);
+                    };
+                    let Ok(skip) = skip.trim().parse::<u64>() else {
+                        self.reply(link, wrap, Reply::syntax_error("Bad ERET DIR skip count."))?;
+                        return Ok(LoopControl::Continue);
+                    };
+                    let p = self.resolve_path(path.trim());
+                    self.run_send_transfer(link, wrap, TransferSource::Dir { path: p, skip })?;
+                }
+                _ => {
+                    self.reply(link, wrap, Reply::new(504, "Only the P (partial) and DIR ERET modules are supported."))?;
+                }
+            },
+            Command::Stor(path) => {
+                let p = self.resolve_path(&path);
                 self.run_receive_transfer(link, wrap, &p)?;
             }
+            Command::Esto { module, args } => match module.to_ascii_uppercase().as_str() {
+                // `ESTO DIR <path>` — receive a directory stream and
+                // expand it under <path>.
+                "DIR" => {
+                    let p = self.resolve_path(args.trim());
+                    self.run_receive_dir(link, wrap, &p)?;
+                }
+                // Unknown ESTO modules used to fall through to a plain
+                // STOR of the args' last token — silently wrong data
+                // layout. They are now refused up front.
+                _ => {
+                    self.reply(link, wrap, Reply::new(504, "Only the DIR ESTO module is supported."))?;
+                }
+            },
             Command::Allo(_) => {
                 self.reply(link, wrap, Reply::ok("ALLO noted."))?;
             }
@@ -894,6 +942,31 @@ impl<R: Rng> Session<R> {
                 (vec![(start, end)], end - start)
             }
             TransferSource::Buffer(buf) => (vec![(0, buf.len() as u64)], buf.len() as u64),
+            TransferSource::Dir { path, skip } => {
+                // Validate root + skip before the 150 so a bad request
+                // fails cheaply, without opening data channels.
+                let entries = match crate::dsi::walk(self.config.dsi.as_ref(), &user, path) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        self.reply(link, wrap, Reply::action_failed(&e.to_string()))?;
+                        return Ok(());
+                    }
+                };
+                if *skip > entries.len() as u64 {
+                    self.reply(
+                        link,
+                        wrap,
+                        Reply::action_failed(&format!(
+                            "resume skip {skip} beyond the tree's {} entries",
+                            entries.len()
+                        )),
+                    )?;
+                    return Ok(());
+                }
+                // Approximate payload bytes for the span; the stream
+                // adds framing on top.
+                (Vec::new(), entries.iter().map(|e| e.size).sum())
+            }
         };
         let streams = match self.open_send_streams(&sec) {
             Ok(s) => match &self.config.fault {
@@ -935,6 +1008,9 @@ impl<R: Rng> Session<R> {
                     }
                     TransferSource::Buffer(buf) => {
                         crate::dtp::send_buffer(streams, &buf, block_size, &progress2)
+                    }
+                    TransferSource::Dir { path, skip } => {
+                        send_dir(streams, &dsi, &user2, &path, skip, block_size, &progress2)
                     }
                 }
             },
@@ -1045,85 +1121,26 @@ impl<R: Rng> Session<R> {
             Arc::clone(&progress),
         )
         .with_idle(self.config.stall_timeout);
-        let start = Instant::now();
-        let mut connected = 0usize;
-        let mut last_marker = ByteRanges::new();
-        let mut last_progress = Instant::now();
-        // Accept + receive loop.
-        loop {
-            if receiver.done() || receiver.error().is_some() {
-                break;
-            }
-            if !self.port_targets.is_empty() && connected == 0 {
-                // Active receive: we connect out (unusual but legal).
-                for target in self.port_targets.clone() {
-                    for _ in 0..self.parallelism {
-                        let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
-                            .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
-                        let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
-                        let secured = wrap_connect(throttled, &sec, &mut self.rng)?;
-                        if let Err(e) = receiver.add_stream(self.chaosify(secured)) {
-                            self.config.obs.metrics().add("server.spawn_failures", 1);
-                            self.listeners.clear();
-                            self.port_targets.clear();
-                            tspan.end_with(vec![kv("outcome", "spawn-error")]);
-                            return self.reply(
-                                link,
-                                wrap,
-                                Reply::new(426, format!("Transfer failed: {e}")),
-                            );
-                        }
-                        connected += 1;
-                    }
-                }
-            }
-            for l in &self.listeners {
-                if let Some(tcp) = l.try_accept() {
-                    let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
-                    match wrap_accept(throttled, &sec, &mut self.rng) {
-                        Ok(s) => {
-                            if let Err(e) = receiver.add_stream(self.chaosify(s)) {
-                                self.config.obs.metrics().add("server.spawn_failures", 1);
-                                self.listeners.clear();
-                                self.port_targets.clear();
-                                tspan.end_with(vec![kv("outcome", "spawn-error")]);
-                                return self.reply(
-                                    link,
-                                    wrap,
-                                    Reply::new(426, format!("Transfer failed: {e}")),
-                                );
-                            }
-                            connected += 1;
-                            last_progress = Instant::now();
-                        }
-                        Err(e) => {
-                            // Failed DCAU on one connection fails the transfer.
-                            self.listeners.clear();
-                            self.port_targets.clear();
-                            self.reply(
-                                link,
-                                wrap,
-                                Reply::new(425, format!("Data channel authentication failed: {e}")),
-                            )?;
-                            return Ok(());
-                        }
-                    }
-                }
-            }
-            std::thread::sleep(Duration::from_millis(5));
-            // Emit 111 restart markers as new ranges land.
-            let snapshot = progress.ranges_snapshot();
-            if snapshot != last_marker {
-                last_marker = snapshot.clone();
-                last_progress = Instant::now();
-                self.reply(link, wrap, RestartMarker { ranges: snapshot }.to_reply())?;
-            } else if last_progress.elapsed() > self.config.stall_timeout {
-                break;
-            }
-            let _ = start;
-        }
+        let end = self.pump_receiver(link, wrap, &sec, &receiver, &progress)?;
         self.listeners.clear();
         self.port_targets.clear();
+        let connected = match end {
+            PumpEnd::SpawnError(e) => {
+                self.config.obs.metrics().add("server.spawn_failures", 1);
+                tspan.end_with(vec![kv("outcome", "spawn-error")]);
+                return self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}")));
+            }
+            PumpEnd::AuthError(e) => {
+                // Failed DCAU on one connection fails the transfer.
+                tspan.end_with(vec![kv("outcome", "auth-error")]);
+                return self.reply(
+                    link,
+                    wrap,
+                    Reply::new(425, format!("Data channel authentication failed: {e}")),
+                );
+            }
+            PumpEnd::Drained { connected } => connected,
+        };
         match receiver.finish() {
             Ok(bytes) => {
                 self.config.usage.record(TransferRecord {
@@ -1148,12 +1165,205 @@ impl<R: Rng> Session<R> {
             }
         }
     }
+
+    /// Drive the accept/connect + 111-marker loop for an inbound
+    /// transfer until the receiver drains, errors, or stalls. Emits only
+    /// in-transfer markers; terminal replies are the caller's job, keyed
+    /// off the returned [`PumpEnd`]. Shared by plain `STOR` and
+    /// `ESTO DIR` so both directions of pipelined sessions exercise one
+    /// code path.
+    fn pump_receiver(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        sec: &DataSecurity,
+        receiver: &Receiver,
+        progress: &Arc<Progress>,
+    ) -> Result<PumpEnd> {
+        let mut connected = 0usize;
+        let mut last_marker = ByteRanges::new();
+        let mut last_progress = Instant::now();
+        loop {
+            if receiver.done() || receiver.error().is_some() {
+                break;
+            }
+            if !self.port_targets.is_empty() && connected == 0 {
+                // Active receive: we connect out (unusual but legal).
+                for target in self.port_targets.clone() {
+                    for _ in 0..self.parallelism {
+                        let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
+                            .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
+                        let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                        let secured = wrap_connect(throttled, sec, &mut self.rng)?;
+                        if let Err(e) = receiver.add_stream(self.chaosify(secured)) {
+                            return Ok(PumpEnd::SpawnError(e.to_string()));
+                        }
+                        connected += 1;
+                    }
+                }
+            }
+            for l in &self.listeners {
+                if let Some(tcp) = l.try_accept() {
+                    let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    match wrap_accept(throttled, sec, &mut self.rng) {
+                        Ok(s) => {
+                            if let Err(e) = receiver.add_stream(self.chaosify(s)) {
+                                return Ok(PumpEnd::SpawnError(e.to_string()));
+                            }
+                            connected += 1;
+                            last_progress = Instant::now();
+                        }
+                        Err(e) => return Ok(PumpEnd::AuthError(e.to_string())),
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            // Emit 111 restart markers as new ranges land.
+            let snapshot = progress.ranges_snapshot();
+            if snapshot != last_marker {
+                last_marker = snapshot.clone();
+                last_progress = Instant::now();
+                self.reply(link, wrap, RestartMarker { ranges: snapshot }.to_reply())?;
+            } else if last_progress.elapsed() > self.config.stall_timeout {
+                break;
+            }
+        }
+        Ok(PumpEnd::Drained { connected })
+    }
+
+    /// `ESTO DIR <root>`: receive one directory stream into staging
+    /// memory, then expand every *complete* entry under `root` on the
+    /// real DSI. The terminal reply always carries the entry count —
+    /// `226 Directory stream complete (<n> entries).` on success,
+    /// `426 Directory stream failed after <n> entries: <reason>` on a
+    /// mid-stream fault — so the client can resume file-granularly by
+    /// re-sending from entry `n`.
+    fn run_receive_dir(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        root: &str,
+    ) -> Result<()> {
+        let user = self.user.clone().expect("authed");
+        let sec = self.data_security();
+        // REST does not apply here; resume is entry-granular via the
+        // count in the terminal reply. Drop any stale marker so it
+        // cannot leak into this transfer.
+        self.restart = None;
+        let tspan = self
+            .config
+            .obs
+            .span("transfer", vec![kv("direction", "recv-dir")]);
+        self.reply(link, wrap, Reply::opening_data())?;
+        let progress = Progress::new();
+        // Stage the raw stream in session-private memory: expansion must
+        // be entry-atomic even though MODE E blocks land out of order.
+        let staging = crate::dsi::memory::MemDsi::new();
+        let staging: Arc<dyn crate::dsi::Dsi> = Arc::new(staging);
+        let su = UserContext::superuser();
+        let receiver =
+            Receiver::new(Arc::clone(&staging), su.clone(), "/stream", Arc::clone(&progress))
+                .with_idle(self.config.stall_timeout);
+        let end = self.pump_receiver(link, wrap, &sec, &receiver, &progress)?;
+        self.listeners.clear();
+        self.port_targets.clear();
+        let connected = match end {
+            PumpEnd::SpawnError(e) => {
+                self.config.obs.metrics().add("server.spawn_failures", 1);
+                tspan.end_with(vec![kv("outcome", "spawn-error")]);
+                return self.reply(link, wrap, Reply::new(426, format!("Transfer failed: {e}")));
+            }
+            PumpEnd::AuthError(e) => {
+                tspan.end_with(vec![kv("outcome", "auth-error")]);
+                return self.reply(
+                    link,
+                    wrap,
+                    Reply::new(425, format!("Data channel authentication failed: {e}")),
+                );
+            }
+            PumpEnd::Drained { connected } => connected,
+        };
+        let fin = receiver.finish();
+        // Expand whatever complete prefix landed — holes left by lost
+        // blocks fail a header magic or trailer checksum and stop the
+        // decoder at the last complete entry, never mid-file.
+        let staged = crate::dsi::read_all(staging.as_ref(), &su, "/stream", 256 * 1024)
+            .unwrap_or_default();
+        let outcome =
+            crate::dsi::expand_stream(self.config.dsi.as_ref(), &user, root, &staged);
+        match outcome {
+            Err(e) => {
+                self.config.obs.metrics().add("server.transfer_errors", 1);
+                tspan.end_with(vec![kv("outcome", "error")]);
+                self.reply(
+                    link,
+                    wrap,
+                    Reply::new(426, format!("Directory stream failed after 0 entries: {e}")),
+                )
+            }
+            Ok(out) if out.finished && out.error.is_none() => {
+                // Every entry decoded, every checksum passed, count
+                // matched: the tree is complete even if the transport
+                // died after the final block.
+                let bytes = staged.len() as u64;
+                self.config.usage.record(TransferRecord {
+                    timestamp: self.config.clock.now(),
+                    bytes,
+                    user: user.username.clone(),
+                    inbound: true,
+                    streams: connected as u32,
+                });
+                let metrics = self.config.obs.metrics();
+                metrics.add("server.transfers_in", 1);
+                metrics.add("server.bytes_in", bytes);
+                tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
+                self.reply(
+                    link,
+                    wrap,
+                    Reply::new(
+                        226,
+                        format!("Directory stream complete ({} entries).", out.entries),
+                    ),
+                )
+            }
+            Ok(out) => {
+                let reason = out
+                    .error
+                    .clone()
+                    .or_else(|| fin.err().map(|e| e.to_string()))
+                    .unwrap_or_else(|| "stream ended before the end marker".to_string());
+                self.config.obs.metrics().add("server.transfer_errors", 1);
+                tspan.end_with(vec![kv("outcome", "error"), kv("entries", out.entries)]);
+                self.reply(
+                    link,
+                    wrap,
+                    Reply::new(
+                        426,
+                        format!("Directory stream failed after {} entries: {reason}", out.entries),
+                    ),
+                )
+            }
+        }
+    }
+}
+
+/// How [`Session::pump_receiver`] ended.
+enum PumpEnd {
+    /// Receiver drained or stalled; the caller should `finish()`.
+    Drained { connected: usize },
+    /// A data stream's worker thread failed to spawn.
+    SpawnError(String),
+    /// A data connection failed DCAU authentication.
+    AuthError(String),
 }
 
 enum TransferSource {
     File(String),
     Partial { path: String, offset: u64, length: u64 },
     Buffer(Vec<u8>),
+    /// A whole tree as one directory stream, resuming at walk entry
+    /// `skip` (`ERET DIR <skip> <path>`).
+    Dir { path: String, skip: u64 },
 }
 
 /// SHA-256 over a byte range of a DSI file, streamed in 256 KiB reads.

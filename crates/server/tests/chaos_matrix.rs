@@ -16,13 +16,16 @@
 //!
 //! `CHAOS_SEED` overrides the default seed (CI runs two distinct ones).
 
-use ig_client::{transfer, ClientConfig, ClientError, ClientSession, RetryPolicy, TransferOpts};
+use ig_client::{
+    transfer, ClientConfig, ClientError, ClientSession, DirTransferOutcome, RetryPolicy,
+    TransferOpts,
+};
 use ig_pki::cert::Validity;
 use ig_pki::time::Clock;
 use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
 use ig_protocol::command::DcauMode;
 use ig_protocol::{ByteRanges, HostPort};
-use ig_server::dsi::read_all;
+use ig_server::dsi::{read_all, walk};
 use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, ServerCore, UserContext};
 use ig_xio::{
     splitmix64, ChaosConfig, ChaosHook, Direction, FaultKind, FaultSpec, Link, TcpLink, Trigger,
@@ -465,6 +468,188 @@ fn matrix_survives_all_faults_and_replays_byte_identical() {
 #[test]
 fn matrix_survives_and_replays_on_reactor_core() {
     run_matrix_scenario(ServerCore::Reactor);
+}
+
+// ---------------------------------------------------------------------
+// Mid-directory-stream faults: every fault kind landing in the middle of
+// a streamed tree transfer must end in file-granular resume completing
+// the tree (or a typed error) — never a hang, never a silently partial
+// tree behind a success record.
+// ---------------------------------------------------------------------
+
+/// Per-file bytes for the chaos tree — distinct per index so swapped or
+/// duplicated file bodies can't masquerade as each other.
+fn dir_payload(i: usize) -> Vec<u8> {
+    (0..3000).map(|j| ((j * 7 + i * 13) % 251) as u8).collect()
+}
+
+/// ~35 KiB over 10 files in nested dirs plus an empty dir: several MODE E
+/// blocks at `BLOCK`, so an `OnRecord(1)` fault always lands mid-stream
+/// with entries both before and after it.
+fn plant_tree(dsi: &MemDsi, root: &str) {
+    let subs = ["a", "a", "b/deep", "b/deep", "b", "c", "c", "d", "d", "a"];
+    for (i, sub) in subs.iter().enumerate() {
+        dsi.put(&format!("{root}/{sub}/f{i}.bin"), &dir_payload(i));
+    }
+    dsi.mkdir(&UserContext::superuser(), &format!("{root}/empty")).unwrap();
+}
+
+/// Walk + per-file byte equality between two trees. The dir stream's
+/// per-file checksums make even PROT C bit-flips detectable, but the
+/// matrix still verifies content independently — a checksum bug would
+/// surface here as `silent-loss`.
+fn verify_tree(src: &MemDsi, src_root: &str, dst: &MemDsi, dst_root: &str) -> Result<(), String> {
+    let u = UserContext::superuser();
+    let a = walk(src, &u, src_root).map_err(|e| e.to_string())?;
+    let b = walk(dst, &u, dst_root).map_err(|_| "missing-tree".to_string())?;
+    if a != b {
+        return Err("tree-mismatch".into());
+    }
+    for e in a.iter().filter(|e| !e.is_dir) {
+        let x = read_all(src, &u, &format!("{src_root}/{}", e.rel_path), 1 << 16).unwrap();
+        let y = read_all(dst, &u, &format!("{dst_root}/{}", e.rel_path), 1 << 16)
+            .map_err(|_| "missing-file".to_string())?;
+        if x != y {
+            return Err("silent-loss".into());
+        }
+    }
+    Ok(())
+}
+
+/// One dir-stream cell: fault the data plane on the second record, drive
+/// the transfer through the file-granular retry wrapper (fresh session
+/// per attempt, resume at the last confirmed entry), then verify the
+/// whole tree arrived byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_dir_cell(
+    w: &World,
+    local: &Arc<MemDsi>,
+    local_dyn: &Arc<dyn Dsi>,
+    op: Op,
+    kind: FaultKind,
+    kind_name: &str,
+    seed: u64,
+    cell: usize,
+    obs: &Arc<ig_obs::Obs>,
+    hooks: &mut Vec<Arc<ChaosHook>>,
+) -> String {
+    let direction = match op {
+        Op::Put => Direction::Send,
+        Op::Get => Direction::Recv,
+    };
+    let spec = FaultSpec { kind, direction, trigger: Trigger::OnRecord(1), max_fires: 1 };
+    let hook = ChaosHook::disarmed(ChaosConfig::single(seed, spec));
+    hook.set_obs(obs);
+    hooks.push(Arc::clone(&hook));
+    let label = format!("{}DIR/data/{kind_name}", op.name());
+    let policy = RetryPolicy::immediate(MAX_ATTEMPTS);
+    let opts = base_opts(Some(Arc::clone(&hook)));
+    let make_session = || Ok(session(w.server.addr(), &w.cfg, None));
+    hook.arm();
+    let result: Result<DirTransferOutcome, String> = match op {
+        Op::Put => {
+            let remote = format!("/home/alice/dtree-{cell}");
+            transfer::put_dir_with_retry(make_session, local_dyn, "/tree", &remote, &opts, &policy)
+                .map_err(|e| classify(&e))
+                .and_then(|out| verify_tree(local, "/tree", &w.dsi, &remote).map(|()| out))
+        }
+        Op::Get => {
+            let copy = Arc::new(MemDsi::new());
+            let copy_dyn: Arc<dyn Dsi> = Arc::clone(&copy) as Arc<dyn Dsi>;
+            transfer::get_dir_with_retry(
+                make_session,
+                &copy_dyn,
+                "/copy",
+                "/home/alice/dtree",
+                &opts,
+                &policy,
+            )
+            .map_err(|e| classify(&e))
+            .and_then(|out| verify_tree(&w.dsi, "/home/alice/dtree", &copy, "/copy").map(|()| out))
+        }
+    };
+    hook.disarm();
+    match result {
+        Ok(out) if out.complete => {
+            format!("{label}: ok attempts={} fires={}", out.attempts, hook.total_fires())
+        }
+        // A retry budget exhausted mid-tree is a typed, resumable state,
+        // not a success — the matrix treats it as a cell failure.
+        Ok(out) => format!(
+            "{label}: FAILED incomplete done={} attempts={} fires={}",
+            out.entries_done,
+            out.attempts,
+            hook.total_fires()
+        ),
+        Err(class) => format!("{label}: FAILED first_error={class} fires={}", hook.total_fires()),
+    }
+}
+
+/// 8 fault kinds × {PUT, GET} directory streams, all data-plane faults
+/// landing mid-stream, as a pure function of `seed`.
+fn run_dir_matrix(seed: u64, core: ServerCore) -> (Vec<String>, u64, u64) {
+    let obs = ig_obs::Obs::new("chaos-dir-matrix");
+    let mut hooks: Vec<Arc<ChaosHook>> = Vec::new();
+    let w = world(seed.wrapping_add(0xD1B), core);
+    plant_tree(&w.dsi, "/home/alice/dtree");
+    let local = Arc::new(MemDsi::new());
+    plant_tree(&local, "/tree");
+    let local_dyn: Arc<dyn Dsi> = Arc::clone(&local) as Arc<dyn Dsi>;
+    let cell_seed =
+        |cell: usize| splitmix64(seed ^ 0xD19 ^ (cell as u64).wrapping_mul(0x9E37_79B9));
+    let mut records = Vec::new();
+    let mut cell = 0usize;
+    for (name, kind) in kinds() {
+        for op in [Op::Put, Op::Get] {
+            records.push(run_dir_cell(
+                &w,
+                &local,
+                &local_dyn,
+                op,
+                kind,
+                name,
+                cell_seed(cell),
+                cell,
+                &obs,
+                &mut hooks,
+            ));
+            cell += 1;
+        }
+    }
+    let fired: u64 = hooks.iter().map(|h| h.total_fires()).sum();
+    let traced = obs.count_events("chaos.fault") as u64;
+    (records, fired, traced)
+}
+
+#[test]
+fn dir_matrix_resumes_file_granular_on_all_faults() {
+    run_dir_scenario(ServerCore::Threaded);
+}
+
+/// Same 16-cell dir sweep on the epoll reactor core.
+#[cfg(target_os = "linux")]
+#[test]
+fn dir_matrix_resumes_on_reactor_core() {
+    run_dir_scenario(ServerCore::Reactor);
+}
+
+fn run_dir_scenario(core: ServerCore) {
+    let seed = chaos_seed();
+    let (first, fired, traced) = run_dir_matrix(seed, core);
+    assert_eq!(first.len(), 16, "8 kinds x {{PUT,GET}} directory streams");
+    for r in &first {
+        assert!(
+            r.contains(": ok"),
+            "dir cell did not complete the tree within {MAX_ATTEMPTS} attempts: {r}\nfull matrix:\n{}",
+            first.join("\n")
+        );
+        assert!(!r.contains("fires=0"), "fault never fired: {r}");
+    }
+    assert!(fired > 0, "dir matrix fired no faults at all");
+    assert_eq!(fired, traced, "every fired fault must emit a chaos.fault trace event");
+    let (second, fired2, traced2) = run_dir_matrix(seed, core);
+    assert_eq!(first, second, "dir chaos schedule must replay byte-identically under one seed");
+    assert_eq!((fired, traced), (fired2, traced2), "fault/trace totals must replay");
 }
 
 fn run_matrix_scenario(core: ServerCore) {

@@ -50,6 +50,12 @@ const VOCAB: &[&str] = &[
     "",
     "ADAT aGVsbG8=",
     "AUTH KERBEROS",
+    "PIPE 8",
+    "PIPE 0",
+    "PIPE nope",
+    "ERET DIR 0 /x",
+    "ESTO DIR /x",
+    "ESTO A 0 /x",
 ];
 
 fn preauth_config() -> ServerConfig {
@@ -143,8 +149,13 @@ fn drive(server: &GridFtpServer, cmds: &[&str], cuts: &[usize]) -> Vec<String> {
     replies
 }
 
+/// Case-count override for CI smoke runs (`IG_PROPTEST_CASES`).
+fn cases(default: u32) -> u32 {
+    std::env::var("IG_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
 
     /// Same script, same arbitrary fragmentation → byte-equal replies
     /// from both cores, in order, including the banner and the 221.
@@ -165,12 +176,35 @@ proptest! {
             a
         );
     }
+
+    /// Full pipelining: a large window of commands lands as one burst
+    /// (every frame written before any reply is read, no pacing), and
+    /// both cores must answer every queued command, in order, with
+    /// byte-equal reply streams. This is the wire pattern a `PIPE`-ing
+    /// client produces.
+    #[test]
+    fn pipelined_windows_reply_identically_across_cores(
+        picks in proptest::collection::vec(0usize..VOCAB.len(), 0..24),
+    ) {
+        let cmds: Vec<&str> = picks.iter().map(|&i| VOCAB[i]).collect();
+        let (threaded, reactor) = servers();
+        let a = drive(threaded, &cmds, &[]);
+        let b = drive(reactor, &cmds, &[]);
+        prop_assert_eq!(&a, &b, "cores diverged on pipelined window {:?}", cmds);
+        prop_assert_eq!(
+            a.len(),
+            cmds.len() + 2,
+            "lost replies in a pipelined window (banner + one per command + 221): {:?}",
+            a
+        );
+        prop_assert!(a.last().unwrap().starts_with("221"), "window must end in 221: {:?}", a);
+    }
 }
 
-/// The full authenticated path: login, PUT, GET, and a fixed sequence
-/// of filesystem commands must produce an identical transcript on both
-/// cores over a fresh `MemDsi` each.
-fn authed_transcript(core: ServerCore) -> Vec<String> {
+/// One authenticated client session against a fresh server on `core`
+/// (fresh `MemDsi`, fixed seeds): the rig for every authed differential.
+/// The server's DSI handle comes back too so tests can stage trees.
+fn authed_rig(core: ServerCore) -> (Arc<GridFtpServer>, ClientSession, Arc<dyn Dsi>) {
     let mut rng = ig_crypto::rng::seeded(0xA0D1FF);
     let mut ca =
         CertificateAuthority::create(&mut rng, dn("/O=Diff CA"), 512, 0, NOW * 10).unwrap();
@@ -197,12 +231,13 @@ fn authed_transcript(core: ServerCore) -> Vec<String> {
 
     let mut gridmap = Gridmap::new();
     gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+    let dsi: Arc<dyn Dsi> = Arc::new(MemDsi::new());
     let cfg = ServerConfig::new(
         "diff.example.org",
         Credential::new(vec![host_cert], host_keys.private).unwrap(),
         trust.clone(),
         Arc::new(GridmapAuthz::new(gridmap)),
-        Arc::new(MemDsi::new()) as Arc<dyn Dsi>,
+        Arc::clone(&dsi),
     )
     .with_clock(Clock::Fixed(NOW))
     .with_stall_timeout(Duration::from_secs(5))
@@ -223,7 +258,14 @@ fn authed_transcript(core: ServerCore) -> Vec<String> {
     let mut session = ClientSession::from_link(link, client_cfg).unwrap();
     session.login().unwrap();
     session.set_dcau(DcauMode::None).unwrap();
+    (server, session, dsi)
+}
 
+/// The full authenticated path: login, PUT, GET, and a fixed sequence
+/// of filesystem commands must produce an identical transcript on both
+/// cores over a fresh `MemDsi` each.
+fn authed_transcript(core: ServerCore) -> Vec<String> {
+    let (server, mut session, _dsi) = authed_rig(core);
     let mut transcript = Vec::new();
     let data: Vec<u8> = (0..20_000u32).map(|i| (i * 7 % 253) as u8).collect();
     let opts = TransferOpts::default().block(4096).timeout(Some(Duration::from_secs(5)));
@@ -258,4 +300,153 @@ fn authenticated_transcript_identical_across_cores() {
     assert_eq!(threaded, reactor, "authenticated transcripts diverged");
     assert_eq!(threaded[0], "put 20000");
     assert!(threaded[1].ends_with("match=true"), "GET payload corrupt: {}", threaded[1]);
+}
+
+/// An authenticated `PIPE`-declared window through the high-level
+/// client: every reply must come back in command order, with error
+/// finals (the deliberately failing SIZE) in place rather than raised
+/// or reordered.
+fn authed_pipeline_transcript(core: ServerCore) -> Vec<String> {
+    let (server, mut session, _dsi) = authed_rig(core);
+    let window = vec![
+        Command::Pipe(8),
+        Command::Mkd("/home/alice/p".into()),
+        Command::Cwd("/home/alice/p".into()),
+        Command::Pwd,
+        Command::Size("/home/alice/missing.bin".into()), // 550, mid-window
+        Command::Cdup,
+        Command::Rmd("/home/alice/p".into()),
+        Command::Noop,
+    ];
+    let replies = session.pipeline(&window).unwrap();
+    let transcript: Vec<String> =
+        replies.iter().map(|r| format!("{} {}", r.code, r.text())).collect();
+    session.quit().unwrap();
+    server.shutdown();
+    transcript
+}
+
+#[test]
+fn pipelined_authed_window_identical_across_cores() {
+    let threaded = authed_pipeline_transcript(ServerCore::Threaded);
+    let reactor = authed_pipeline_transcript(ServerCore::Reactor);
+    assert_eq!(threaded, reactor, "pipelined authed windows diverged");
+    assert_eq!(threaded.len(), 8, "one final reply per pipelined command");
+    assert!(threaded[0].starts_with("200"), "PIPE must be accepted: {}", threaded[0]);
+    assert!(threaded[4].starts_with("550"), "mid-window error must stay in place: {:?}", threaded);
+    assert!(threaded[7].starts_with("200"), "commands after the error must still run: {:?}", threaded);
+}
+
+/// Regression: `ESTO` with an unknown module used to fall through to a
+/// plain STOR of the args' last whitespace token — storing data under a
+/// silently wrong path. It must now be refused with a 504 before any
+/// data channel opens, and leave no file behind.
+fn esto_unknown_module_transcript(core: ServerCore) -> Vec<String> {
+    let (server, mut session, dsi) = authed_rig(core);
+    let reply = session
+        .command_with(&Command::Esto { module: "A".into(), args: "0 /home/alice/esto.bin".into() }, |_| {})
+        .unwrap();
+    let mut transcript = vec![format!("{} {}", reply.code, reply.text())];
+    let user = ig_server::UserContext::superuser();
+    transcript.push(format!("exists={}", dsi.exists(&user, "/home/alice/esto.bin")));
+    session.quit().unwrap();
+    server.shutdown();
+    transcript
+}
+
+#[test]
+fn esto_unknown_module_is_refused_not_misrouted() {
+    let threaded = esto_unknown_module_transcript(ServerCore::Threaded);
+    let reactor = esto_unknown_module_transcript(ServerCore::Reactor);
+    assert_eq!(threaded, reactor, "ESTO refusal diverged across cores");
+    assert!(threaded[0].starts_with("504"), "unknown ESTO module must 504: {}", threaded[0]);
+    assert_eq!(threaded[1], "exists=false", "refused ESTO must not create the path");
+}
+
+/// Directory-stream differential: a fixed tree goes up with `ESTO DIR`,
+/// comes back with `ERET DIR` (fresh skip and a resumed skip), and the
+/// transcript — entry counts, walk shape, byte equality — must match
+/// across cores.
+fn dir_stream_transcript(core: ServerCore) -> Vec<String> {
+    let (server, mut session, server_dsi) = authed_rig(core);
+    let user = ig_server::UserContext::superuser();
+    let local = MemDsi::new();
+    local.put("/src/a/one.bin", b"first file");
+    local.put("/src/a/two.bin", &[7u8; 5000]);
+    local.put("/src/top.txt", b"top");
+    local.mkdir(&user, "/src/z/empty").unwrap();
+    let local: Arc<dyn Dsi> = Arc::new(local);
+
+    let opts = TransferOpts::default().block(1024).timeout(Some(Duration::from_secs(5)));
+    let mut transcript = Vec::new();
+
+    let up = transfer::put_dir(&mut session, &local, "/src", "/home/alice/tree", &opts).unwrap();
+    transcript.push(format!("put done={} total={} complete={}", up.entries_done, up.entries_total, up.complete));
+    let server_walk = ig_server::walk(server_dsi.as_ref(), &user, "/home/alice/tree").unwrap();
+    transcript.push(format!(
+        "server_walk={:?}",
+        server_walk.iter().map(|e| e.rel_path.clone()).collect::<Vec<_>>()
+    ));
+
+    let back = MemDsi::new();
+    let back: Arc<dyn Dsi> = Arc::new(back);
+    let down =
+        transfer::get_dir(&mut session, &back, "/copy", "/home/alice/tree", &opts).unwrap();
+    transcript.push(format!("get done={} complete={}", down.entries_done, down.complete));
+    transcript.push(format!(
+        "roundtrip_walk_eq={}",
+        ig_server::walk(back.as_ref(), &user, "/copy").unwrap()
+            == ig_server::walk(local.as_ref(), &user, "/src").unwrap()
+    ));
+    transcript.push(format!(
+        "payload_eq={}",
+        ig_server::read_all(back.as_ref(), &user, "/copy/a/two.bin", 1 << 16).unwrap()
+            == vec![7u8; 5000]
+    ));
+
+    // Resume semantics: skipping the first 3 entries re-fetches only the
+    // tail, on top of a copy that already holds the head.
+    let partial = MemDsi::new();
+    partial.put("/part/a/one.bin", b"first file");
+    partial.put("/part/a/two.bin", &[7u8; 5000]);
+    let partial: Arc<dyn Dsi> = Arc::new(partial);
+    let resumed = transfer::get_dir_resume(
+        &mut session,
+        &partial,
+        "/part",
+        "/home/alice/tree",
+        3,
+        &opts,
+    )
+    .unwrap();
+    transcript.push(format!("resume done={} complete={}", resumed.entries_done, resumed.complete));
+    transcript.push(format!(
+        "resume_walk_eq={}",
+        ig_server::walk(partial.as_ref(), &user, "/part").unwrap()
+            == ig_server::walk(local.as_ref(), &user, "/src").unwrap()
+    ));
+
+    // Skip past the end of the tree is a typed refusal, not a hang (the
+    // server 550s before dialing, so the accept deadline is the wait).
+    let fast = TransferOpts::default().timeout(Some(Duration::from_secs(1)));
+    let err =
+        transfer::get_dir_resume(&mut session, &partial, "/part", "/home/alice/tree", 99, &fast);
+    transcript.push(format!("overskip_err={}", err.is_err()));
+
+    session.quit().unwrap();
+    server.shutdown();
+    transcript
+}
+
+#[test]
+fn dir_stream_roundtrip_identical_across_cores() {
+    let threaded = dir_stream_transcript(ServerCore::Threaded);
+    let reactor = dir_stream_transcript(ServerCore::Reactor);
+    assert_eq!(threaded, reactor, "directory-stream transcripts diverged");
+    assert_eq!(threaded[0], "put done=6 total=6 complete=true");
+    assert!(threaded[3].ends_with("=true"), "roundtrip walks diverged: {:?}", threaded);
+    assert!(threaded[4].ends_with("=true"), "roundtrip payload corrupt: {:?}", threaded);
+    assert!(threaded[5].starts_with("resume done=6 complete=true"), "{:?}", threaded);
+    assert!(threaded[6].ends_with("=true"), "resumed walks diverged: {:?}", threaded);
+    assert_eq!(threaded[7], "overskip_err=true");
 }

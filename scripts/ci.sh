@@ -18,6 +18,7 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Chaos matrix under two distinct seeds: the transfer-survival matrix
+# (48 single-file cells + 16 mid-directory-stream cells, both cores)
 # must recover (or fail typed) and replay byte-identically under each
 # seed, and must finish well inside the wall-clock guard — a hang
 # anywhere in the retry/timeout stack fails the gate instead of wedging
@@ -63,5 +64,34 @@ if [[ -z "${held}" || "${held}" -lt 2000 ]]; then
   exit 1
 fi
 echo "    reactor held ${held} idle sessions"
+
+# Pipelining + streamed-directory battery at reduced proptest case
+# counts (IG_PROPTEST_CASES): the full-depth runs already happened under
+# `cargo test -q` above; this pass pins the env-var knob itself and
+# keeps a fast re-run path for bisection.
+echo "==> pipelining/dir-stream proptests (reduced cases, wall-clock guarded)"
+IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-server --test dir_stream_property
+IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-server --test core_differential
+
+# Small-files smoke: E4 drives the 200-file 4 KiB tree through every
+# strategy — including PIPE-windowed fetches and the streamed ERET DIR
+# transfer — wall-clock guarded, and the gate re-checks the headline
+# ratio from the rendered table: streamed dir >= 10x the one-session
+# per-file baseline in files/s. (The mid-directory chaos cells above
+# already cover the same paths under both CHAOS_SEED values.)
+echo "==> E4 small-files smoke (200-file tree, streamed dir >= 10x per-file)"
+e4_out="$(timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e4)"
+echo "${e4_out}"
+per_file_rate="$(echo "${e4_out}" | awk '/^one session, per-file/ {print $(NF-1)}')"
+dir_rate="$(echo "${e4_out}" | awk '/^streamed dir/ {print $(NF-1)}')"
+if [[ -z "${per_file_rate}" || -z "${dir_rate}" ]]; then
+  echo "E4: could not parse files/s rates from the table" >&2
+  exit 1
+fi
+if ! awk -v d="${dir_rate}" -v p="${per_file_rate}" 'BEGIN {exit !(d >= 10 * p)}'; then
+  echo "E4: streamed dir ${dir_rate} files/s < 10x per-file ${per_file_rate} files/s" >&2
+  exit 1
+fi
+echo "    streamed dir ${dir_rate} files/s vs per-file ${per_file_rate} files/s (>=10x)"
 
 echo "CI gate passed."
