@@ -52,6 +52,7 @@ fn main() {
         }
         Some("e1") => print!("{}", exp::e1_usage::table()),
         Some("e2") => print!("{}", exp::e2_wan::table(fast)),
+        Some("e2x") => print!("{}", exp::e2_wan::crossover_table(fast)),
         Some("e3") => print!("{}", exp::e3_prot::table(fast)),
         Some("e4") => print!("{}", exp::e4_small_files::table(fast)),
         Some("e5") => print!("{}", exp::e5_striping::table(fast)),
@@ -65,7 +66,7 @@ fn main() {
         Some("e13") => print!("{}", exp::e13_obs::table(fast)),
         Some("e14") => print!("{}", exp::e14_sessions::table(fast)),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; use e1..e14");
+            eprintln!("unknown experiment {other:?}; use e1..e14 or e2x");
             std::process::exit(2);
         }
     }

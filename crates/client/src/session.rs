@@ -12,7 +12,8 @@ use ig_pki::{Credential, TrustStore};
 use ig_protocol::command::{Command, DcauMode, ModeCode, ProtectedKind};
 use ig_protocol::secure_line;
 use ig_protocol::{HostPort, Reply};
-use ig_xio::{Link, RetryPolicy, TcpLink};
+use ig_netsim::CcAlgo;
+use ig_xio::{DataTransport, Link, RetryPolicy, TcpLink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -102,6 +103,10 @@ pub struct ClientSession {
     pub(crate) dcau: DcauMode,
     pub(crate) prot: ProtectionLevel,
     pub(crate) parallelism: usize,
+    /// Data-channel transport negotiated with the server (`OPTS DATA`).
+    pub(crate) data_transport: DataTransport,
+    /// Congestion controller for UDP data channels (mirrors the server).
+    pub(crate) udp_cc: CcAlgo,
     /// Client-side record of the DCSC credential installed on the server
     /// (used to pick the matching credential for our own data endpoints).
     pub(crate) dcsc: Option<Credential>,
@@ -142,6 +147,8 @@ impl ClientSession {
             dcau: DcauMode::Self_,
             prot: ProtectionLevel::Clear,
             parallelism: 1,
+            data_transport: DataTransport::Tcp,
+            udp_cc: CcAlgo::Bbr,
             dcsc: None,
             span,
             cmd_rtt,
@@ -344,6 +351,26 @@ impl ClientSession {
             params: format!("Parallelism={n},{n},{n};"),
         })?;
         self.parallelism = n;
+        Ok(())
+    }
+
+    /// `FEAT` — the server's feature lines (without the 211 framing).
+    pub fn feat(&mut self) -> Result<Vec<String>> {
+        let reply = self.command(&Command::Feat)?;
+        Ok(reply.lines.iter().map(|l| l.trim().to_string()).collect())
+    }
+
+    /// `OPTS DATA Transport=<tcp|udp>;CC=<algo>;` + local bookkeeping:
+    /// select the data-channel transport (and UDP congestion controller)
+    /// for subsequent transfers on this session. A server without the
+    /// UDP driver answers 504, surfaced as [`ClientError::ServerError`].
+    pub fn set_data_transport(&mut self, transport: DataTransport, cc: CcAlgo) -> Result<()> {
+        self.command(&Command::Opts {
+            target: "DATA".into(),
+            params: format!("Transport={};CC={};", transport.label(), cc.label()),
+        })?;
+        self.data_transport = transport;
+        self.udp_cc = cc;
         Ok(())
     }
 

@@ -11,11 +11,12 @@ use crate::error::{ClientError, Result};
 use crate::session::ClientSession;
 use ig_protocol::command::Command;
 use ig_protocol::markers::{PerfMarker, RestartMarker};
-use ig_protocol::{ByteRanges, Reply};
-use ig_server::data::{wrap_accept, wrap_connect, DataListener, DataSecurity};
+use ig_netsim::CcAlgo;
+use ig_protocol::{ByteRanges, HostPort, Reply};
+use ig_server::data::{wrap_accept, wrap_connect, AnyDataListener, DataSecurity};
 use ig_server::dtp::{send_dir, send_ranges, Progress, Receiver};
 use ig_server::{Dsi, MemDsi, UserContext};
-use ig_xio::{ChaosHook, Link, RetryPolicy, TcpLink};
+use ig_xio::{ChaosHook, DataTransport, Link, RetryPolicy, TcpLink, UdpConfig, UdpLink};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,6 +42,12 @@ pub struct TransferOpts {
     /// Optional live-progress observer fed each parsed 112 marker as it
     /// arrives on the control channel (globus-url-copy's `-vb` display).
     pub on_progress: Option<Arc<ProgressFn>>,
+    /// Data-channel transport. Non-TCP transports are negotiated with
+    /// the server via `OPTS DATA` before the transfer.
+    pub transport: DataTransport,
+    /// Congestion controller for UDP data channels (both directions —
+    /// the server is told via `OPTS DATA CC=`).
+    pub udp_cc: CcAlgo,
 }
 
 impl std::fmt::Debug for TransferOpts {
@@ -52,6 +59,8 @@ impl std::fmt::Debug for TransferOpts {
             .field("io_timeout", &self.io_timeout)
             .field("chaos", &self.chaos.is_some())
             .field("on_progress", &self.on_progress.is_some())
+            .field("transport", &self.transport)
+            .field("udp_cc", &self.udp_cc.label())
             .finish()
     }
 }
@@ -65,6 +74,8 @@ impl Default for TransferOpts {
             io_timeout: Some(Duration::from_secs(30)),
             chaos: None,
             on_progress: None,
+            transport: DataTransport::Tcp,
+            udp_cc: CcAlgo::Bbr,
         }
     }
 }
@@ -99,6 +110,18 @@ impl TransferOpts {
     /// Builder: wrap this transfer's data streams in a chaos hook.
     pub fn chaos(mut self, hook: Arc<ChaosHook>) -> Self {
         self.chaos = Some(hook);
+        self
+    }
+
+    /// Builder: reliable-UDP MODE E data channels (default BBR).
+    pub fn udp(mut self) -> Self {
+        self.transport = DataTransport::Udp;
+        self
+    }
+
+    /// Builder: congestion controller for UDP data channels.
+    pub fn with_udp_cc(mut self, cc: CcAlgo) -> Self {
+        self.udp_cc = cc;
         self
     }
 
@@ -161,6 +184,57 @@ fn client_data_security(session: &ClientSession) -> DataSecurity {
     }
 }
 
+/// The client-side UDP driver config: requested controller, transfer
+/// deadline as the stall detector, metrics into the session's hub.
+fn udp_config(session: &ClientSession, cc: CcAlgo, stall: Option<Duration>) -> UdpConfig {
+    let mut cfg = UdpConfig::default()
+        .with_cc(cc)
+        .with_obs(Arc::clone(&session.config.obs));
+    if let Some(t) = stall {
+        cfg = cfg.with_stall_timeout(t);
+    }
+    cfg
+}
+
+/// Make sure the server's data plane matches `opts` — sends `OPTS DATA`
+/// only when the session's negotiated transport or controller differs
+/// (a no-op for the TCP default).
+fn ensure_transport(session: &mut ClientSession, opts: &TransferOpts) -> Result<()> {
+    let cc_differs = opts.transport == DataTransport::Udp && session.udp_cc != opts.udp_cc;
+    if session.data_transport != opts.transport || cc_differs {
+        session.set_data_transport(opts.transport, opts.udp_cc)?;
+    }
+    Ok(())
+}
+
+/// Dial one data channel to `addr` over the selected transport.
+fn data_connect(
+    addr: HostPort,
+    session: &ClientSession,
+    opts: &TransferOpts,
+) -> Result<Box<dyn Link>> {
+    match opts.transport {
+        DataTransport::Tcp => {
+            let tcp = TcpLink::connect(addr.to_socket_addr())
+                .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
+            Ok(Box::new(tcp))
+        }
+        DataTransport::Udp => {
+            let cfg = udp_config(session, opts.udp_cc, opts.io_timeout);
+            let link = UdpLink::connect(addr.to_socket_addr(), cfg)
+                .map_err(|e| ClientError::Data(format!("udp connect {addr}: {e}")))?;
+            Ok(Box::new(link))
+        }
+    }
+}
+
+/// Bind the client's own data listener for the selected transport.
+fn data_listener(session: &ClientSession, opts: &TransferOpts) -> Result<AnyDataListener> {
+    let cfg = udp_config(session, opts.udp_cc, opts.io_timeout);
+    AnyDataListener::bind(std::net::Ipv4Addr::LOCALHOST, opts.transport, &cfg)
+        .map_err(ClientError::from)
+}
+
 fn read_until_final(
     session: &mut ClientSession,
     mut on_marker: impl FnMut(&Reply),
@@ -196,6 +270,7 @@ pub fn put_bytes_resume(
     opts: &TransferOpts,
 ) -> Result<u64> {
     session.set_mode_extended()?;
+    ensure_transport(session, opts)?;
     let addr = session.pasv()?;
     if let Some(have) = have {
         session.command(&Command::Rest(have.to_marker()))?;
@@ -213,9 +288,8 @@ pub fn put_bytes_resume(
     let sec = client_data_security(session);
     let mut streams: Vec<Box<dyn Link>> = Vec::with_capacity(opts.parallelism);
     for _ in 0..opts.parallelism {
-        let tcp = TcpLink::connect(addr.to_socket_addr())
-            .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
-        streams.push(opts.finish_stream(wrap_connect(tcp, &sec, &mut session.rng)?));
+        let conn = data_connect(addr, session, opts)?;
+        streams.push(opts.finish_stream(wrap_connect(conn, &sec, &mut session.rng)?));
     }
     let ranges = match have {
         Some(have) => have.missing(data.len() as u64),
@@ -242,12 +316,13 @@ pub fn get_bytes(
     opts: &TransferOpts,
 ) -> Result<Vec<u8>> {
     session.set_mode_extended()?;
+    ensure_transport(session, opts)?;
     if session.parallelism != opts.parallelism {
         session.set_parallelism(opts.parallelism)?;
     }
     let size = session.size(remote_path)?;
-    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
-    session.command(&Command::Port(listener.addr()))?;
+    let listener = data_listener(session, opts)?;
+    session.command(&Command::Port(listener.addr()?))?;
     session.send_cmd(&Command::Retr(remote_path.into()))?;
     // Accept the server's connections (it connects before replying 150).
     let sec = client_data_security(session);
@@ -257,8 +332,8 @@ pub fn get_bytes(
     for _ in 0..opts.parallelism {
         // A refused transfer never dials in — drain the queued error
         // reply instead of hanging on accept.
-        let tcp = match listener.accept(opts.accept_deadline()) {
-            Ok(t) => t,
+        let conn = match listener.accept_link(opts.accept_deadline()) {
+            Ok(c) => c,
             Err(_) => {
                 let reply = read_until_final(session, |_| {})?;
                 if reply.is_error() {
@@ -267,7 +342,7 @@ pub fn get_bytes(
                 return Err(ClientError::Timeout("data connection never arrived".into()));
             }
         };
-        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+        receiver.add_stream(opts.finish_stream(wrap_accept(conn, &sec, &mut session.rng)?))?;
     }
     let obs = Arc::clone(&session.config.obs);
     let final_reply = read_until_final(session, |r| {
@@ -299,13 +374,14 @@ pub fn get_partial(
     opts: &TransferOpts,
 ) -> Result<Vec<u8>> {
     session.set_mode_extended()?;
+    ensure_transport(session, opts)?;
     if session.parallelism != opts.parallelism {
         session.set_parallelism(opts.parallelism)?;
     }
     // Fail fast on missing/forbidden paths before opening data channels.
     let _ = session.size(remote_path)?;
-    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
-    session.command(&Command::Port(listener.addr()))?;
+    let listener = data_listener(session, opts)?;
+    session.command(&Command::Port(listener.addr()?))?;
     session.send_cmd(&Command::Eret {
         module: "P".into(),
         args: format!("{offset},{length} {remote_path}"),
@@ -319,14 +395,14 @@ pub fn get_partial(
         // If the server refused before dialing (550 and friends), no
         // connection ever comes — drain the queued reply instead of
         // hanging on accept.
-        let tcp = match listener.accept(opts.accept_deadline()) {
-            Ok(t) => t,
+        let conn = match listener.accept_link(opts.accept_deadline()) {
+            Ok(c) => c,
             Err(_) => {
                 let reply = read_until_final(session, |_| {})?;
                 return Err(ClientError::ServerError(reply));
             }
         };
-        receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+        receiver.add_stream(opts.finish_stream(wrap_accept(conn, &sec, &mut session.rng)?))?;
     }
     let obs = Arc::clone(&session.config.obs);
     let final_reply = read_until_final(session, |r| {
@@ -344,16 +420,20 @@ pub fn get_partial(
 /// Listing via MLSD over the data channel.
 pub fn list(session: &mut ClientSession, path: &str) -> Result<Vec<String>> {
     session.set_mode_extended()?;
-    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
-    session.command(&Command::Port(listener.addr()))?;
+    // Listings ride whatever transport the session has negotiated.
+    let cfg = udp_config(session, session.udp_cc, Some(Duration::from_secs(30)));
+    let listener =
+        AnyDataListener::bind(std::net::Ipv4Addr::LOCALHOST, session.data_transport, &cfg)
+            .map_err(ClientError::from)?;
+    session.command(&Command::Port(listener.addr()?))?;
     session.send_cmd(&Command::Mlsd(Some(path.into())))?;
     let sec = client_data_security(session);
     let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
     let user = UserContext::superuser();
     let receiver = Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
     for _ in 0..session.parallelism {
-        let tcp = listener.accept(Duration::from_secs(30))?;
-        receiver.add_stream(wrap_accept(tcp, &sec, &mut session.rng)?)?;
+        let conn = listener.accept_link(Duration::from_secs(30))?;
+        receiver.add_stream(wrap_accept(conn, &sec, &mut session.rng)?)?;
     }
     let final_reply = read_until_final(session, |_| {})?;
     let _ = receiver.finish();
@@ -544,6 +624,7 @@ pub fn put_dir_resume(
         )));
     }
     session.set_mode_extended()?;
+    ensure_transport(session, opts)?;
     let addr = session.pasv()?;
     session.send_cmd(&Command::Esto { module: "DIR".into(), args: remote_root.into() })?;
     let opening = session.read_reply()?;
@@ -553,9 +634,8 @@ pub fn put_dir_resume(
     let sec = client_data_security(session);
     let mut streams: Vec<Box<dyn Link>> = Vec::with_capacity(opts.parallelism);
     for _ in 0..opts.parallelism {
-        let tcp = TcpLink::connect(addr.to_socket_addr())
-            .map_err(|e| ClientError::Data(format!("connect {addr}: {e}")))?;
-        streams.push(opts.finish_stream(wrap_connect(tcp, &sec, &mut session.rng)?));
+        let conn = data_connect(addr, session, opts)?;
+        streams.push(opts.finish_stream(wrap_connect(conn, &sec, &mut session.rng)?));
     }
     let progress = Progress::new();
     let send_result =
@@ -608,11 +688,12 @@ pub fn get_dir_resume(
     opts: &TransferOpts,
 ) -> Result<DirTransferOutcome> {
     session.set_mode_extended()?;
+    ensure_transport(session, opts)?;
     if session.parallelism != opts.parallelism {
         session.set_parallelism(opts.parallelism)?;
     }
-    let listener = DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?;
-    session.command(&Command::Port(listener.addr()))?;
+    let listener = data_listener(session, opts)?;
+    session.command(&Command::Port(listener.addr()?))?;
     session.send_cmd(&Command::Eret {
         module: "DIR".into(),
         args: format!("{skip} {remote_root}"),
@@ -625,10 +706,10 @@ pub fn get_dir_resume(
         Receiver::new(Arc::clone(&staging), user.clone(), "/stream", Arc::clone(&progress));
     let mut connected = 0usize;
     for _ in 0..opts.parallelism {
-        match listener.accept(opts.accept_deadline()) {
-            Ok(tcp) => {
+        match listener.accept_link(opts.accept_deadline()) {
+            Ok(conn) => {
                 receiver
-                    .add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+                    .add_stream(opts.finish_stream(wrap_accept(conn, &sec, &mut session.rng)?))?;
                 connected += 1;
             }
             Err(_) if connected == 0 => {
@@ -779,11 +860,16 @@ pub fn get_files_pipelined(
     for chunk in remote_paths.chunks(window) {
         let mut listeners = Vec::with_capacity(chunk.len());
         for _ in chunk {
-            listeners.push(DataListener::bind(std::net::Ipv4Addr::LOCALHOST)?);
+            let cfg = udp_config(session, session.udp_cc, opts.io_timeout);
+            listeners.push(AnyDataListener::bind(
+                std::net::Ipv4Addr::LOCALHOST,
+                session.data_transport,
+                &cfg,
+            )?);
         }
         // The whole window goes out before any reply is read.
         for (listener, path) in listeners.iter().zip(chunk) {
-            session.send_cmd(&Command::Port(listener.addr()))?;
+            session.send_cmd(&Command::Port(listener.addr()?))?;
             session.send_cmd(&Command::Retr((*path).into()))?;
         }
         for listener in &listeners {
@@ -791,8 +877,8 @@ pub fn get_files_pipelined(
             // goes; accept (and DCAU-handshake) this file's connection
             // first — the server sends its 150 only after the
             // handshake, so reading replies first would deadlock.
-            let tcp = match listener.accept(opts.accept_deadline()) {
-                Ok(t) => t,
+            let conn = match listener.accept_link(opts.accept_deadline()) {
+                Ok(c) => c,
                 Err(_) => {
                     let _port_ack = read_until_final(session, |_| {})?;
                     let fin = read_until_final(session, |_| {})?;
@@ -802,7 +888,7 @@ pub fn get_files_pipelined(
             let staging: Arc<dyn Dsi> = Arc::new(MemDsi::new());
             let receiver =
                 Receiver::new(Arc::clone(&staging), user.clone(), "/buf", Progress::new());
-            receiver.add_stream(opts.finish_stream(wrap_accept(tcp, &sec, &mut session.rng)?))?;
+            receiver.add_stream(opts.finish_stream(wrap_accept(conn, &sec, &mut session.rng)?))?;
             let port_ack = read_until_final(session, |_| {})?;
             if port_ack.is_error() {
                 return Err(ClientError::ServerError(port_ack));

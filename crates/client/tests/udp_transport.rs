@@ -1,0 +1,215 @@
+//! End-to-end MODE E transfers over the reliable-UDP data driver:
+//! `OPTS DATA` negotiation, both transfer directions, every congestion
+//! controller, security layering (DCAU/PROT over UDP), mid-session
+//! transport switching, datagram-level chaos recovery, and the typed
+//! rejection on a UDP-disabled server.
+
+use ig_client::{transfer, ClientConfig, ClientError, ClientSession, TransferOpts};
+use ig_gsi::ProtectionLevel;
+use ig_netsim::CcAlgo;
+use ig_pki::cert::Validity;
+use ig_pki::time::Clock;
+use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
+use ig_protocol::command::DcauMode;
+use ig_server::dsi::read_all;
+use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerConfig, UserContext};
+use ig_xio::DatagramChaos;
+use std::sync::Arc;
+use std::time::Duration;
+
+const NOW: u64 = 1_000_000;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len as u32).map(|i| (i.wrapping_mul(131) % 251) as u8).collect()
+}
+
+struct World {
+    server: Arc<GridFtpServer>,
+    client_cfg: ClientConfig,
+    dsi: Arc<MemDsi>,
+    obs: Arc<ig_obs::Obs>,
+}
+
+/// One CA, host + user credentials, a server over MemDsi, with a hook to
+/// adjust the [`ServerConfig`] (UDP knobs) before start.
+fn world_with(seed: u64, tweak: impl FnOnce(ServerConfig) -> ServerConfig) -> World {
+    let mut rng = ig_crypto::rng::seeded(seed);
+    let mut ca = CertificateAuthority::create(&mut rng, dn("/O=UDP CA"), 512, 0, NOW * 10).unwrap();
+    let host_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let host_cert = ca
+        .issue(dn("/CN=udp.example.org"), &host_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let user_keys = ig_crypto::RsaKeyPair::generate(&mut rng, 512).unwrap();
+    let user_cert = ca
+        .issue(dn("/O=Grid/CN=Alice Smith"), &user_keys.public, Validity::starting_at(0, NOW * 10), vec![])
+        .unwrap();
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.root_cert().clone());
+    let mut gridmap = Gridmap::new();
+    gridmap.add(&dn("/O=Grid/CN=Alice Smith"), "alice");
+
+    let dsi = Arc::new(MemDsi::new());
+    dsi.put("/home/alice/src.bin", &payload(200_000));
+    let obs = ig_obs::Obs::new("udp-e2e");
+    let cfg = ServerConfig::new(
+        "udp.example.org",
+        Credential::new(vec![host_cert], host_keys.private).unwrap(),
+        trust.clone(),
+        Arc::new(GridmapAuthz::new(gridmap)),
+        Arc::clone(&dsi) as Arc<dyn Dsi>,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_stall_timeout(Duration::from_secs(5))
+    .with_obs(Arc::clone(&obs));
+    let server = GridFtpServer::start(tweak(cfg), seed * 100).unwrap();
+    let client_cfg = ClientConfig::new(
+        Credential::new(vec![user_cert], user_keys.private).unwrap(),
+        trust,
+    )
+    .with_clock(Clock::Fixed(NOW))
+    .with_seed(seed * 7 + 1);
+    World { server, client_cfg, dsi, obs }
+}
+
+fn world(seed: u64) -> World {
+    world_with(seed, |c| c)
+}
+
+fn login(w: &World) -> ClientSession {
+    let mut s = ClientSession::connect(w.server.addr(), w.client_cfg.clone()).unwrap();
+    s.login().unwrap();
+    s
+}
+
+fn udp_opts() -> TransferOpts {
+    TransferOpts::default().udp().timeout(Some(Duration::from_secs(5)))
+}
+
+#[test]
+fn udp_put_then_get_roundtrip() {
+    let w = world(71);
+    let mut s = login(&w);
+    let data = payload(150_000);
+    let sent = transfer::put_bytes(&mut s, "/home/alice/up.bin", &data, &udp_opts()).unwrap();
+    assert_eq!(sent, data.len() as u64);
+    let stored = read_all(w.dsi.as_ref(), &UserContext::superuser(), "/home/alice/up.bin", 1 << 20)
+        .unwrap();
+    assert_eq!(stored, data);
+    let got = transfer::get_bytes(&mut s, "/home/alice/up.bin", &udp_opts()).unwrap();
+    assert_eq!(got, data);
+    s.quit().unwrap();
+}
+
+#[test]
+fn udp_feat_advertised_and_disabled_server_rejects() {
+    let w = world(72);
+    let mut s = login(&w);
+    let feats = s.feat().unwrap();
+    assert!(
+        feats.iter().any(|f| f.contains("DATA TCP,UDP")),
+        "FEAT must advertise the UDP transport: {feats:?}"
+    );
+    s.quit().unwrap();
+
+    let w = world_with(73, |c| c.without_udp());
+    let mut s = login(&w);
+    let feats = s.feat().unwrap();
+    assert!(!feats.iter().any(|f| f.contains("DATA TCP,UDP")));
+    let err = transfer::get_bytes(&mut s, "/home/alice/src.bin", &udp_opts()).unwrap_err();
+    match err {
+        ClientError::ServerError(r) => assert_eq!(r.code, 504, "expected 504, got {r}"),
+        other => panic!("expected a 504 server error, got {other:?}"),
+    }
+    // The session is still usable over TCP after the rejection.
+    let got =
+        transfer::get_bytes(&mut s, "/home/alice/src.bin", &TransferOpts::default()).unwrap();
+    assert_eq!(got, payload(200_000));
+    s.quit().unwrap();
+}
+
+#[test]
+fn udp_carries_traffic_under_every_controller() {
+    let w = world(74);
+    for cc in [CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Bbr] {
+        let mut s = login(&w);
+        let opts = udp_opts().with_udp_cc(cc);
+        let got = transfer::get_bytes(&mut s, "/home/alice/src.bin", &opts).unwrap();
+        assert_eq!(got, payload(200_000), "{} download corrupt", cc.label());
+        s.quit().unwrap();
+    }
+}
+
+#[test]
+fn udp_parallel_streams_reassemble() {
+    let w = world(75);
+    let mut s = login(&w);
+    let got =
+        transfer::get_bytes(&mut s, "/home/alice/src.bin", &udp_opts().parallel(4)).unwrap();
+    assert_eq!(got, payload(200_000));
+    s.quit().unwrap();
+}
+
+#[test]
+fn udp_with_dcau_and_prot_private() {
+    // The GSI data-channel handshake and sealed records ride the UDP
+    // link exactly as they ride TCP: the driver is a reliable Link.
+    let w = world(76);
+    let mut s = login(&w);
+    s.set_prot(ProtectionLevel::Private).unwrap();
+    let data = payload(60_000);
+    transfer::put_bytes(&mut s, "/home/alice/sealed.bin", &data, &udp_opts()).unwrap();
+    let got = transfer::get_bytes(&mut s, "/home/alice/sealed.bin", &udp_opts()).unwrap();
+    assert_eq!(got, data);
+    s.quit().unwrap();
+}
+
+#[test]
+fn transport_switches_mid_session() {
+    let w = world(77);
+    let mut s = login(&w);
+    let tcp = TransferOpts::default().timeout(Some(Duration::from_secs(5)));
+    let a = transfer::get_bytes(&mut s, "/home/alice/src.bin", &tcp).unwrap();
+    let b = transfer::get_bytes(&mut s, "/home/alice/src.bin", &udp_opts()).unwrap();
+    let c = transfer::get_bytes(&mut s, "/home/alice/src.bin", &tcp).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+    s.quit().unwrap();
+}
+
+/// Chaos-matrix cells for the UDP driver's server-side data plane: the
+/// full first-transmission fault mix (drop + duplicate + reorder +
+/// bit-flip) on every DATA datagram stream, both directions. Transfers
+/// must complete byte-identical, the retransmit/NAK machinery must
+/// actually engage, and a re-run under the same seed must reproduce the
+/// same bytes (the chaos schedule is a pure function of seed × index).
+#[test]
+fn udp_transfers_recover_from_seeded_datagram_chaos() {
+    let chaos = DatagramChaos {
+        seed: 0xC4A05,
+        drop: 0.05,
+        duplicate: 0.03,
+        reorder: 0.05,
+        bitflip: 0.02,
+    };
+    let mut runs = Vec::new();
+    for attempt in 0..2 {
+        let w = world_with(78, |c| c.with_udp_chaos(chaos));
+        let mut s = login(&w);
+        s.set_dcau(DcauMode::None).unwrap();
+        let data = payload(120_000);
+        transfer::put_bytes(&mut s, "/home/alice/chaotic.bin", &data, &udp_opts()).unwrap();
+        let got = transfer::get_bytes(&mut s, "/home/alice/chaotic.bin", &udp_opts()).unwrap();
+        assert_eq!(got, data, "attempt {attempt}: content diverged under chaos");
+        let faults = w.obs.metrics().counter_value("udp.chaos_faults");
+        let retx = w.obs.metrics().counter_value("udp.retransmits");
+        assert!(faults > 0, "attempt {attempt}: chaos never fired");
+        assert!(retx > 0, "attempt {attempt}: faults fired but nothing was retransmitted");
+        runs.push((got, faults));
+        s.quit().unwrap();
+    }
+    assert_eq!(runs[0].0, runs[1].0, "seeded chaos replay must be byte-identical");
+}

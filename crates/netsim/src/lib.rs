@@ -22,10 +22,12 @@
 //! derive their series from this model; EXPERIMENTS.md labels them as
 //! simulator-timed (vs. the loopback-measured experiments).
 
+pub mod cc;
 pub mod link;
 pub mod sim;
 pub mod tcp;
 
+pub use cc::{BbrLite, CcAlgo, CongestionControl, Cubic, Reno};
 pub use link::{Bottleneck, Route};
 pub use sim::{simulate, FlowResult, FlowSpec, SimConfig};
 pub use tcp::TcpParams;

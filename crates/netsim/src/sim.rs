@@ -112,7 +112,7 @@ pub fn simulate<R: Rng + ?Sized>(
             let p_random = 1.0 - (1.0 - link.loss).powf(packets);
             let lost = (congestion_p > 0.0 && rng.gen_bool(congestion_p.clamp(0.0, 1.0)))
                 || (link.loss > 0.0 && rng.gen_bool(p_random.clamp(0.0, 1.0)));
-            state.on_rtt_delivered(delivered);
+            state.on_rtt_delivered(delivered, link.rtt_s);
             if lost {
                 state.on_loss();
             }

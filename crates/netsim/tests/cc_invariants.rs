@@ -1,0 +1,168 @@
+//! Deterministic mirrors of the `cc_properties.rs` proptest battery —
+//! fixed-seed sweeps over the same invariants, kept dependency-light so
+//! they run everywhere proptest cannot (and fail with a concrete seed
+//! when a bound breaks).
+
+use ig_netsim::cc::{BBR_CYCLE, BBR_STARTUP_GAIN};
+use ig_netsim::tcp::FlowState;
+use ig_netsim::{parallel_throughput_bps, BbrLite, Bottleneck, CcAlgo, CongestionControl, TcpParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ALGOS: [CcAlgo; 3] = [CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Bbr];
+
+#[test]
+fn cwnd_never_exceeds_caps_sweep() {
+    for algo in ALGOS {
+        for (cap_kib, rate_mbps, rtt_ms, seed) in [
+            (4u64, 2.0f64, 5.0f64, 11u64),
+            (16, 50.0, 40.0, 12),
+            (64, 400.0, 90.0, 13),
+            (256, 900.0, 140.0, 14),
+        ] {
+            let params = TcpParams::tuned()
+                .with_window_cap(cap_kib * 1024)
+                .with_rate_cap(rate_mbps * 1e6)
+                .with_cc(algo);
+            let cap_segments = (cap_kib as f64 * 1024.0 / params.mss as f64).max(1.0);
+            let rtt = rtt_ms / 1e3;
+            let mut f = FlowState::new(u64::MAX / 2, params);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for round in 0..300 {
+                let offer = f.offered_bytes(rtt);
+                assert!(
+                    offer <= cap_kib as f64 * 1024.0 + 1.0,
+                    "{} cap={cap_kib}K round {round}: offer {offer} above window cap",
+                    algo.label()
+                );
+                assert!(
+                    offer <= rate_mbps * 1e6 / 8.0 * rtt + 1.0,
+                    "{} cap={cap_kib}K round {round}: offer {offer} above rate cap",
+                    algo.label()
+                );
+                let delivered = offer * rng.gen::<f64>();
+                f.on_rtt_delivered(delivered, rtt);
+                if rng.gen_bool(0.2) {
+                    f.on_loss();
+                }
+                assert!(
+                    f.cwnd() <= cap_segments + 1e-9,
+                    "{} cap={cap_kib}K round {round}: cwnd {} above cap {}",
+                    algo.label(),
+                    f.cwnd(),
+                    cap_segments
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bbr_pacing_within_gain_bounds_sweep() {
+    let mss = 1460u32;
+    // The floor is the drain gain (1/startup), not the probe-cycle
+    // minimum: one round after startup exits, BBR paces below the cycle
+    // to empty the queue it built.
+    let min_gain = BBR_CYCLE
+        .iter()
+        .copied()
+        .fold(1.0 / BBR_STARTUP_GAIN, f64::min);
+    for (bw_mbps, rtt_ms) in [(5.0f64, 2.0f64), (100.0, 20.0), (1000.0, 80.0), (4000.0, 140.0)] {
+        let rtt = rtt_ms / 1e3;
+        let bottleneck_sps = bw_mbps * 1e6 / 8.0 / mss as f64;
+        let mut b = BbrLite::new(10.0);
+        for round in 0..200 {
+            let deliverable = (b.cwnd() / rtt).min(bottleneck_sps);
+            b.on_rtt_delivered(deliverable * rtt, rtt, f64::INFINITY);
+            let est = b.btlbw_sps();
+            assert!(
+                est <= bottleneck_sps * 1.0001,
+                "bw={bw_mbps} round {round}: estimate {est} above bottleneck {bottleneck_sps}"
+            );
+            if let Some(pacing) = b.pacing_bps(mss) {
+                let est_bps = est * mss as f64 * 8.0;
+                assert!(
+                    pacing >= est_bps * min_gain - 1e-6,
+                    "bw={bw_mbps} round {round}: pacing {pacing} below {min_gain} x {est_bps}"
+                );
+                assert!(
+                    pacing <= est_bps * BBR_STARTUP_GAIN + 1e-6,
+                    "bw={bw_mbps} round {round}: pacing {pacing} above startup gain x {est_bps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cubic_tcp_friendly_at_low_bdp_sweep() {
+    for (bw_mbps, rtt_ms, seed) in [(10.0f64, 10.0f64, 21u64), (25.0, 20.0, 22), (40.0, 8.0, 23)] {
+        let link = Bottleneck::new(bw_mbps * 1e6, rtt_ms / 1e3, 1e-3);
+        let bytes = 8u64 << 20;
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let reno = parallel_throughput_bps(&link, bytes, 1, TcpParams::tuned(), &mut r1);
+        let cubic = parallel_throughput_bps(
+            &link,
+            bytes,
+            1,
+            TcpParams::tuned().with_cc(CcAlgo::Cubic),
+            &mut r2,
+        );
+        let ratio = cubic / reno;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "bw={bw_mbps} rtt={rtt_ms}: cubic/reno ratio {ratio:.2} outside band \
+             (cubic {cubic:.2e}, reno {reno:.2e})"
+        );
+    }
+}
+
+#[test]
+fn bbr_beats_reno_on_lossy_high_bdp_path() {
+    // The crossover direction the tentpole is about: one BBR flow on a
+    // lossy high-BDP path sustains what Reno's sqrt(3/2p) law cannot.
+    let link = Bottleneck::new(1e10, 0.1, 1e-3);
+    let bytes = 64u64 << 20;
+    let mut r1 = StdRng::seed_from_u64(0xB0);
+    let mut r2 = StdRng::seed_from_u64(0xB0);
+    let reno = parallel_throughput_bps(&link, bytes, 1, TcpParams::tuned(), &mut r1);
+    let bbr = parallel_throughput_bps(
+        &link,
+        bytes,
+        1,
+        TcpParams::tuned().with_cc(CcAlgo::Bbr),
+        &mut r2,
+    );
+    assert!(
+        bbr > 10.0 * reno,
+        "single BBR {bbr:.2e} should crush single Reno {reno:.2e} at loss 1e-3 x 100 ms"
+    );
+}
+
+#[test]
+fn all_algos_complete_transfers_sweep() {
+    for algo in ALGOS {
+        for seed in [31u64, 32, 33] {
+            let link = Bottleneck::new(1e8, 0.02, 1e-4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bps = parallel_throughput_bps(
+                &link,
+                1 << 20,
+                2,
+                TcpParams::tuned().with_cc(algo),
+                &mut rng,
+            );
+            assert!(
+                bps.is_finite() && bps > 0.0,
+                "{} seed {seed}: bogus throughput {bps}",
+                algo.label()
+            );
+            assert!(
+                bps <= 1e8 * 1.3,
+                "{} seed {seed}: {bps:.2e} beats capacity",
+                algo.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Golden regression battery for the `CongestionControl` trait
+//! extraction: the `reference` module below is a verbatim freeze of the
+//! pre-trait Reno simulator (`tcp.rs` + `sim.rs` + the `lib.rs` helpers
+//! as of the "Control-channel pipelining" commit). Every test runs the
+//! frozen reference and the live crate over the same seeded schedule and
+//! asserts the throughputs match to the last mantissa bit — both halves
+//! link the same `rand`, so the comparison is valid under the real crate
+//! and under the offline shim alike.
+//!
+//! If a deliberate Reno model change ever lands, the reference must be
+//! re-frozen in the same commit and the change called out.
+
+use ig_netsim::{parallel_throughput_bps, Bottleneck, TcpParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Verbatim pre-refactor implementation. Do not "clean up": operation
+/// order is the contract.
+mod reference {
+    use ig_netsim::Bottleneck;
+    use rand::Rng;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct RefParams {
+        pub mss: u32,
+        pub init_cwnd: u32,
+        pub window_cap_bytes: Option<u64>,
+        pub rate_cap_bps: Option<f64>,
+    }
+
+    impl RefParams {
+        pub fn tuned() -> Self {
+            RefParams { mss: 1460, init_cwnd: 10, window_cap_bytes: None, rate_cap_bps: None }
+        }
+
+        pub fn scp_like() -> Self {
+            RefParams {
+                mss: 1460,
+                init_cwnd: 10,
+                window_cap_bytes: Some(64 * 1024),
+                rate_cap_bps: Some(400e6),
+            }
+        }
+
+        pub fn with_window_cap(mut self, bytes: u64) -> Self {
+            self.window_cap_bytes = Some(bytes);
+            self
+        }
+
+        pub fn with_rate_cap(mut self, bps: f64) -> Self {
+            self.rate_cap_bps = Some(bps);
+            self
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Phase {
+        SlowStart,
+        CongestionAvoidance,
+    }
+
+    #[derive(Debug, Clone)]
+    struct RefFlowState {
+        params: RefParams,
+        cwnd: f64,
+        ssthresh: f64,
+        phase: Phase,
+        remaining: u64,
+        loss_events: u64,
+    }
+
+    impl RefFlowState {
+        fn new(bytes: u64, params: RefParams) -> Self {
+            RefFlowState {
+                params,
+                cwnd: params.init_cwnd as f64,
+                ssthresh: f64::INFINITY,
+                phase: Phase::SlowStart,
+                remaining: bytes,
+                loss_events: 0,
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.remaining == 0
+        }
+
+        fn cap_segments(&self) -> f64 {
+            self.params
+                .window_cap_bytes
+                .map(|b| (b as f64 / self.params.mss as f64).max(1.0))
+                .unwrap_or(f64::INFINITY)
+        }
+
+        fn offered_bytes(&self, rtt_s: f64) -> f64 {
+            if self.done() {
+                return 0.0;
+            }
+            let window = self.cwnd.min(self.cap_segments()) * self.params.mss as f64;
+            let rate_limited = self
+                .params
+                .rate_cap_bps
+                .map(|bps| bps / 8.0 * rtt_s)
+                .unwrap_or(f64::INFINITY);
+            window.min(rate_limited).min(self.remaining as f64).max(0.0)
+        }
+
+        fn on_rtt_delivered(&mut self, delivered: f64) {
+            let delivered = delivered.min(self.remaining as f64);
+            self.remaining -= delivered.round() as u64;
+            match self.phase {
+                Phase::SlowStart => {
+                    self.cwnd *= 2.0;
+                    if self.cwnd >= self.ssthresh {
+                        self.cwnd = self.ssthresh;
+                        self.phase = Phase::CongestionAvoidance;
+                    }
+                }
+                Phase::CongestionAvoidance => {
+                    self.cwnd += 1.0;
+                }
+            }
+            let cap = self.cap_segments();
+            if self.cwnd > cap {
+                self.cwnd = cap;
+            }
+        }
+
+        fn on_loss(&mut self) {
+            self.loss_events += 1;
+            self.ssthresh = (self.cwnd / 2.0).max(2.0);
+            self.cwnd = self.ssthresh;
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    const MAX_TICKS: u64 = 10_000_000;
+
+    fn simulate<R: Rng + ?Sized>(
+        link: &Bottleneck,
+        flows: &[(u64, RefParams)],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mut states: Vec<RefFlowState> =
+            flows.iter().map(|&(bytes, params)| RefFlowState::new(bytes, params)).collect();
+        let mut results: Vec<Option<f64>> = vec![None; flows.len()];
+        let capacity_per_rtt = link.bytes_per_rtt();
+        let mut tick = 0u64;
+        while results.iter().any(|r| r.is_none()) {
+            tick += 1;
+            if tick > MAX_TICKS {
+                for (i, _) in states.iter().enumerate() {
+                    if results[i].is_none() {
+                        results[i] = Some(tick as f64 * link.rtt_s);
+                    }
+                }
+                break;
+            }
+            let offers: Vec<f64> = states.iter().map(|s| s.offered_bytes(link.rtt_s)).collect();
+            let demand: f64 = offers.iter().sum();
+            let overload = (demand - capacity_per_rtt).max(0.0);
+            let congestion_p = if demand > 0.0 {
+                (overload / demand) / (1.0 + link.buffer_bdp)
+            } else {
+                0.0
+            };
+            let scale = if demand > capacity_per_rtt && demand > 0.0 {
+                capacity_per_rtt / demand
+            } else {
+                1.0
+            };
+            for (i, state) in states.iter_mut().enumerate() {
+                if results[i].is_some() {
+                    continue;
+                }
+                let delivered = offers[i] * scale;
+                let packets = (delivered / state.params.mss as f64).ceil().max(0.0);
+                let p_random = 1.0 - (1.0 - link.loss).powf(packets);
+                let lost = (congestion_p > 0.0 && rng.gen_bool(congestion_p.clamp(0.0, 1.0)))
+                    || (link.loss > 0.0 && rng.gen_bool(p_random.clamp(0.0, 1.0)));
+                state.on_rtt_delivered(delivered);
+                if lost {
+                    state.on_loss();
+                }
+                if state.done() {
+                    results[i] = Some(tick as f64 * link.rtt_s);
+                }
+            }
+        }
+        results.into_iter().map(|r| r.expect("all flows finalized")).collect()
+    }
+
+    pub fn parallel_throughput_bps<R: Rng + ?Sized>(
+        link: &Bottleneck,
+        bytes: u64,
+        n_streams: usize,
+        params: RefParams,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(n_streams > 0);
+        let per = bytes / n_streams as u64;
+        let mut rem = bytes - per * n_streams as u64;
+        let flows: Vec<(u64, RefParams)> = (0..n_streams)
+            .map(|_| {
+                let extra = if rem > 0 {
+                    rem -= 1;
+                    1
+                } else {
+                    0
+                };
+                (per + extra, params)
+            })
+            .collect();
+        let durations = simulate(link, &flows, rng);
+        let t = durations.iter().copied().fold(0.0f64, f64::max);
+        (bytes as f64 * 8.0) / t
+    }
+}
+
+use reference::RefParams;
+
+/// The three param shapes the E2 schedule exercises, paired frozen/live.
+fn param_pairs() -> Vec<(&'static str, RefParams, TcpParams)> {
+    vec![
+        ("scp", RefParams::scp_like(), TcpParams::scp_like()),
+        (
+            "ftp-256k",
+            RefParams::tuned().with_window_cap(256 * 1024),
+            TcpParams::tuned().with_window_cap(256 * 1024),
+        ),
+        ("tuned", RefParams::tuned(), TcpParams::tuned()),
+    ]
+}
+
+/// Replicates the E2 per-cell schedule: one shared rng drives scp, ftp,
+/// x1, x8, x16 in that order; the live side must reproduce every rng
+/// draw of the frozen side, so a single diverging branch desynchronizes
+/// everything after it.
+fn e2_schedule(rtt: f64, loss: f64, bytes: u64) -> (Vec<f64>, Vec<f64>) {
+    let link = Bottleneck::new(1e10, rtt, loss);
+    let seed = 0xE2 ^ (rtt * 1e6) as u64 ^ (loss * 1e9) as u64;
+    let scp_r = RefParams::scp_like();
+    let ftp_r = RefParams::tuned().with_window_cap(256 * 1024);
+    let tuned_r = RefParams::tuned();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let frozen = vec![
+        reference::parallel_throughput_bps(&link, bytes, 1, scp_r, &mut rng),
+        reference::parallel_throughput_bps(&link, bytes, 1, ftp_r, &mut rng),
+        reference::parallel_throughput_bps(&link, bytes, 1, tuned_r, &mut rng),
+        reference::parallel_throughput_bps(&link, bytes, 8, tuned_r, &mut rng),
+        reference::parallel_throughput_bps(&link, bytes, 16, tuned_r, &mut rng),
+    ];
+    let scp = TcpParams::scp_like();
+    let ftp = TcpParams::tuned().with_window_cap(256 * 1024);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let live = vec![
+        parallel_throughput_bps(&link, bytes, 1, scp, &mut rng),
+        parallel_throughput_bps(&link, bytes, 1, ftp, &mut rng),
+        parallel_throughput_bps(&link, bytes, 1, TcpParams::tuned(), &mut rng),
+        parallel_throughput_bps(&link, bytes, 8, TcpParams::tuned(), &mut rng),
+        parallel_throughput_bps(&link, bytes, 16, TcpParams::tuned(), &mut rng),
+    ];
+    (frozen, live)
+}
+
+fn assert_bits_eq(tag: &str, frozen: &[f64], live: &[f64]) {
+    assert_eq!(frozen.len(), live.len());
+    for (i, (f, l)) in frozen.iter().zip(live).enumerate() {
+        assert_eq!(
+            f.to_bits(),
+            l.to_bits(),
+            "{tag} column {i}: frozen {f} ({:#018x}) vs live {l} ({:#018x})",
+            f.to_bits(),
+            l.to_bits()
+        );
+    }
+}
+
+#[test]
+fn e2_fast_grid_bit_identical() {
+    // The exact grid `e2_wan::table(fast=true)` sweeps.
+    for &(rtt, loss) in &[(0.01, 0.0), (0.01, 1e-4), (0.1, 0.0), (0.1, 1e-4)] {
+        let (frozen, live) = e2_schedule(rtt, loss, 64 << 20);
+        assert_bits_eq(&format!("rtt={rtt} loss={loss}"), &frozen, &live);
+    }
+}
+
+#[test]
+fn e2_high_loss_corner_bit_identical() {
+    // The full-grid corner that hammers `on_loss`: every halving, every
+    // ssthresh update, every rng draw must line up.
+    for &(rtt, loss) in &[(0.1, 1e-3), (0.01, 1e-3)] {
+        let (frozen, live) = e2_schedule(rtt, loss, 16 << 20);
+        assert_bits_eq(&format!("rtt={rtt} loss={loss}"), &frozen, &live);
+    }
+}
+
+#[test]
+fn capped_configs_bit_identical() {
+    // Cap-pinned shapes, including a cap *below* init_cwnd (4 KiB ≈ 2.8
+    // segments < 10): proves the cap-interaction fixes in `tcp.rs` are
+    // trajectory-neutral — the frozen reference predates them.
+    let shapes: Vec<(u64, RefParams, TcpParams)> = vec![
+        (
+            8 << 20,
+            RefParams::tuned().with_window_cap(4096),
+            TcpParams::tuned().with_window_cap(4096),
+        ),
+        (
+            8 << 20,
+            RefParams::tuned().with_window_cap(64 * 1024).with_rate_cap(2e6),
+            TcpParams::tuned().with_window_cap(64 * 1024).with_rate_cap(2e6),
+        ),
+        (
+            32 << 20,
+            RefParams::tuned().with_rate_cap(50e6),
+            TcpParams::tuned().with_rate_cap(50e6),
+        ),
+    ];
+    for (i, (bytes, rp, lp)) in shapes.into_iter().enumerate() {
+        for &(rtt, loss) in &[(0.02, 0.0), (0.08, 5e-4)] {
+            let link = Bottleneck::new(1e9, rtt, loss);
+            let seed = 0xCA9 ^ (i as u64) << 8 ^ (rtt * 1e6) as u64;
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let frozen = [
+                reference::parallel_throughput_bps(&link, bytes, 1, rp, &mut r1),
+                reference::parallel_throughput_bps(&link, bytes, 4, rp, &mut r1),
+            ];
+            let live = [
+                parallel_throughput_bps(&link, bytes, 1, lp, &mut r2),
+                parallel_throughput_bps(&link, bytes, 4, lp, &mut r2),
+            ];
+            assert_bits_eq(&format!("shape {i} rtt={rtt} loss={loss}"), &frozen, &live);
+        }
+    }
+}
+
+#[test]
+fn param_pairs_agree_on_defaults() {
+    // Sanity: frozen and live param constructors still describe the same
+    // endpoint (mss/init/caps), so the battery compares like with like.
+    for (tag, r, l) in param_pairs() {
+        assert_eq!(r.mss, l.mss, "{tag}");
+        assert_eq!(r.init_cwnd, l.init_cwnd, "{tag}");
+        assert_eq!(r.window_cap_bytes, l.window_cap_bytes, "{tag}");
+        assert_eq!(r.rate_cap_bps, l.rate_cap_bps, "{tag}");
+    }
+}

@@ -100,6 +100,16 @@ pub struct ServerConfig {
     /// Reactor worker pool: queued jobs per shard before backpressure
     /// (the reactor parks further frames in per-session buffers).
     pub dispatch_queue: usize,
+    /// Whether clients may select the reliable-UDP MODE E data driver
+    /// (`OPTS DATA Transport=udp`). Off = the legacy TCP-only server.
+    pub udp_enabled: bool,
+    /// Default congestion controller for UDP data channels (clients may
+    /// override per session via `OPTS DATA CC=<reno|cubic|bbr>`).
+    pub udp_cc: ig_netsim::CcAlgo,
+    /// Deterministic datagram-level fault injection on UDP data
+    /// channels (the chaos matrix's datagram fault site; distinct from
+    /// `data_chaos`, which faults whole link frames).
+    pub udp_chaos: Option<ig_xio::DatagramChaos>,
 }
 
 impl ServerConfig {
@@ -136,6 +146,9 @@ impl ServerConfig {
             worker_shards: 4,
             workers_per_shard: 2,
             dispatch_queue: 64,
+            udp_enabled: true,
+            udp_cc: ig_netsim::CcAlgo::Bbr,
+            udp_chaos: None,
         }
     }
 
@@ -200,6 +213,24 @@ impl ServerConfig {
     /// Builder: select the concurrency core.
     pub fn with_core(mut self, core: ServerCore) -> Self {
         self.core = core;
+        self
+    }
+
+    /// Builder: forbid the UDP data driver (TCP-only legacy posture).
+    pub fn without_udp(mut self) -> Self {
+        self.udp_enabled = false;
+        self
+    }
+
+    /// Builder: default congestion controller for UDP data channels.
+    pub fn with_udp_cc(mut self, cc: ig_netsim::CcAlgo) -> Self {
+        self.udp_cc = cc;
+        self
+    }
+
+    /// Builder: datagram-level chaos on UDP data channels.
+    pub fn with_udp_chaos(mut self, chaos: ig_xio::DatagramChaos) -> Self {
+        self.udp_chaos = Some(chaos);
         self
     }
 

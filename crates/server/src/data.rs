@@ -11,9 +11,12 @@ use ig_pki::time::Clock;
 use ig_pki::{Credential, DistinguishedName, TrustStore};
 use ig_protocol::command::DcauMode;
 use ig_protocol::HostPort;
-use ig_xio::{secure_accept, secure_connect, Link, TcpLink, Throttle};
+use ig_xio::{
+    secure_accept, secure_connect, DataTransport, Link, TcpLink, Throttle, UdpConfig, UdpLink,
+    UdpListener,
+};
 use rand::Rng;
-use std::net::{Ipv4Addr, TcpListener};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -196,6 +199,87 @@ impl DataListener {
 impl Drop for DataListener {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A data listener for either transport. TCP keeps the historical
+/// accept-thread [`DataListener`]; UDP listens on one well-known socket
+/// and hands each accepted connection its own socket (see
+/// [`ig_xio::udp`]). Both advertise a [`HostPort`] for `227`/`229`.
+pub enum AnyDataListener {
+    /// Stream-mode TCP.
+    Tcp(DataListener),
+    /// Reliable-UDP MODE E.
+    Udp(UdpListener),
+}
+
+impl AnyDataListener {
+    /// Bind on `ip` with an OS-assigned port for `transport`.
+    pub fn bind(ip: Ipv4Addr, transport: DataTransport, udp: &UdpConfig) -> Result<Self> {
+        match transport {
+            DataTransport::Tcp => Ok(AnyDataListener::Tcp(DataListener::bind(ip)?)),
+            DataTransport::Udp => {
+                let l = UdpListener::bind(SocketAddr::from((ip, 0)), udp.clone())
+                    .map_err(|e| ServerError::Data(format!("udp bind: {e}")))?;
+                Ok(AnyDataListener::Udp(l))
+            }
+        }
+    }
+
+    /// The advertised address (what `227`/`229` replies carry).
+    pub fn addr(&self) -> Result<HostPort> {
+        match self {
+            AnyDataListener::Tcp(l) => Ok(l.addr()),
+            AnyDataListener::Udp(l) => {
+                let sa = l
+                    .local_addr()
+                    .map_err(|e| ServerError::Data(format!("udp local_addr: {e}")))?;
+                HostPort::from_socket_addr(sa).map_err(|e| ServerError::Data(e.to_string()))
+            }
+        }
+    }
+
+    /// Wait up to `timeout` for the next data connection.
+    pub fn accept_link(&self, timeout: Duration) -> Result<Box<dyn Link>> {
+        match self {
+            AnyDataListener::Tcp(l) => Ok(Box::new(l.accept(timeout)?)),
+            AnyDataListener::Udp(l) => l
+                .accept(timeout)
+                .map(|link| Box::new(link) as Box<dyn Link>)
+                .map_err(|e| ServerError::Data(format!("udp accept: {e}"))),
+        }
+    }
+
+    /// Try to get a connection without blocking (UDP polls the socket
+    /// for ~1 ms — the pump loop's cadence, not a busy spin).
+    pub fn try_accept_link(&self) -> Option<Box<dyn Link>> {
+        match self {
+            AnyDataListener::Tcp(l) => l.try_accept().map(|t| Box::new(t) as Box<dyn Link>),
+            AnyDataListener::Udp(l) => l
+                .accept(Duration::from_millis(1))
+                .ok()
+                .map(|link| Box::new(link) as Box<dyn Link>),
+        }
+    }
+}
+
+/// Dial a data connection to `target` over `transport`.
+pub fn connect_transport(
+    target: HostPort,
+    transport: DataTransport,
+    udp: &UdpConfig,
+) -> Result<Box<dyn Link>> {
+    match transport {
+        DataTransport::Tcp => {
+            let tcp = TcpLink::connect(target.to_socket_addr())
+                .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
+            Ok(Box::new(tcp))
+        }
+        DataTransport::Udp => {
+            let link = UdpLink::connect(target.to_socket_addr(), udp.clone())
+                .map_err(|e| ServerError::Data(format!("udp connect {target}: {e}")))?;
+            Ok(Box::new(link))
+        }
     }
 }
 

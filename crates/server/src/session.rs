@@ -7,7 +7,9 @@
 //! channel protected by default).
 
 use crate::config::ServerConfig;
-use crate::data::{maybe_throttle, wrap_accept, wrap_connect, DataListener, DataSecurity};
+use crate::data::{
+    connect_transport, maybe_throttle, wrap_accept, wrap_connect, AnyDataListener, DataSecurity,
+};
 use crate::dtp::{send_dir, send_ranges, Progress, Receiver};
 use crate::error::{Result, ServerError};
 use crate::usage::TransferRecord;
@@ -24,7 +26,8 @@ use ig_protocol::markers::{PerfMarker, RestartMarker};
 use ig_protocol::secure_line;
 use ig_obs::kv;
 use ig_protocol::{dcsc, ByteRanges, HostPort, Reply};
-use ig_xio::Link;
+use ig_netsim::CcAlgo;
+use ig_xio::{DataTransport, Link, UdpConfig};
 use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,8 +60,14 @@ pub struct Session<R: Rng> {
     /// already answer queued commands strictly in order, so the window
     /// is declarative — stored for introspection, echoed in the reply.
     pipe_window: u32,
-    listeners: Vec<DataListener>,
+    listeners: Vec<AnyDataListener>,
     port_targets: Vec<HostPort>,
+    /// Data-channel transport for subsequent PASV/SPAS/PORT channels
+    /// (`OPTS DATA Transport=<tcp|udp>`).
+    data_transport: DataTransport,
+    /// Congestion controller for UDP data channels
+    /// (`OPTS DATA CC=<reno|cubic|bbr>`).
+    data_cc: CcAlgo,
     cwd: String,
     /// The session-lifetime span; command events hang off it.
     span: ig_obs::Span,
@@ -157,6 +166,7 @@ impl<R: Rng> Session<R> {
         let sessions_active = config.obs.metrics().gauge("server.sessions_active");
         sessions_active.add(1.0);
         let sessions_active = ActiveSessionGuard(sessions_active);
+        let udp_cc = config.udp_cc;
         Session {
             config,
             rng,
@@ -173,6 +183,8 @@ impl<R: Rng> Session<R> {
             dcau: DcauMode::Self_,
             restart: None,
             pipe_window: 1,
+            data_transport: DataTransport::Tcp,
+            data_cc: udp_cc,
             listeners: Vec::new(),
             port_targets: Vec::new(),
             cwd: "/".to_string(),
@@ -369,6 +381,9 @@ impl<R: Rng> Session<R> {
                 if self.config.dcsc_enabled {
                     lines.push(" DCSC P,D".to_string());
                 }
+                if self.config.udp_enabled {
+                    lines.push(" DATA TCP,UDP;CC=RENO,CUBIC,BBR".to_string());
+                }
                 lines.push("End".to_string());
                 self.reply(link, wrap, Reply::multiline(211, lines))?;
                 return Ok(LoopControl::Continue);
@@ -472,7 +487,10 @@ impl<R: Rng> Session<R> {
                     }
                 }
             }
-            Command::Opts { .. } => {
+            Command::Opts { ref target, ref params } => {
+                if target == "DATA" {
+                    return self.handle_opts_data(link, wrap, params.clone());
+                }
                 if let Some(p) = cmd.parallelism() {
                     self.parallelism = (p as usize).max(1);
                     self.reply(link, wrap, Reply::ok("Parallelism set."))?;
@@ -483,8 +501,9 @@ impl<R: Rng> Session<R> {
             Command::Pasv => {
                 self.listeners.clear();
                 self.port_targets.clear();
-                let l = DataListener::bind(self.config.data_ip)?;
-                let addr = l.addr();
+                let udp = self.udp_config();
+                let l = AnyDataListener::bind(self.config.data_ip, self.data_transport, &udp)?;
+                let addr = l.addr()?;
                 self.listeners.push(l);
                 self.reply(
                     link,
@@ -499,10 +518,11 @@ impl<R: Rng> Session<R> {
                 }
                 self.listeners.clear();
                 self.port_targets.clear();
+                let udp = self.udp_config();
                 let mut lines = vec!["Entering Striped Passive Mode".to_string()];
                 for _ in 0..self.config.stripes {
-                    let l = DataListener::bind(self.config.data_ip)?;
-                    lines.push(format!(" {}", l.addr()));
+                    let l = AnyDataListener::bind(self.config.data_ip, self.data_transport, &udp)?;
+                    lines.push(format!(" {}", l.addr()?));
                     self.listeners.push(l);
                 }
                 self.reply(link, wrap, Reply::multiline(229, lines))?;
@@ -856,6 +876,86 @@ impl<R: Rng> Session<R> {
         }
     }
 
+    /// `OPTS DATA Transport=<tcp|udp>;CC=<reno|cubic|bbr>;` — select the
+    /// data-channel transport (and, for UDP, the congestion controller)
+    /// for subsequent PASV/SPAS/PORT channels. Keys are
+    /// case-insensitive; unknown keys are ignored so clients can probe.
+    fn handle_opts_data(
+        &mut self,
+        link: &mut Box<dyn Link>,
+        wrap: bool,
+        params: String,
+    ) -> Result<LoopControl> {
+        let mut transport = self.data_transport;
+        let mut cc = self.data_cc;
+        for kv in params.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, val) = match kv.split_once('=') {
+                Some(p) => p,
+                None => {
+                    self.reply(link, wrap, Reply::syntax_error("OPTS DATA expects Key=Value;"))?;
+                    return Ok(LoopControl::Continue);
+                }
+            };
+            match key.to_ascii_lowercase().as_str() {
+                "transport" => match DataTransport::parse(val) {
+                    Some(t) => transport = t,
+                    None => {
+                        self.reply(
+                            link,
+                            wrap,
+                            Reply::new(501, format!("Unknown transport {val:?} (tcp|udp).")),
+                        )?;
+                        return Ok(LoopControl::Continue);
+                    }
+                },
+                "cc" => match CcAlgo::parse(val) {
+                    Some(a) => cc = a,
+                    None => {
+                        self.reply(
+                            link,
+                            wrap,
+                            Reply::new(501, format!("Unknown CC {val:?} (reno|cubic|bbr).")),
+                        )?;
+                        return Ok(LoopControl::Continue);
+                    }
+                },
+                _ => {} // forward-compatible: ignore unknown keys
+            }
+        }
+        if transport == DataTransport::Udp && !self.config.udp_enabled {
+            self.reply(link, wrap, Reply::new(504, "UDP data transport disabled on this server."))?;
+            return Ok(LoopControl::Continue);
+        }
+        self.data_transport = transport;
+        self.data_cc = cc;
+        // A transport change invalidates any channel already negotiated.
+        self.listeners.clear();
+        self.port_targets.clear();
+        self.reply(
+            link,
+            wrap,
+            Reply::ok(&format!(
+                "Data transport {} (cc={}).",
+                transport.label(),
+                cc.label()
+            )),
+        )?;
+        Ok(LoopControl::Continue)
+    }
+
+    /// Assemble the per-session UDP driver config: session-selected CC,
+    /// server-wide datagram chaos, and the shared obs hub.
+    fn udp_config(&self) -> UdpConfig {
+        let mut cfg = UdpConfig::default()
+            .with_cc(self.data_cc)
+            .with_obs(Arc::clone(&self.config.obs))
+            .with_stall_timeout(self.config.stall_timeout);
+        if let Some(chaos) = self.config.udp_chaos {
+            cfg = cfg.with_chaos(chaos);
+        }
+        cfg
+    }
+
     /// Wrap a fully-established data stream in the configured chaos
     /// hook, if any, then in an [`ig_xio::ObsLink`] recording per-block
     /// DTP latency. Chaos sits above the handshake (faults hit
@@ -875,12 +975,11 @@ impl<R: Rng> Session<R> {
         let mut streams: Vec<Box<dyn Link>> = Vec::new();
         if !self.port_targets.is_empty() {
             // Active: connect out (we are the sender, the canonical case).
+            let udp = self.udp_config();
             for target in self.port_targets.clone() {
                 for _ in 0..self.parallelism {
-                    let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
-                        .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
-                    let throttled =
-                        maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    let conn = connect_transport(target, self.data_transport, &udp)?;
+                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
                     let secured = wrap_connect(throttled, sec, &mut self.rng)?;
                     streams.push(self.chaosify(secured));
                 }
@@ -890,9 +989,8 @@ impl<R: Rng> Session<R> {
             // connections per listener.
             for l in &self.listeners {
                 for _ in 0..self.parallelism {
-                    let tcp = l.accept(self.config.stall_timeout)?;
-                    let throttled =
-                        maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                    let conn = l.accept_link(self.config.stall_timeout)?;
+                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
                     let secured = wrap_accept(throttled, sec, &mut self.rng)?;
                     streams.push(self.chaosify(secured));
                 }
@@ -1189,11 +1287,11 @@ impl<R: Rng> Session<R> {
             }
             if !self.port_targets.is_empty() && connected == 0 {
                 // Active receive: we connect out (unusual but legal).
+                let udp = self.udp_config();
                 for target in self.port_targets.clone() {
                     for _ in 0..self.parallelism {
-                        let tcp = ig_xio::TcpLink::connect(target.to_socket_addr())
-                            .map_err(|e| ServerError::Data(format!("connect {target}: {e}")))?;
-                        let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                        let conn = connect_transport(target, self.data_transport, &udp)?;
+                        let throttled = maybe_throttle(conn, self.config.stripe_rate);
                         let secured = wrap_connect(throttled, sec, &mut self.rng)?;
                         if let Err(e) = receiver.add_stream(self.chaosify(secured)) {
                             return Ok(PumpEnd::SpawnError(e.to_string()));
@@ -1203,8 +1301,8 @@ impl<R: Rng> Session<R> {
                 }
             }
             for l in &self.listeners {
-                if let Some(tcp) = l.try_accept() {
-                    let throttled = maybe_throttle(Box::new(tcp), self.config.stripe_rate);
+                if let Some(conn) = l.try_accept_link() {
+                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
                     match wrap_accept(throttled, sec, &mut self.rng) {
                         Ok(s) => {
                             if let Err(e) = receiver.add_stream(self.chaosify(s)) {

@@ -38,6 +38,7 @@ pub mod obs;
 pub mod retry;
 pub mod secure;
 pub mod telemetry;
+pub mod udp;
 pub mod throttle;
 pub mod wheel;
 
@@ -52,3 +53,4 @@ pub use retry::{splitmix64, RetryError, RetryPolicy};
 pub use secure::{secure_accept, secure_connect, SecureLink};
 pub use telemetry::{Counters, Telemetry};
 pub use throttle::Throttle;
+pub use udp::{ChaosFault, DataTransport, DatagramChaos, UdpConfig, UdpLink, UdpListener};

@@ -94,4 +94,35 @@ if ! awk -v d="${dir_rate}" -v p="${per_file_rate}" 'BEGIN {exit !(d >= 10 * p)}
 fi
 echo "    streamed dir ${dir_rate} files/s vs per-file ${per_file_rate} files/s (>=10x)"
 
+# Transport-crossover smoke: the reduced E2x grid must show the
+# crossover in BOTH directions — the single BBR reliable-UDP flow beats
+# striped Reno TCP on the high-loss/high-RTT corner, striped TCP beats
+# the CPU-capped UDP flow on the clean LAN corner — and in each corner
+# `gol::tuning::pick_transport` must have picked the measured winner
+# (the "tuner picks"/"sim agrees" columns).
+echo "==> E2x transport-crossover smoke (reduced grid, both directions)"
+e2x_out="$(timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e2x --fast)"
+echo "${e2x_out}"
+check_corner() { # <rtt-cell> <loss-cell> <expected-winner>
+  echo "${e2x_out}" | awk -v rtt="$1" -v loss="$2" -v want="$3" '
+    function bps(v, u) { return v * (u == "Gbit/s" ? 1e9 : u == "Mbit/s" ? 1e6 : u == "kbit/s" ? 1e3 : 1) }
+    $1 == rtt && $3 == loss {
+      reno = bps($4, $5); bbr = bps($8, $9)
+      if (want == "udp" && !(bbr >= reno)) exit 1
+      if (want == "tcp" && !(reno >= bbr)) exit 1
+      if ($10 != want || $11 != "yes") exit 1
+      found = 1
+    }
+    END { exit !found }'
+}
+if ! check_corner 100.0 1e-3 udp; then
+  echo "E2x: BBR-UDP must beat striped Reno on the 100 ms / 1e-3 corner (and the tuner must agree)" >&2
+  exit 1
+fi
+if ! check_corner 0.2 1e-6 tcp; then
+  echo "E2x: striped TCP must beat the capped UDP flow on the LAN corner (and the tuner must agree)" >&2
+  exit 1
+fi
+echo "    crossover goes both ways; the tuner picked the measured winner on both corners"
+
 echo "CI gate passed."
