@@ -65,8 +65,9 @@ fn main() {
         Some("e12") => print!("{}", exp::e12_overheads::table()),
         Some("e13") => print!("{}", exp::e13_obs::table(fast)),
         Some("e14") => print!("{}", exp::e14_sessions::table(fast)),
+        Some("e15") => print!("{}", exp::e15_fleet::table(fast)),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; use e1..e14 or e2x");
+            eprintln!("unknown experiment {other:?}; use e1..e15 or e2x");
             std::process::exit(2);
         }
     }

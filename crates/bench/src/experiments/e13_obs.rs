@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn overhead_within_claim() {
-        let (rows, _overhead_pct, fixed) = run(true);
+        let (rows, _overhead_pct, _) = run(true);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.ns_per_record.is_finite() && r.ns_per_record > 0.0);
@@ -153,11 +153,19 @@ mod tests {
         // fit the 3%-of-a-tuned-block budget. The A/B pipe comparison is
         // informational only — subtracting two allocator-noise-dominated
         // multi-microsecond numbers is not assertable in shared CI.
-        assert!(
-            fixed <= CLAIM_BUDGET_NS,
-            "fixed instrumentation cost {fixed:.0} ns/hop exceeds the \
-             {CLAIM_BUDGET_NS:.0} ns budget (3% of a 64 KiB block at 10 Gbit/s)"
-        );
+        // Re-measured (bounded) so a transient load spike on the CI box
+        // cannot flake tier-1; a real regression fails every round.
+        ig_xio::test_support::retry_measurement(3, "fixed instrumentation cost", || {
+            let fixed = fixed_cost_ns(10_000);
+            if fixed <= CLAIM_BUDGET_NS {
+                Ok(())
+            } else {
+                Err(format!(
+                    "fixed instrumentation cost {fixed:.0} ns/hop exceeds the \
+                     {CLAIM_BUDGET_NS:.0} ns budget (3% of a 64 KiB block at 10 Gbit/s)"
+                ))
+            }
+        });
     }
 
     #[test]

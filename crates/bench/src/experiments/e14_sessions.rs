@@ -407,28 +407,30 @@ mod tests {
 
     /// Small-herd structural check: both cores measured the same way,
     /// the reactor holds its whole (reduced) herd, and the loaded p99
-    /// stays inside a deliberately loose absolute budget. The real
-    /// sizes run from the `report` binary / `scripts/ci.sh`.
+    /// stays inside a deliberately loose absolute budget — re-measured
+    /// (bounded) so a transient CI load spike cannot flake tier-1. The
+    /// real sizes run from the `report` binary / `scripts/ci.sh`.
     #[test]
     fn herd_measured_on_both_cores() {
         let _guard = common::bench_lock();
-        let mut rows = vec![measure(ServerCore::Threaded, 60, 4, 50)];
+        let mut cores = vec![(ServerCore::Threaded, 60usize)];
         if cfg!(target_os = "linux") {
-            rows.push(measure(ServerCore::Reactor, 300, 4, 50));
+            cores.push((ServerCore::Reactor, 300));
         }
-        for r in &rows {
-            assert!(r.held > 0, "{} held nothing", r.label);
-            assert!(r.p99_warm > Duration::ZERO);
-            assert!(
-                r.p99_loaded < Duration::from_secs(5),
-                "{} loaded p99 {:?} blew the smoke budget",
-                r.label,
-                r.p99_loaded
-            );
-        }
-        if let Some(re) = rows.get(1) {
-            assert_eq!(re.label, "reactor");
-            assert_eq!(re.held, 300, "reactor shed part of a 300-session herd");
+        for (core, target) in cores {
+            ig_xio::test_support::retry_measurement(2, core.label(), || {
+                let r = measure(core, target, 4, 50);
+                assert!(r.held > 0, "{} held nothing", r.label);
+                assert!(r.p99_warm > Duration::ZERO);
+                if r.label == "reactor" {
+                    assert_eq!(r.held, target, "reactor shed part of its herd");
+                }
+                if r.p99_loaded < Duration::from_secs(5) {
+                    Ok(())
+                } else {
+                    Err(format!("{} loaded p99 {:?} over the smoke budget", r.label, r.p99_loaded))
+                }
+            });
         }
     }
 

@@ -24,6 +24,7 @@
 
 pub mod activation;
 pub mod error;
+pub mod sched;
 pub mod service;
 pub mod tuning;
 pub mod usage;
@@ -31,5 +32,6 @@ pub mod usage;
 pub use activation::{Activation, PasswordAudit};
 pub use error::GolError;
 pub use ig_client::RetryPolicy;
+pub use sched::{FairScheduler, Grant, SchedReject, TenantShare};
 pub use service::{GlobusOnline, Reactivator, TransferRequest, TransferResult};
 pub use tuning::tune;

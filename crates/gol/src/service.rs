@@ -93,6 +93,10 @@ pub struct GlobusOnline {
     endpoints: RwLock<HashMap<String, RegisteredEndpoint>>,
     activations: RwLock<HashMap<(String, String), Activation>>,
     reactivators: RwLock<HashMap<(String, String), Reactivator>>,
+    /// Short-term-credential cache in front of the endpoints' MyProxy
+    /// CAs, keyed by `(endpoint/site-user, lifetime-bucket)`: activation
+    /// storms coalesce onto a single `myproxy-logon` per key.
+    cred_cache: ig_myproxy::CredCache<Activation, GolError>,
     /// Event log (human-readable; the "highly monitored" bit of §VI-A).
     pub events: Mutex<Vec<String>>,
     /// Structured observability hub: every `events` entry has a typed
@@ -109,6 +113,7 @@ impl GlobusOnline {
             endpoints: RwLock::new(HashMap::new()),
             activations: RwLock::new(HashMap::new()),
             reactivators: RwLock::new(HashMap::new()),
+            cred_cache: ig_myproxy::CredCache::new(),
             events: Mutex::new(Vec::new()),
             obs: ig_obs::Obs::global(),
             clock,
@@ -118,6 +123,8 @@ impl GlobusOnline {
 
     /// Builder: a private observability hub.
     pub fn with_obs(mut self, obs: Arc<ig_obs::Obs>) -> Self {
+        // The (empty) credential cache reports into the same hub.
+        self.cred_cache = ig_myproxy::CredCache::with_obs(Arc::clone(&obs));
         self.obs = obs;
         self
     }
@@ -199,6 +206,43 @@ impl GlobusOnline {
         self.obs.metrics().add("gol.activations", 1);
         self.log(format!("{go_user} activated {endpoint} via password"));
         Ok(audit)
+    }
+
+    /// [`Self::activate_with_password`] behind the short-term-credential
+    /// cache: concurrent activations for the same
+    /// `(endpoint, site-user, lifetime-bucket)` coalesce onto a single
+    /// `myproxy-logon`, and a still-valid cached credential is reused
+    /// without touching the CA at all. Each caller's `(go_user,
+    /// endpoint)` activation record is refreshed either way, so the
+    /// transfer path sees no difference from the uncached flow.
+    pub fn activate_with_password_cached(
+        &self,
+        go_user: &str,
+        endpoint: &str,
+        username: &str,
+        password: &str,
+        lifetime: u64,
+    ) -> Result<Activation> {
+        let now = self.clock.now();
+        let subject = format!("{endpoint}/{username}");
+        let (out, _) = self.cred_cache.get_or_issue(&subject, lifetime, now, || {
+            self.activate_with_password(go_user, endpoint, username, password, lifetime)?;
+            let act = self.activation(go_user, endpoint)?;
+            let expires_at = now + act.remaining(now);
+            Ok((act, expires_at))
+        });
+        let act = out.map_err(|e| match e {
+            ig_myproxy::CredCacheError::Issue(arc) => {
+                GolError::ActivationFailed(arc.to_string())
+            }
+            other => GolError::ActivationFailed(other.to_string()),
+        })?;
+        // Hits and coalesced waits still need this caller's activation
+        // record installed (the leader only installed its own).
+        self.activations
+            .write()
+            .insert((go_user.to_string(), endpoint.to_string()), act.clone());
+        Ok(act)
     }
 
     /// OAuth activation (Fig 7): the caller supplies the authorization

@@ -1,0 +1,382 @@
+//! Short-term-credential cache with single-flight renewal.
+//!
+//! The hosted service re-authenticates with stored short-term
+//! credentials on every transfer restart (§VI) — at fleet scale that
+//! turns into issuance storms against the MyProxy online CA: thousands
+//! of jobs for the same tenant all noticing the same expired credential
+//! in the same tick. This cache sits in front of the CA and guarantees:
+//!
+//! * **hits are lock-and-return** — a credential with enough validity
+//!   left (beyond a configurable clock-skew margin) is served from
+//!   memory, no CA round-trip;
+//! * **renewals are single-flight** — concurrent requesters for the
+//!   same `(subject, lifetime-bucket)` key coalesce onto one in-flight
+//!   issuance; exactly one CA call happens per storm, everyone else
+//!   waits for its outcome;
+//! * **failures are typed and shared, never cached** — if the CA times
+//!   out, every coalesced waiter gets the same [`CredCacheError::Issue`]
+//!   (the error travels by `Arc`, so the CA error type stays intact),
+//!   and the next request starts a fresh flight. Retry/backoff policy is
+//!   the caller's (`ig_xio::RetryPolicy` — seeded, replayable), not
+//!   baked in here.
+//!
+//! Requested lifetimes are quantized into buckets so "give me ~8 hours"
+//! from two code paths lands on the same cache line; the issued
+//! credential's real expiry (as reported by the issuer) governs reuse.
+//!
+//! Generic over the credential value and the issuer closure, so the
+//! battery in `tests/cred_cache.rs` drives it with a counting fake and
+//! the E15 fleet simulation drives it with a real [`crate::OnlineCa`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default lifetime-bucket width: one hour.
+pub const DEFAULT_BUCKET_S: u64 = 3600;
+
+/// Default clock-skew margin: credentials within 5 minutes of expiry
+/// are treated as expired (the CA's clock and ours may disagree).
+pub const DEFAULT_SKEW_MARGIN_S: u64 = 300;
+
+/// Cache key: who the credential is for and which lifetime class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CredKey {
+    /// Credential subject (tenant / username).
+    pub subject: String,
+    /// Quantized requested lifetime (`requested / bucket_s`).
+    pub lifetime_bucket: u64,
+}
+
+/// A cached credential plus its validity window (issuer-reported,
+/// absolute seconds on the caller's timeline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cached<V> {
+    /// The credential.
+    pub value: V,
+    /// When it was issued.
+    pub issued_at: u64,
+    /// When it expires.
+    pub expires_at: u64,
+}
+
+/// Why a credential lookup failed.
+#[derive(Debug)]
+pub enum CredCacheError<E> {
+    /// The issuance this request performed (or coalesced onto) failed.
+    /// Shared by every waiter of the flight, hence the `Arc`.
+    Issue(Arc<E>),
+    /// The issuer returned a credential that is already unusable at the
+    /// caller's clock (expires within the skew margin) — caching it
+    /// would serve dead credentials for a whole bucket.
+    UnusableLifetime {
+        /// Issuer-reported expiry.
+        expires_at: u64,
+        /// The caller's now.
+        now: u64,
+    },
+}
+
+impl<E> Clone for CredCacheError<E> {
+    fn clone(&self) -> Self {
+        match self {
+            CredCacheError::Issue(e) => CredCacheError::Issue(Arc::clone(e)),
+            CredCacheError::UnusableLifetime { expires_at, now } => {
+                CredCacheError::UnusableLifetime { expires_at: *expires_at, now: *now }
+            }
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for CredCacheError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CredCacheError::Issue(e) => write!(f, "credential issuance failed: {e}"),
+            CredCacheError::UnusableLifetime { expires_at, now } => {
+                write!(f, "issued credential unusable: expires {expires_at}, now {now}")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for CredCacheError<E> {}
+
+/// How a [`CredCache::get_or_issue`] call was satisfied — surfaced so
+/// tests and metrics can tell a storm coalesced rather than fanned out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from cache.
+    Hit,
+    /// This call performed the issuance.
+    Issued,
+    /// This call waited on another caller's in-flight issuance.
+    Coalesced,
+}
+
+/// One in-flight issuance; waiters block on the condvar until the
+/// leader publishes the outcome.
+struct Flight<V, E> {
+    done: Mutex<Option<Result<Cached<V>, CredCacheError<E>>>>,
+    cv: Condvar,
+}
+
+enum Entry<V, E> {
+    Ready(Cached<V>),
+    InFlight(Arc<Flight<V, E>>),
+}
+
+/// The single-flight credential cache.
+pub struct CredCache<V, E> {
+    entries: Mutex<HashMap<CredKey, Entry<V, E>>>,
+    obs: Arc<ig_obs::Obs>,
+    /// Lifetime quantization (seconds per bucket).
+    pub bucket_s: u64,
+    /// Clock-skew margin: required remaining validity for a hit.
+    pub skew_margin_s: u64,
+}
+
+impl<V: Clone, E> CredCache<V, E> {
+    /// A cache with the default bucket width and skew margin, reporting
+    /// `myproxy.cache.*` metrics to the global registry.
+    pub fn new() -> CredCache<V, E> {
+        CredCache::with_obs(ig_obs::Obs::global())
+    }
+
+    /// A cache reporting into `obs` (tests pass a private registry).
+    pub fn with_obs(obs: Arc<ig_obs::Obs>) -> CredCache<V, E> {
+        CredCache {
+            entries: Mutex::new(HashMap::new()),
+            obs,
+            bucket_s: DEFAULT_BUCKET_S,
+            skew_margin_s: DEFAULT_SKEW_MARGIN_S,
+        }
+    }
+
+    /// Builder: lifetime-bucket width in seconds.
+    pub fn with_bucket(mut self, bucket_s: u64) -> Self {
+        assert!(bucket_s >= 1);
+        self.bucket_s = bucket_s;
+        self
+    }
+
+    /// Builder: clock-skew margin in seconds.
+    pub fn with_skew_margin(mut self, margin_s: u64) -> Self {
+        self.skew_margin_s = margin_s;
+        self
+    }
+
+    /// The cache key a `(subject, requested_lifetime)` pair maps to.
+    pub fn key(&self, subject: &str, requested_lifetime_s: u64) -> CredKey {
+        CredKey {
+            subject: subject.to_string(),
+            lifetime_bucket: requested_lifetime_s / self.bucket_s,
+        }
+    }
+
+    /// Fetch the credential for `(subject, requested_lifetime_s)` at
+    /// time `now`, issuing via `issue` on miss. `issue` returns the
+    /// credential plus its absolute expiry; it is called **at most once
+    /// per storm** — concurrent callers with the same key coalesce onto
+    /// the first one's flight.
+    pub fn get_or_issue(
+        &self,
+        subject: &str,
+        requested_lifetime_s: u64,
+        now: u64,
+        issue: impl FnOnce() -> Result<(V, u64), E>,
+    ) -> (Result<V, CredCacheError<E>>, Outcome) {
+        let key = self.key(subject, requested_lifetime_s);
+        let flight: Arc<Flight<V, E>>;
+        {
+            let mut entries = self.entries.lock().expect("cred cache poisoned");
+            match entries.get(&key) {
+                Some(Entry::Ready(c)) if c.expires_at > now.saturating_add(self.skew_margin_s) => {
+                    self.obs.metrics().add("myproxy.cache.hits", 1);
+                    return (Ok(c.value.clone()), Outcome::Hit);
+                }
+                Some(Entry::InFlight(f)) => {
+                    let f = Arc::clone(f);
+                    drop(entries);
+                    self.obs.metrics().add("myproxy.cache.coalesced", 1);
+                    return (self.await_flight(&f).map(|c| c.value), Outcome::Coalesced);
+                }
+                _ => {
+                    // Miss or stale: this caller leads a new flight.
+                    flight = Arc::new(Flight { done: Mutex::new(None), cv: Condvar::new() });
+                    entries.insert(key.clone(), Entry::InFlight(Arc::clone(&flight)));
+                }
+            }
+        }
+        self.obs.metrics().add("myproxy.cache.misses", 1);
+        let outcome = match issue() {
+            Ok((value, expires_at)) => {
+                if expires_at > now.saturating_add(self.skew_margin_s) {
+                    Ok(Cached { value, issued_at: now, expires_at })
+                } else {
+                    Err(CredCacheError::UnusableLifetime { expires_at, now })
+                }
+            }
+            Err(e) => Err(CredCacheError::Issue(Arc::new(e))),
+        };
+        {
+            // Publish to the map first (Ready on success, gone on
+            // failure so the next request starts a fresh flight)...
+            let mut entries = self.entries.lock().expect("cred cache poisoned");
+            match &outcome {
+                Ok(c) => {
+                    entries.insert(key, Entry::Ready(c.clone()));
+                }
+                Err(_) => {
+                    entries.remove(&key);
+                }
+            }
+        }
+        // ...then wake the coalesced waiters with the shared outcome.
+        *flight.done.lock().expect("flight poisoned") = Some(outcome.clone());
+        flight.cv.notify_all();
+        (outcome.map(|c| c.value), Outcome::Issued)
+    }
+
+    /// Block until the flight's leader publishes an outcome.
+    fn await_flight(&self, f: &Flight<V, E>) -> Result<Cached<V>, CredCacheError<E>> {
+        let mut done = f.done.lock().expect("flight poisoned");
+        while done.is_none() {
+            done = f.cv.wait(done).expect("flight poisoned");
+        }
+        done.clone().expect("loop exits only when Some")
+    }
+
+    /// Cached (ready) entry count — stale entries included until their
+    /// key is next touched.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cred cache poisoned")
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached credential (tests; tenant revocation).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cred cache poisoned").clear();
+    }
+}
+
+impl<V: Clone, E> Default for CredCache<V, E> {
+    fn default() -> Self {
+        CredCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn cache() -> CredCache<String, String> {
+        CredCache::with_obs(ig_obs::Obs::new("cred-cache-test"))
+            .with_bucket(3600)
+            .with_skew_margin(300)
+    }
+
+    #[test]
+    fn hit_skips_the_issuer() {
+        let c = cache();
+        let issued = AtomicU64::new(0);
+        let issue = || {
+            issued.fetch_add(1, Ordering::SeqCst);
+            Ok(("cert".to_string(), 10_000))
+        };
+        let (v, o) = c.get_or_issue("alice", 4000, 1_000, issue);
+        assert_eq!((v.unwrap().as_str(), o), ("cert", Outcome::Issued));
+        let (v, o) = c.get_or_issue("alice", 4000, 2_000, || unreachable!());
+        assert_eq!((v.unwrap().as_str(), o), ("cert", Outcome::Hit));
+        assert_eq!(issued.load(Ordering::SeqCst), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_buckets_separate_but_quantize() {
+        let c = cache();
+        // 4000s and 5000s land in bucket 1: one cache line.
+        assert_eq!(c.key("a", 4000), c.key("a", 5000));
+        // 500s is bucket 0, a different line; different subject too.
+        assert_ne!(c.key("a", 500), c.key("a", 4000));
+        assert_ne!(c.key("a", 4000), c.key("b", 4000));
+    }
+
+    #[test]
+    fn expiry_boundary_respects_skew_margin() {
+        let c = cache();
+        let (v, _) = c.get_or_issue("bob", 100, 0, || Ok(("v1".to_string(), 1_000)));
+        v.unwrap();
+        // 699: 301s of validity left — still a hit (margin is 300).
+        let (v, o) = c.get_or_issue("bob", 100, 699, || unreachable!());
+        assert_eq!((v.unwrap().as_str(), o), ("v1", Outcome::Hit));
+        // 700: exactly the margin left — expired, re-issues.
+        let (v, o) = c.get_or_issue("bob", 100, 700, || Ok(("v2".to_string(), 2_000)));
+        assert_eq!((v.unwrap().as_str(), o), ("v2", Outcome::Issued));
+    }
+
+    #[test]
+    fn issuer_returning_dead_credential_is_typed_and_not_cached() {
+        let c = cache();
+        let (v, _) = c.get_or_issue("eve", 100, 5_000, || Ok(("dead".to_string(), 5_100)));
+        assert!(matches!(
+            v.unwrap_err(),
+            CredCacheError::UnusableLifetime { expires_at: 5_100, now: 5_000 }
+        ));
+        assert!(c.is_empty());
+        // Next call issues afresh.
+        let (v, o) = c.get_or_issue("eve", 100, 5_000, || Ok(("live".to_string(), 50_000)));
+        assert_eq!((v.unwrap().as_str(), o), ("live", Outcome::Issued));
+    }
+
+    #[test]
+    fn failure_is_shared_not_cached() {
+        let c = cache();
+        let (v, o) = c.get_or_issue("carol", 100, 0, || Err("CA timeout".to_string()));
+        let err = v.unwrap_err();
+        assert!(matches!(&err, CredCacheError::Issue(e) if e.as_str() == "CA timeout"));
+        assert!(err.to_string().contains("CA timeout"));
+        assert_eq!(o, Outcome::Issued);
+        assert!(c.is_empty(), "failures must not be cached");
+        let (v, _) = c.get_or_issue("carol", 100, 0, || Ok(("ok".to_string(), 9_000)));
+        v.unwrap();
+    }
+
+    #[test]
+    fn stampede_coalesces_to_one_issuance() {
+        let c = Arc::new(cache());
+        let issued = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let issued = Arc::clone(&issued);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (v, o) = c.get_or_issue("storm", 4000, 0, || {
+                        issued.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the rest
+                        // of the storm to pile in behind it.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(("cert".to_string(), 100_000))
+                    });
+                    (v.unwrap(), o)
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(issued.load(Ordering::SeqCst), 1, "storm must coalesce to one issuance");
+        assert!(outcomes.iter().all(|(v, _)| v == "cert"));
+        assert_eq!(outcomes.iter().filter(|(_, o)| *o == Outcome::Issued).count(), 1);
+    }
+}

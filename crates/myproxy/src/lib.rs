@@ -19,6 +19,7 @@
 //!    manual trusted-certificates setup (conventional step (g)).
 
 pub mod ca;
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod pam;
@@ -26,6 +27,7 @@ pub mod protocol;
 pub mod server;
 
 pub use ca::OnlineCa;
+pub use cache::{Cached, CredCache, CredCacheError, CredKey};
 pub use client::{myproxy_logon, LogonOutput};
 pub use error::MyProxyError;
 pub use pam::{AuthBackend, PamStack};

@@ -1,0 +1,240 @@
+//! Credential-cache battery (DESIGN.md §14): expiry boundaries, clock
+//! skew, single-flight stampedes against the real online CA, and a
+//! CA-timeout chaos cell with typed errors and replayable backoff.
+
+use ig_myproxy::cache::Outcome;
+use ig_myproxy::{CredCache, CredCacheError, OnlineCa};
+use ig_pki::time::Clock;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Case-count override for CI smoke runs (`IG_PROPTEST_CASES`).
+fn cases(default: u32) -> u32 {
+    std::env::var("IG_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cache(margin: u64) -> CredCache<String, String> {
+    CredCache::with_obs(ig_obs::Obs::new("cred-cache-battery"))
+        .with_bucket(3600)
+        .with_skew_margin(margin)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    /// The expiry boundary under arbitrary clock skew margins: a cached
+    /// credential is served iff it outlives `now + margin`; otherwise
+    /// the cache re-issues. Exactly-at-margin counts as expired (a
+    /// credential that might die mid-handshake is useless).
+    #[test]
+    fn expiry_boundary_under_skew(
+        margin in 0u64..=900,
+        expires_at in 1_000u64..=5_000,
+        probe_offset in -600i64..=600,
+    ) {
+        let c = cache(margin);
+        let (v, _) = c.get_or_issue("u", 100, 0, || Ok(("v1".to_string(), expires_at)));
+        prop_assume!(v.is_ok()); // issuer-dead-on-arrival cells skipped here
+        let probe = expires_at.saturating_add_signed(probe_offset - i64::try_from(margin).unwrap());
+        let issued = AtomicU64::new(0);
+        let (v, o) = c.get_or_issue("u", 100, probe, || {
+            issued.fetch_add(1, Ordering::SeqCst);
+            Ok(("v2".to_string(), probe + 10_000))
+        });
+        let v = v.unwrap();
+        if expires_at > probe.saturating_add(margin) {
+            prop_assert_eq!((v.as_str(), o), ("v1", Outcome::Hit), "probe {}", probe);
+            prop_assert_eq!(issued.load(Ordering::SeqCst), 0);
+        } else {
+            prop_assert_eq!((v.as_str(), o), ("v2", Outcome::Issued), "probe {}", probe);
+            prop_assert_eq!(issued.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    /// An issuer handing back a credential already inside the skew
+    /// margin yields a typed `UnusableLifetime` and caches nothing.
+    #[test]
+    fn dead_on_arrival_is_typed(margin in 1u64..=600, slack in 0u64..=599) {
+        let c = cache(margin);
+        let now = 10_000u64;
+        let expires_at = now + slack.min(margin); // within the margin
+        let (v, _) = c.get_or_issue("u", 100, now, || Ok(("dead".to_string(), expires_at)));
+        prop_assert!(matches!(
+            v.unwrap_err(),
+            CredCacheError::UnusableLifetime { expires_at: e, now: n } if e == expires_at && n == now
+        ));
+        prop_assert!(c.is_empty());
+    }
+}
+
+/// The E11 stampede: K threads demand a credential for the same
+/// (tenant, lifetime-bucket) simultaneously against the **real** online
+/// CA. The `myproxy.issued` counter (bumped inside `OnlineCa::issue`,
+/// the E11 issuance metric) must move by exactly 1: one CSR signed, the
+/// rest coalesced or served from cache.
+#[test]
+fn stampede_hits_real_ca_once() {
+    use ig_crypto::rng::seeded;
+
+    let ca = Arc::new(
+        OnlineCa::create(&mut seeded(42), "fleet.example.org", 512, Clock::Fixed(50_000))
+            .unwrap(),
+    );
+    let cache: Arc<CredCache<ig_pki::Certificate, ig_myproxy::MyProxyError>> =
+        Arc::new(CredCache::with_obs(ig_obs::Obs::new("cred-cache-stampede")));
+    let issued_before = ig_obs::Obs::global().metrics().counter_value("myproxy.issued");
+
+    let k = 12;
+    let barrier = Arc::new(std::sync::Barrier::new(k));
+    let handles: Vec<_> = (0..k)
+        .map(|i| {
+            let ca = Arc::clone(&ca);
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Every thread brings its own key pair / CSR — exactly
+                // the storm shape: same subject, distinct requests.
+                let kp = ig_crypto::RsaKeyPair::generate(&mut seeded(100 + i as u64), 512)
+                    .unwrap();
+                let csr = ig_pki::CertificateSigningRequest::create(
+                    ig_pki::DistinguishedName::from_pairs([("CN", "ignored")]),
+                    &kp.private,
+                )
+                .unwrap();
+                barrier.wait();
+                let (cert, outcome) = cache.get_or_issue("tenant-a", 4000, 50_000, || {
+                    let cert = ca.issue("tenant-a", &csr, 4000)?;
+                    let expires = cert.tbs.validity.not_after;
+                    Ok((cert, expires))
+                });
+                (cert.unwrap(), outcome)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let issued_after = ig_obs::Obs::global().metrics().counter_value("myproxy.issued");
+    assert_eq!(
+        issued_after - issued_before,
+        1,
+        "a {k}-wide stampede must produce exactly one CA issuance"
+    );
+    assert_eq!(results.iter().filter(|(_, o)| *o == Outcome::Issued).count(), 1);
+    // Everyone holds the same certificate — the leader's.
+    let first = &results[0].0;
+    assert!(results.iter().all(|(c, _)| c == first));
+    assert_eq!(first.subject().to_string(), "/O=GCMU/OU=fleet.example.org/CN=tenant-a");
+}
+
+/// CA-timeout chaos cell: the issuer times out for a seeded prefix of
+/// attempts. Every failure surfaces as a typed `CredCacheError::Issue`
+/// (nothing cached), the retry loop runs on `ig_xio::RetryPolicy` with
+/// a manual clock, and the backoff schedule replays exactly under the
+/// same seed.
+#[test]
+fn ca_timeout_chaos_with_replayable_backoff() {
+    #[derive(Debug, Clone, PartialEq)]
+    struct CaTimeout(u32);
+    impl std::fmt::Display for CaTimeout {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "CA timed out (attempt {})", self.0)
+        }
+    }
+
+    let run = |seed: u64| -> (Vec<std::time::Duration>, u32, u64) {
+        let cache: CredCache<String, CaTimeout> =
+            CredCache::with_obs(ig_obs::Obs::new("cred-cache-chaos"));
+        let policy = ig_xio::RetryPolicy {
+            max_attempts: 10,
+            base_backoff: std::time::Duration::from_millis(100),
+            max_backoff: std::time::Duration::from_secs(5),
+            multiplier: 2.0,
+            jitter: 0.5,
+            attempt_timeout: None,
+            overall_deadline: None,
+            seed,
+        };
+        let clock = ig_xio::test_support::ManualClock::new();
+        let sleeps: std::sync::Mutex<Vec<std::time::Duration>> = std::sync::Mutex::new(vec![]);
+        // Chaos: first 3 issuances time out, the 4th succeeds.
+        let failures = 3u32;
+        let attempts = std::sync::Mutex::new(0u32);
+        let issuances = AtomicU64::new(0);
+        let out = policy.run_clocked(
+            clock.now_fn(),
+            |d| {
+                sleeps.lock().unwrap().push(d);
+                clock.advance(d);
+            },
+            |attempt| {
+                *attempts.lock().unwrap() = attempt;
+                let (v, _) = cache.get_or_issue("t", 100, 0, || {
+                    issuances.fetch_add(1, Ordering::SeqCst);
+                    if attempt <= failures {
+                        Err(CaTimeout(attempt))
+                    } else {
+                        Ok(("cert".to_string(), 99_000))
+                    }
+                });
+                v
+            },
+        );
+        // Typed all the way: the final success yields the credential;
+        // the in-between errors carried the CA's own error type.
+        assert_eq!(out.unwrap(), "cert");
+        let attempts = attempts.into_inner().unwrap();
+        (sleeps.into_inner().unwrap(), attempts, issuances.load(Ordering::SeqCst))
+    };
+
+    let (sleeps_a, attempts_a, issuances_a) = run(7);
+    assert_eq!(attempts_a, 4);
+    // Failures were not cached: each retry reached the issuer.
+    assert_eq!(issuances_a, 4);
+    assert_eq!(sleeps_a.len(), 3, "one backoff per failed attempt");
+    // Growing schedule (jittered exponential, per-seed deterministic).
+    assert!(sleeps_a.windows(2).all(|w| w[0] < w[1]), "{sleeps_a:?}");
+
+    // Same seed ⇒ byte-identical backoff schedule (the replay story).
+    let (sleeps_b, _, _) = run(7);
+    assert_eq!(sleeps_a, sleeps_b);
+    // Different seed ⇒ different jitter.
+    let (sleeps_c, _, _) = run(8);
+    assert_ne!(sleeps_a, sleeps_c);
+}
+
+/// A typed failure is shared by every coalesced waiter of the same
+/// flight — no waiter sees a hang, a panic, or a default value.
+#[test]
+fn coalesced_waiters_share_the_typed_failure() {
+    let cache: Arc<CredCache<String, String>> =
+        Arc::new(CredCache::with_obs(ig_obs::Obs::new("cred-cache-shared-fail")));
+    let k = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(k));
+    let handles: Vec<_> = (0..k)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (v, _) = cache.get_or_issue("t", 100, 0, || {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Err("CA unreachable".to_string())
+                });
+                v
+            })
+        })
+        .collect();
+    let mut failures = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Err(CredCacheError::Issue(e)) => {
+                assert_eq!(e.as_str(), "CA unreachable");
+                failures += 1;
+            }
+            other => panic!("expected typed issue error, got {other:?}"),
+        }
+    }
+    assert_eq!(failures, k);
+    assert!(cache.is_empty(), "failures must never be cached");
+}

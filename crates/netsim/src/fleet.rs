@@ -1,0 +1,384 @@
+//! Fleet-scale endpoint population for the hosted-service simulation.
+//!
+//! §IV's GCMU story is thousands of "GridFTP server in 10 min"
+//! endpoints — campus clusters, lab boxes, even DSL-grade hosts — all
+//! funnelling transfer jobs through one hosted Globus Online instance.
+//! This module generates that population deterministically from a seed:
+//! each endpoint gets a WAN path class ([`EndpointClass`]), a concrete
+//! [`Bottleneck`] drawn within its class envelope, a tenant assignment,
+//! and a seeded outage ("flap") schedule for chaos injection. A
+//! [`DiurnalModel`] supplies the Fig 1-style daily arrival curve —
+//! transfers per second as a sinusoid over the day — plus a Poisson
+//! sampler so a scaled 10M-transfers/day workload can be replayed
+//! exactly under a fixed seed.
+//!
+//! Everything here is pure data + math; the scheduler, ledger and
+//! credential layers that consume it live in `gol`/`ig-server` and are
+//! stitched together by experiment E15.
+
+use crate::link::Bottleneck;
+use rand::Rng;
+
+/// Deployment classes for GCMU endpoints, coarsely matching the §IV
+/// adoption story (most installs are campus/lab-grade, a few are
+/// backbone-attached, a tail is consumer-grade).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointClass {
+    /// Backbone-attached data-transfer node: 10 Gbps-class, clean path.
+    Backbone,
+    /// Campus cluster: 1 Gbps-class, moderate RTT.
+    Campus,
+    /// Lab workstation: 100 Mbps-class, noisier path.
+    Lab,
+    /// Consumer-grade (DSL/cable): tens of Mbps, lossy.
+    Consumer,
+}
+
+impl EndpointClass {
+    /// (bandwidth range bps, RTT range s, loss range) for the class.
+    fn envelope(self) -> (std::ops::Range<f64>, std::ops::Range<f64>, std::ops::Range<f64>) {
+        match self {
+            EndpointClass::Backbone => (5e9..1e10, 0.01..0.06, 0.0..1e-5),
+            EndpointClass::Campus => (5e8..1e9, 0.02..0.09, 1e-6..1e-4),
+            EndpointClass::Lab => (5e7..1e8, 0.03..0.12, 1e-5..5e-4),
+            EndpointClass::Consumer => (5e6..2e7, 0.04..0.15, 1e-4..2e-3),
+        }
+    }
+
+    /// Class for a unit draw, weighted 5% backbone / 45% campus /
+    /// 35% lab / 15% consumer.
+    fn pick(unit: f64) -> EndpointClass {
+        if unit < 0.05 {
+            EndpointClass::Backbone
+        } else if unit < 0.50 {
+            EndpointClass::Campus
+        } else if unit < 0.85 {
+            EndpointClass::Lab
+        } else {
+            EndpointClass::Consumer
+        }
+    }
+}
+
+/// One simulated GCMU endpoint.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// Dense id in `0..fleet.len()`.
+    pub id: u32,
+    /// Owning tenant (maps to a scheduler share / credential subject).
+    pub tenant: u32,
+    /// Deployment class the link was drawn from.
+    pub class: EndpointClass,
+    /// The endpoint's WAN path to its peers.
+    pub link: Bottleneck,
+    /// Seeded outage windows `(start_s, end_s)` within the simulated
+    /// day, sorted and non-overlapping. Empty for healthy endpoints.
+    pub outages: Vec<(f64, f64)>,
+}
+
+impl Endpoint {
+    /// Is the endpoint up at simulated time `t_s`?
+    pub fn is_up(&self, t_s: f64) -> bool {
+        !self.outages.iter().any(|&(a, b)| (a..b).contains(&t_s))
+    }
+}
+
+/// Knobs for [`Fleet::generate`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Endpoint population size.
+    pub endpoints: usize,
+    /// Tenant count; endpoints are assigned round-robin with a seeded
+    /// offset so tenants own a mix of classes.
+    pub tenants: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Fraction of endpoints that flap (get outage windows) during the
+    /// day — the chaos-injection knob. `0.0` disables outages.
+    pub flap_fraction: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { endpoints: 1000, tenants: 16, seed: 0x600D_F1EE, flap_fraction: 0.02 }
+    }
+}
+
+/// The generated endpoint population.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// Endpoints, indexed by id.
+    pub endpoints: Vec<Endpoint>,
+    /// Tenant count the fleet was generated with.
+    pub tenants: usize,
+}
+
+impl Fleet {
+    /// Generate a fleet deterministically from `cfg`. Same config ⇒
+    /// byte-identical fleet; per-endpoint draws are keyed by id, so
+    /// growing the population keeps existing endpoints stable.
+    pub fn generate(cfg: &FleetConfig) -> Fleet {
+        assert!(cfg.endpoints > 0 && cfg.tenants > 0, "fleet needs endpoints and tenants");
+        assert!((0.0..=1.0).contains(&cfg.flap_fraction), "flap_fraction in [0,1]");
+        let endpoints = (0..cfg.endpoints as u32)
+            .map(|id| {
+                let mut rng = ep_rng(cfg.seed, id);
+                let class = EndpointClass::pick(rng.gen::<f64>());
+                let (bw, rtt, loss) = class.envelope();
+                let link = Bottleneck::new(
+                    rng.gen_range(bw),
+                    rng.gen_range(rtt),
+                    rng.gen_range(loss),
+                );
+                let tenant = (id as usize + (cfg.seed as usize % cfg.tenants)) % cfg.tenants;
+                let outages = if rng.gen::<f64>() < cfg.flap_fraction {
+                    // 1–3 outage windows of 5–30 minutes, placed in
+                    // disjoint thirds of the day so they never overlap.
+                    let n = rng.gen_range(1u32..=3);
+                    (0..n)
+                        .map(|k| {
+                            let third = 86_400.0 / 3.0;
+                            let start =
+                                k as f64 * third + rng.gen_range(0.0..(third - 1_800.0));
+                            let len = rng.gen_range(300.0..1_800.0);
+                            (start, start + len)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Endpoint { id, tenant: tenant as u32, class, link, outages }
+            })
+            .collect();
+        Fleet { endpoints, tenants: cfg.tenants }
+    }
+
+    /// Endpoint count.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the fleet has no endpoints (never, post-generate).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Endpoints currently down at simulated time `t_s`.
+    pub fn down_at(&self, t_s: f64) -> usize {
+        self.endpoints.iter().filter(|e| !e.is_up(t_s)).count()
+    }
+
+    /// Class histogram `(backbone, campus, lab, consumer)`.
+    pub fn class_mix(&self) -> (usize, usize, usize, usize) {
+        let mut mix = (0, 0, 0, 0);
+        for e in &self.endpoints {
+            match e.class {
+                EndpointClass::Backbone => mix.0 += 1,
+                EndpointClass::Campus => mix.1 += 1,
+                EndpointClass::Lab => mix.2 += 1,
+                EndpointClass::Consumer => mix.3 += 1,
+            }
+        }
+        mix
+    }
+}
+
+/// Per-endpoint RNG: master seed scrambled with the id so endpoint `k`'s
+/// attributes never depend on how many endpoints precede it.
+fn ep_rng(seed: u64, id: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed ^ (u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The Fig 1 daily-usage shape: arrival rate over a day as a raised
+/// sinusoid, `rate(t) = mean * (1 + depth * sin(2π (t - phase)/day))`,
+/// where `depth` is set by the peak-to-trough ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalModel {
+    /// Mean arrivals per second (daily total / 86 400).
+    pub mean_rate_per_s: f64,
+    /// Peak rate divided by trough rate (> 1 for a day/night swing).
+    pub peak_to_trough: f64,
+    /// Time of day (seconds) the peak lands on.
+    pub peak_s: f64,
+}
+
+impl DiurnalModel {
+    /// A model hitting `daily_total` transfers per day.
+    pub fn with_daily_total(daily_total: f64, peak_to_trough: f64, peak_s: f64) -> DiurnalModel {
+        assert!(daily_total > 0.0 && peak_to_trough >= 1.0);
+        DiurnalModel { mean_rate_per_s: daily_total / 86_400.0, peak_to_trough, peak_s }
+    }
+
+    /// Arrival rate (transfers/s) at time-of-day `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let depth = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0);
+        let phase = 2.0 * std::f64::consts::PI * (t_s - self.peak_s) / 86_400.0;
+        self.mean_rate_per_s * (1.0 + depth * phase.cos())
+    }
+
+    /// Expected arrivals over a day (the sinusoid integrates out).
+    pub fn daily_total(&self) -> f64 {
+        self.mean_rate_per_s * 86_400.0
+    }
+
+    /// Sample the arrival count for a `dt_s`-wide bucket starting at
+    /// `t_s` — Poisson for small means, normal approximation above 64
+    /// (indistinguishable at that mass, and O(1) instead of O(mean)).
+    pub fn arrivals<R: Rng + ?Sized>(&self, t_s: f64, dt_s: f64, rng: &mut R) -> u64 {
+        poisson(self.rate_at(t_s) * dt_s, rng)
+    }
+}
+
+/// Seeded Poisson sample with mean `mean`.
+pub fn poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "poisson mean must be finite and >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 64.0 {
+        // Knuth: multiply unit draws until under e^-mean.
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation (Box–Muller) for large means.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + z * mean.sqrt()).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(endpoints: usize) -> FleetConfig {
+        FleetConfig { endpoints, tenants: 8, seed: 1234, flap_fraction: 0.05 }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_id_stable() {
+        let small = Fleet::generate(&cfg(100));
+        let again = Fleet::generate(&cfg(100));
+        for (a, b) in small.endpoints.iter().zip(&again.endpoints) {
+            assert_eq!(a.link, b.link);
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.outages, b.outages);
+        }
+        // Growing the fleet must not disturb existing endpoints.
+        let big = Fleet::generate(&cfg(200));
+        for (a, b) in small.endpoints.iter().zip(&big.endpoints) {
+            assert_eq!(a.link, b.link);
+            assert_eq!(a.class, b.class);
+        }
+    }
+
+    #[test]
+    fn class_mix_tracks_weights() {
+        let fleet = Fleet::generate(&cfg(2000));
+        let (bb, campus, lab, consumer) = fleet.class_mix();
+        assert_eq!(bb + campus + lab + consumer, 2000);
+        // Loose envelopes around the 5/45/35/15 weighting.
+        assert!((50..=160).contains(&bb), "backbone {bb}");
+        assert!((700..=1100).contains(&campus), "campus {campus}");
+        assert!((500..=900).contains(&lab), "lab {lab}");
+        assert!((150..=450).contains(&consumer), "consumer {consumer}");
+    }
+
+    #[test]
+    fn links_stay_inside_class_envelopes() {
+        let fleet = Fleet::generate(&cfg(500));
+        for e in &fleet.endpoints {
+            let (bw, rtt, loss) = e.class.envelope();
+            assert!(bw.contains(&e.link.bandwidth_bps), "{:?}", e);
+            assert!(rtt.contains(&e.link.rtt_s), "{:?}", e);
+            assert!(loss.contains(&e.link.loss) || e.link.loss == loss.start, "{:?}", e);
+        }
+    }
+
+    #[test]
+    fn tenants_cover_all_shares() {
+        let fleet = Fleet::generate(&cfg(64));
+        let mut seen = vec![false; 8];
+        for e in &fleet.endpoints {
+            seen[e.tenant as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every tenant owns endpoints");
+    }
+
+    #[test]
+    fn flaps_happen_and_resolve() {
+        let fleet = Fleet::generate(&FleetConfig { flap_fraction: 1.0, ..cfg(50) });
+        let flappers: Vec<_> =
+            fleet.endpoints.iter().filter(|e| !e.outages.is_empty()).collect();
+        assert!(!flappers.is_empty());
+        for e in &flappers {
+            for &(a, b) in &e.outages {
+                assert!(a < b && b <= 86_400.0 + 1_800.0);
+                assert!(!e.is_up((a + b) / 2.0));
+            }
+            assert!(e.is_up(-1.0), "up before the day starts");
+        }
+        // Windows are non-overlapping and sorted by construction.
+        for e in &flappers {
+            for w in e.outages.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {:?}", e.outages);
+            }
+        }
+        let healthy = Fleet::generate(&FleetConfig { flap_fraction: 0.0, ..cfg(50) });
+        assert_eq!(healthy.down_at(43_200.0), 0);
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_where_told_and_integrates_to_total() {
+        let m = DiurnalModel::with_daily_total(10_000_000.0, 3.0, 14.0 * 3600.0);
+        let peak = m.rate_at(14.0 * 3600.0);
+        let trough = m.rate_at(2.0 * 3600.0);
+        assert!(peak > trough);
+        assert!((peak / trough - 3.0).abs() < 0.05, "ratio {}", peak / trough);
+        // Riemann sum over the day recovers the daily total.
+        let total: f64 = (0..86_400).step_by(60).map(|t| m.rate_at(t as f64) * 60.0).sum();
+        assert!((total / m.daily_total() - 1.0).abs() < 0.01, "total {total}");
+        assert!((m.daily_total() - 10_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_matches_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &mean in &[0.5f64, 5.0, 200.0] {
+            let n = 4000;
+            let sum: u64 = (0..n).map(|_| poisson(mean, &mut rng)).sum();
+            let got = sum as f64 / n as f64;
+            assert!(
+                (got - mean).abs() < mean.max(1.0) * 0.1,
+                "mean {mean}: got {got}"
+            );
+        }
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn arrivals_replay_under_a_seed() {
+        let m = DiurnalModel::with_daily_total(1e6, 2.0, 0.0);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..48).map(|h| m.arrivals(h as f64 * 1800.0, 1800.0, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..48).map(|h| m.arrivals(h as f64 * 1800.0, 1800.0, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().sum::<u64>() > 0);
+    }
+}

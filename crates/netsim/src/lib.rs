@@ -23,11 +23,13 @@
 //! simulator-timed (vs. the loopback-measured experiments).
 
 pub mod cc;
+pub mod fleet;
 pub mod link;
 pub mod sim;
 pub mod tcp;
 
 pub use cc::{BbrLite, CcAlgo, CongestionControl, Cubic, Reno};
+pub use fleet::{DiurnalModel, Endpoint, EndpointClass, Fleet, FleetConfig};
 pub use link::{Bottleneck, Route};
 pub use sim::{simulate, FlowResult, FlowSpec, SimConfig};
 pub use tcp::TcpParams;

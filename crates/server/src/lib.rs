@@ -51,5 +51,5 @@ pub use dtp::RecvFault;
 pub use error::ServerError;
 pub use fault::FaultInjector;
 pub use listener::GridFtpServer;
-pub use usage::UsageReporter;
+pub use usage::{UsageReporter, UsageSnapshot};
 pub use users::UserContext;

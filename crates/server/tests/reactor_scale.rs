@@ -21,6 +21,7 @@ use ig_pki::time::Clock;
 use ig_pki::{CertificateAuthority, Credential, DistinguishedName, Gridmap, TrustStore};
 use ig_protocol::command::DcauMode;
 use ig_server::{Dsi, GridFtpServer, GridmapAuthz, MemDsi, ServerCore, ServerConfig};
+use ig_xio::test_support::{eventually, retry_measurement};
 use ig_xio::{Link, TcpLink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -115,15 +116,9 @@ fn gauge(w: &World, name: &str) -> f64 {
 }
 
 fn wait_for_held(w: &World, at_least: f64) {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while gauge(w, "server.sessions_held") < at_least {
-        assert!(
-            Instant::now() < deadline,
-            "reactor never registered the idle herd: held={}",
-            gauge(w, "server.sessions_held")
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    eventually(Duration::from_secs(30), Duration::from_millis(20), "idle herd registered", || {
+        gauge(w, "server.sessions_held") >= at_least
+    });
 }
 
 fn p99(samples: &mut [Duration]) -> Duration {
@@ -183,23 +178,32 @@ fn reactor_holds_idle_herd_within_memory_and_rtt_budgets() {
         .collect();
 
     // Command RTT through the loaded reactor, measured on a fresh
-    // pre-auth session (NOOP answers before login).
-    let mut probe = TcpLink::connect(w.server.addr().to_socket_addr()).unwrap();
-    let _banner = probe.recv().unwrap();
-    let mut rtts = Vec::with_capacity(200);
-    for _ in 0..200 {
-        let t0 = Instant::now();
-        probe.send(b"NOOP").unwrap();
-        let reply = probe.recv().unwrap();
-        rtts.push(t0.elapsed());
-        assert!(reply.starts_with(b"200"), "NOOP got {:?}", String::from_utf8_lossy(&reply));
-    }
-    let p99 = p99(&mut rtts);
-    assert!(
-        p99 < P99_BUDGET,
-        "p99 NOOP RTT {p99:?} blew the {P99_BUDGET:?} budget under \
-         {IDLE_SESSIONS} idle + {ACTIVE_SESSIONS} active sessions"
-    );
+    // pre-auth session (NOOP answers before login). Re-measured a
+    // bounded number of times: a transient CI load spike should not
+    // flake tier-1, a real wakeup storm fails every round.
+    retry_measurement(3, "loaded p99 NOOP RTT", || {
+        let mut probe = TcpLink::connect(w.server.addr().to_socket_addr()).unwrap();
+        let _banner = probe.recv().unwrap();
+        let mut rtts = Vec::with_capacity(200);
+        for _ in 0..200 {
+            let t0 = Instant::now();
+            probe.send(b"NOOP").unwrap();
+            let reply = probe.recv().unwrap();
+            rtts.push(t0.elapsed());
+            assert!(reply.starts_with(b"200"), "NOOP got {:?}", String::from_utf8_lossy(&reply));
+        }
+        probe.send(b"QUIT").unwrap();
+        let _ = probe.recv();
+        let p99 = p99(&mut rtts);
+        if p99 < P99_BUDGET {
+            Ok(())
+        } else {
+            Err(format!(
+                "p99 NOOP RTT {p99:?} over the {P99_BUDGET:?} budget under \
+                 {IDLE_SESSIONS} idle + {ACTIVE_SESSIONS} active sessions"
+            ))
+        }
+    });
 
     for t in active {
         t.join().unwrap();
@@ -217,19 +221,9 @@ fn reactor_holds_idle_herd_within_memory_and_rtt_budgets() {
     );
 
     // Hang up the herd; the reactor reaps every entry.
-    probe.send(b"QUIT").unwrap();
-    let _ = probe.recv();
-    drop(probe);
     drop(idle);
     w.server.shutdown();
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while gauge(&w, "server.sessions_active") != 0.0 {
-        assert!(
-            Instant::now() < deadline,
-            "sessions never tore down: active={} held={}",
-            gauge(&w, "server.sessions_active"),
-            gauge(&w, "server.sessions_held")
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    eventually(Duration::from_secs(30), Duration::from_millis(20), "sessions torn down", || {
+        gauge(&w, "server.sessions_active") == 0.0
+    });
 }

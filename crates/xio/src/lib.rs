@@ -23,6 +23,9 @@
 //! * [`retry::RetryPolicy`] — the shared retry/timeout/backoff policy
 //!   every retrying layer (client dial, third-party transfer, hosted
 //!   service) consumes instead of hand-rolled loops;
+//! * [`test_support`] — the deterministic [`test_support::ManualClock`]
+//!   and bounded-retry measurement helpers the timing-sensitive tests
+//!   across the workspace share (not used by production paths);
 //! * [`epoll`] (Linux) + [`nb::NbFramed`] + [`wheel::DeadlineWheel`] —
 //!   the readiness, nonblocking-framing, and timer primitives behind
 //!   the server's event-driven reactor core (`ServerConfig::core`).
@@ -38,6 +41,7 @@ pub mod obs;
 pub mod retry;
 pub mod secure;
 pub mod telemetry;
+pub mod test_support;
 pub mod udp;
 pub mod throttle;
 pub mod wheel;

@@ -242,12 +242,26 @@ impl RetryPolicy {
     /// Run `op` under this policy. `op` receives the 1-based attempt
     /// number; backoff sleeps happen between failed attempts, clamped so
     /// the overall deadline is never slept past.
-    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, RetryError<E>> {
-        let start = Instant::now();
+    pub fn run<T, E>(&self, op: impl FnMut(u32) -> Result<T, E>) -> Result<T, RetryError<E>> {
+        self.run_clocked(Instant::now, |d| std::thread::sleep(d), op)
+    }
+
+    /// [`Self::run`] with injectable time: `now` supplies the clock and
+    /// `sleep` performs the backoff waits. Production callers go through
+    /// [`Self::run`] (real clock, real sleeps); deterministic tests pass
+    /// a [`crate::test_support::ManualClock`]'s hooks so deadline and
+    /// backoff schedules replay exactly with zero wall-clock waiting.
+    pub fn run_clocked<T, E>(
+        &self,
+        now: impl Fn() -> Instant,
+        mut sleep: impl FnMut(Duration),
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, RetryError<E>> {
+        let start = now();
         let mut attempt = 0u32;
         loop {
             if let Some(deadline) = self.overall_deadline {
-                if start.elapsed() >= deadline {
+                if now().saturating_duration_since(start) >= deadline {
                     return Err(RetryError::DeadlineExceeded { attempts: attempt, last: None });
                 }
             }
@@ -260,7 +274,7 @@ impl RetryPolicy {
                     }
                     let backoff = self.backoff(attempt);
                     if let Some(deadline) = self.overall_deadline {
-                        if start.elapsed() + backoff >= deadline {
+                        if now().saturating_duration_since(start) + backoff >= deadline {
                             return Err(RetryError::DeadlineExceeded {
                                 attempts: attempt,
                                 last: Some(e),
@@ -268,7 +282,7 @@ impl RetryPolicy {
                         }
                     }
                     if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
+                        sleep(backoff);
                     }
                 }
             }
@@ -336,6 +350,10 @@ mod tests {
 
     #[test]
     fn overall_deadline_stops_the_loop() {
+        // Manual clock: the schedule is exact, not a wall-clock race.
+        // 20ms backoff against a 60ms deadline admits attempts at t=0,
+        // 20, 40; the sleep after the third would land on the deadline,
+        // so the loop stops at exactly 3 attempts.
         let p = RetryPolicy {
             max_attempts: 1000,
             base_backoff: Duration::from_millis(20),
@@ -346,11 +364,23 @@ mod tests {
             overall_deadline: Some(Duration::from_millis(60)),
             seed: 0,
         };
-        let start = Instant::now();
-        let err = p.run(|_| Err::<(), _>("always")).unwrap_err();
-        assert!(matches!(err, RetryError::DeadlineExceeded { .. }));
-        assert!(start.elapsed() < Duration::from_secs(2), "deadline must bound the loop");
-        assert!(err.attempts() >= 1);
+        let clock = crate::test_support::ManualClock::new();
+        let err = p
+            .run_clocked(clock.now_fn(), clock.sleeper(), |_| Err::<(), _>("always"))
+            .unwrap_err();
+        assert!(matches!(err, RetryError::DeadlineExceeded { attempts: 3, last: Some("always") }));
+        assert_eq!(clock.elapsed(), Duration::from_millis(40), "two sleeps happened");
+    }
+
+    #[test]
+    fn expired_deadline_refuses_to_start() {
+        // A zero budget means not even the first attempt runs.
+        let p = RetryPolicy::default().with_overall_deadline(Some(Duration::ZERO));
+        let clock = crate::test_support::ManualClock::new();
+        let err = p
+            .run_clocked(clock.now_fn(), clock.sleeper(), |_| Err::<(), _>("unreachable"))
+            .unwrap_err();
+        assert!(matches!(err, RetryError::DeadlineExceeded { attempts: 0, last: None }));
     }
 
     #[test]

@@ -30,12 +30,20 @@ pub struct DeadlineWheel {
 
 impl DeadlineWheel {
     pub fn new(tick: Duration, slots: usize) -> DeadlineWheel {
+        DeadlineWheel::new_at(tick, slots, Instant::now())
+    }
+
+    /// [`DeadlineWheel::new`] with an explicit time origin, so tests can
+    /// anchor the wheel to a deterministic clock (e.g.
+    /// [`crate::test_support::ManualClock`]) instead of racing
+    /// `Instant::now()`.
+    pub fn new_at(tick: Duration, slots: usize, start: Instant) -> DeadlineWheel {
         assert!(!tick.is_zero() && slots > 0);
         DeadlineWheel {
             tick,
             slots: (0..slots).map(|_| Vec::new()).collect(),
             cursor: 0,
-            start: Instant::now(),
+            start,
             live: HashMap::new(),
             generation: 0,
         }
@@ -115,78 +123,82 @@ impl DeadlineWheel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::ManualClock;
 
     const TICK: Duration = Duration::from_millis(10);
 
-    fn at(wheel: &DeadlineWheel, ms: u64) -> Instant {
-        wheel.start + Duration::from_millis(ms)
+    /// A wheel anchored to a manual clock: deadlines are built with
+    /// `clock.at_ms` against the same origin, so no test depends on how
+    /// fast wall time moves between construction and scheduling.
+    fn clocked(slots: usize) -> (DeadlineWheel, ManualClock) {
+        let clock = ManualClock::new();
+        (DeadlineWheel::new_at(TICK, slots, clock.now()), clock)
     }
 
     #[test]
     fn fires_after_deadline_not_before() {
-        let mut w = DeadlineWheel::new(TICK, 64);
-        let d = at(&w, 50);
-        w.schedule(1, d);
+        let (mut w, c) = clocked(64);
+        w.schedule(1, c.at_ms(50));
         let mut out = Vec::new();
-        w.expire(at(&w, 30), &mut out);
+        w.expire(c.at_ms(30), &mut out);
         assert!(out.is_empty());
-        w.expire(at(&w, 80), &mut out);
+        w.expire(c.at_ms(80), &mut out);
         assert_eq!(out, vec![1]);
         assert!(w.is_empty());
     }
 
     #[test]
     fn cancel_suppresses_fire() {
-        let mut w = DeadlineWheel::new(TICK, 64);
-        w.schedule(1, at(&w, 20));
-        w.schedule(2, at(&w, 20));
+        let (mut w, c) = clocked(64);
+        w.schedule(1, c.at_ms(20));
+        w.schedule(2, c.at_ms(20));
         w.cancel(1);
         let mut out = Vec::new();
-        w.expire(at(&w, 100), &mut out);
+        w.expire(c.at_ms(100), &mut out);
         assert_eq!(out, vec![2]);
     }
 
     #[test]
     fn rearm_supersedes_earlier_deadline() {
-        let mut w = DeadlineWheel::new(TICK, 64);
-        w.schedule(1, at(&w, 20));
-        w.schedule(1, at(&w, 200)); // pushed out
+        let (mut w, c) = clocked(64);
+        w.schedule(1, c.at_ms(20));
+        w.schedule(1, c.at_ms(200)); // pushed out
         let mut out = Vec::new();
-        w.expire(at(&w, 100), &mut out);
+        w.expire(c.at_ms(100), &mut out);
         assert!(out.is_empty(), "superseded deadline must not fire");
-        w.expire(at(&w, 300), &mut out);
+        w.expire(c.at_ms(300), &mut out);
         assert_eq!(out, vec![1]);
     }
 
     #[test]
     fn deadline_beyond_one_rotation_waits_for_its_turn() {
-        let mut w = DeadlineWheel::new(TICK, 8); // rotation = 80ms
-        w.schedule(1, at(&w, 250));
+        let (mut w, c) = clocked(8); // rotation = 80ms
+        w.schedule(1, c.at_ms(250));
         let mut out = Vec::new();
-        w.expire(at(&w, 100), &mut out);
-        w.expire(at(&w, 200), &mut out);
+        w.expire(c.at_ms(100), &mut out);
+        w.expire(c.at_ms(200), &mut out);
         assert!(out.is_empty());
-        w.expire(at(&w, 260), &mut out);
+        w.expire(c.at_ms(260), &mut out);
         assert_eq!(out, vec![1]);
     }
 
     #[test]
     fn idle_stretch_skips_catch_up() {
-        let mut w = DeadlineWheel::new(TICK, 8);
+        let (mut w, c) = clocked(8);
         let mut out = Vec::new();
         // A long quiet period with nothing armed...
-        w.expire(at(&w, 10_000), &mut out);
+        w.expire(c.at_ms(10_000), &mut out);
         // ...must not make a later timer sweep thousands of ticks.
-        w.schedule(1, at(&w, 10_050));
-        w.expire(at(&w, 10_100), &mut out);
+        w.schedule(1, c.at_ms(10_050));
+        w.expire(c.at_ms(10_100), &mut out);
         assert_eq!(out, vec![1]);
     }
 
     #[test]
     fn timeout_hint_tracks_armed_state() {
-        let mut w = DeadlineWheel::new(TICK, 8);
+        let (mut w, c) = clocked(8);
         assert!(w.next_timeout().is_none());
-        w.schedule(9, at(&w, 30));
+        w.schedule(9, c.at_ms(30));
         assert_eq!(w.next_timeout(), Some(TICK));
         w.cancel(9);
         assert!(w.next_timeout().is_none());

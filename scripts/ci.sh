@@ -125,4 +125,50 @@ if ! check_corner 0.2 1e-6 tcp; then
 fi
 echo "    crossover goes both ways; the tuner picked the measured winner on both corners"
 
+# E15 fleet-scale smoke: the reduced (fast) fleet — 1,000 endpoints,
+# scaled 10M transfers/day — must (a) replay byte-identically under the
+# default seed AND under a second E15_SEED (the whole rendered table is
+# compared, digest line included), (b) hold both p99 budgets on each
+# seed, and (c) change its digest when the seed changes (the trace is
+# really seed-derived, not constant).
+echo "==> E15 fleet-scale smoke (reduced fleet, two seeds, replay byte-compared)"
+e15_a="$(timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e15 --fast)"
+e15_b="$(timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e15 --fast)"
+echo "${e15_a}"
+if [[ "${e15_a}" != "${e15_b}" ]]; then
+  echo "E15: same-seed replay diverged" >&2
+  diff <(echo "${e15_a}") <(echo "${e15_b}") >&2 || true
+  exit 1
+fi
+e15_c="$(E15_SEED=271828 timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e15 --fast)"
+e15_d="$(E15_SEED=271828 timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e15 --fast)"
+if [[ "${e15_c}" != "${e15_d}" ]]; then
+  echo "E15: second-seed replay diverged" >&2
+  exit 1
+fi
+for out in "${e15_a}" "${e15_c}"; do
+  if ! grep -q "within budget: yes" <<<"${out}"; then
+    echo "E15: p99 submit/activation budgets blown" >&2
+    exit 1
+  fi
+done
+digest_a="$(grep -o 'e15:[0-9a-f]\{16\}' <<<"${e15_a}")"
+digest_c="$(grep -o 'e15:[0-9a-f]\{16\}' <<<"${e15_c}")"
+if [[ -z "${digest_a}" || "${digest_a}" == "${digest_c}" ]]; then
+  echo "E15: digest missing or seed-insensitive (${digest_a:-none})" >&2
+  exit 1
+fi
+echo "    both seeds replay byte-identically (digests ${digest_a} / ${digest_c}), budgets hold"
+
+# The PR 9 batteries at reduced proptest case counts: the sharded-ledger
+# differential, the fair-share scheduler properties, and the
+# credential-cache battery (whose stampede cell asserts the E11
+# `myproxy.issued` counter moves exactly once for a 12-wide storm, and
+# whose chaos cell replays its backoff schedule under two seeds
+# in-test). Full-depth runs already happened under `cargo test -q`.
+echo "==> E15 satellite batteries (reduced proptest cases)"
+IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-server --test usage_differential
+IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-gol --test sched_property
+IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-myproxy --test cred_cache
+
 echo "CI gate passed."
