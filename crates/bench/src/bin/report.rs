@@ -66,8 +66,9 @@ fn main() {
         Some("e13") => print!("{}", exp::e13_obs::table(fast)),
         Some("e14") => print!("{}", exp::e14_sessions::table(fast)),
         Some("e15") => print!("{}", exp::e15_fleet::table(fast)),
+        Some("e16") => print!("{}", exp::e16_drain::table(fast)),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; use e1..e15 or e2x");
+            eprintln!("unknown experiment {other:?}; use e1..e16 or e2x");
             std::process::exit(2);
         }
     }

@@ -1,4 +1,4 @@
-//! The E1–E15 experiment implementations (see DESIGN.md §4).
+//! The E1–E16 experiment implementations (see DESIGN.md §4).
 
 pub mod common;
 pub mod e10_oauth;
@@ -7,6 +7,7 @@ pub mod e12_overheads;
 pub mod e13_obs;
 pub mod e14_sessions;
 pub mod e15_fleet;
+pub mod e16_drain;
 pub mod e1_usage;
 pub mod e2_wan;
 pub mod e3_prot;

@@ -1,6 +1,6 @@
 //! # ig-bench — the evaluation harness
 //!
-//! One module per experiment from DESIGN.md's index (E1–E15). Every
+//! One module per experiment from DESIGN.md's index (E1–E16). Every
 //! module exposes a `run()` returning printable rows plus a `table()`
 //! that renders the same table the paper's figure/claim corresponds to.
 //! The `report` binary and the `report_tables` bench target print all of
@@ -34,6 +34,7 @@ pub fn report_sections(fast: bool) -> Vec<(&'static str, &'static str, String)> 
         ("e13", "E13 observability overhead: ObsLink vs bare link (measured)", experiments::e13_obs::table(fast)),
         ("e14", "E14 session scalability: threaded vs epoll reactor core (measured)", experiments::e14_sessions::table(fast)),
         ("e15", "E15 fleet-scale hosted service: Fig 1 @ 10M transfers/day (simulated)", experiments::e15_fleet::table(fast)),
+        ("e16", "E16 drain under load: admin-socket drain RTT + forced checkpoint resume (measured)", experiments::e16_drain::table(fast)),
     ]
 }
 

@@ -282,6 +282,97 @@ impl<T> FairScheduler<T> {
     pub fn rejected(&self, tenant: &str) -> u64 {
         self.inner.lock().tenants.get(tenant).map_or(0, |t| t.rejected)
     }
+
+    /// Reconfigure an *existing* tenant's share, keeping its queue and
+    /// virtual-time position. Unlike [`FairScheduler::register`], an
+    /// unknown tenant is a typed error, not an implicit creation — the
+    /// admin plane must not mint tenants by typo. Same validity
+    /// contract as `register` (`weight >= 1`, `queue_cap >= 1`).
+    pub fn reconfigure(&self, tenant: &str, share: TenantShare) -> Result<(), SchedReject> {
+        assert!(share.weight >= 1, "weight must be >= 1");
+        assert!(share.queue_cap >= 1, "queue_cap must be >= 1");
+        let mut inner = self.inner.lock();
+        let Some(t) = inner.tenants.get_mut(tenant) else {
+            return Err(SchedReject::UnknownTenant { tenant: tenant.to_string() });
+        };
+        t.stride = STRIDE1 / u128::from(share.weight);
+        t.tokens = t.tokens.min(share.burst);
+        t.share = share;
+        Ok(())
+    }
+
+    /// JSON array of per-tenant configuration and counters, name-ordered
+    /// (BTreeMap), for the admin `limits list` command.
+    pub fn tenants_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::from("[");
+        for (i, (name, t)) in inner.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tenant\":");
+            ig_obs::json::escape_str_into(&mut out, name);
+            out.push_str(",\"weight\":");
+            out.push_str(&t.share.weight.to_string());
+            out.push_str(",\"rate_per_s\":");
+            match t.share.rate_per_s {
+                Some(r) => out.push_str(&format!("{r}")),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"burst\":");
+            out.push_str(&format!("{}", t.share.burst));
+            out.push_str(",\"queue_cap\":");
+            out.push_str(&t.share.queue_cap.to_string());
+            out.push_str(",\"queued\":");
+            out.push_str(&t.queue.len().to_string());
+            out.push_str(",\"granted\":");
+            out.push_str(&t.granted.to_string());
+            out.push_str(",\"rejected\":");
+            out.push_str(&t.rejected.to_string());
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The admin plane's hook into a running scheduler (`limits set` /
+/// `limits list`). Validation happens here — with typed string errors,
+/// not the panics `register` reserves for programmer mistakes — because
+/// the inputs come off the wire.
+impl<T: Send> ig_server::SchedulerControl for FairScheduler<T> {
+    fn set_limits(
+        &self,
+        tenant: &str,
+        weight: u32,
+        rate_per_s: Option<f64>,
+        burst: f64,
+        queue_cap: usize,
+    ) -> Result<(), String> {
+        if weight < 1 {
+            return Err("weight must be >= 1".to_string());
+        }
+        if queue_cap < 1 {
+            return Err("queue_cap must be >= 1".to_string());
+        }
+        let share = match rate_per_s {
+            Some(r) => {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err("rate_per_s must be finite and > 0".to_string());
+                }
+                if !(burst.is_finite() && burst >= 1.0) {
+                    return Err("burst must be finite and >= 1".to_string());
+                }
+                TenantShare::weighted(weight, queue_cap).with_rate(r, burst)
+            }
+            None => TenantShare::weighted(weight, queue_cap),
+        };
+        self.reconfigure(tenant, share).map_err(|e| e.to_string())
+    }
+
+    fn tenants_json(&self) -> String {
+        FairScheduler::tenants_json(self)
+    }
 }
 
 impl<T> Default for FairScheduler<T> {
@@ -418,6 +509,37 @@ mod tests {
             first.iter().filter(|t| t.as_str() == "busy").count() >= 4,
             "idle tenant monopolized after rejoining: {first:?}"
         );
+    }
+
+    #[test]
+    fn reconfigure_requires_existing_tenant() {
+        let s = sched();
+        let err = s.reconfigure("ghost", TenantShare::weighted(2, 8)).unwrap_err();
+        assert_eq!(err, SchedReject::UnknownTenant { tenant: "ghost".into() });
+        s.register("t", TenantShare::weighted(1, 4));
+        s.submit("t", 7).unwrap();
+        s.reconfigure("t", TenantShare::weighted(5, 8)).unwrap();
+        // The queue survived the reconfigure.
+        assert_eq!(s.pending("t"), 1);
+        assert!(s.tenants_json().contains("\"weight\":5"));
+    }
+
+    #[test]
+    fn scheduler_control_validates_wire_inputs() {
+        use ig_server::SchedulerControl;
+        let s = sched();
+        s.register("t", TenantShare::weighted(1, 4));
+        // Panics in register/with_rate must be unreachable from here.
+        assert!(s.set_limits("t", 0, None, 1.0, 4).is_err());
+        assert!(s.set_limits("t", 1, None, 1.0, 0).is_err());
+        assert!(s.set_limits("t", 1, Some(-1.0), 1.0, 4).is_err());
+        assert!(s.set_limits("t", 1, Some(10.0), 0.5, 4).is_err());
+        assert!(s.set_limits("ghost", 2, None, 1.0, 4).is_err());
+        s.set_limits("t", 3, Some(10.0), 2.0, 16).unwrap();
+        let json = SchedulerControl::tenants_json(&s);
+        assert!(json.contains("\"weight\":3"), "{json}");
+        assert!(json.contains("\"rate_per_s\":10"), "{json}");
+        assert!(json.contains("\"queue_cap\":16"), "{json}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use json::{kv, Value};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{StableExport, TraceEvent, Tracer};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -123,6 +123,13 @@ impl Obs {
     /// Full JSONL export including unstable events.
     pub fn export_full(&self) -> String {
         self.tracer.export_full()
+    }
+
+    /// Cursor-bounded stable export (see [`Tracer::export_stable_since`]):
+    /// the incremental read the admin plane's `trace follow` stream and
+    /// any other live consumer use instead of re-exporting the buffer.
+    pub fn export_stable_since(&self, cursor: u64) -> trace::StableExport {
+        self.tracer.export_stable_since(cursor)
     }
 
     /// If `IG_TRACE=path` is set in the environment, append the full

@@ -26,6 +26,11 @@ pub const DEFAULT_CAPACITY: usize = 65_536;
 pub struct TraceEvent {
     /// Monotone sequence number (per tracer).
     pub seq: u64,
+    /// Position in the *stable* substream (assigned at record time;
+    /// meaningful only when `stable` is true). Unlike `seq`, this number
+    /// does not move when unstable events interleave differently between
+    /// replays, so it is safe to emit in the stable export.
+    pub stable_seq: u64,
     /// Owning span id; 0 = no span.
     pub span: u64,
     /// Event name, dot-separated (`chaos.fault`, `retry.attempt`).
@@ -56,11 +61,25 @@ impl TraceEvent {
     }
 }
 
+/// A cursor-bounded stable export (see [`Tracer::export_stable_since`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableExport {
+    /// JSONL lines for stable events at `stable_seq >= cursor` still in
+    /// the ring, in sequence order.
+    pub jsonl: String,
+    /// Cursor to pass on the next call to resume exactly after this one.
+    pub next: u64,
+    /// Stable events in `[cursor, next)` the ring evicted before they
+    /// could be exported. Zero means the stream is gapless so far.
+    pub dropped: u64,
+}
+
 /// Ring-buffer event collector; one per [`crate::Obs`].
 #[derive(Debug)]
 pub struct Tracer {
     component: String,
     seq: AtomicU64,
+    stable_seq: AtomicU64,
     next_span: AtomicU64,
     capacity: usize,
     events: Mutex<VecDeque<TraceEvent>>,
@@ -72,6 +91,7 @@ impl Tracer {
         Tracer {
             component: component.to_string(),
             seq: AtomicU64::new(0),
+            stable_seq: AtomicU64::new(0),
             next_span: AtomicU64::new(1),
             capacity: DEFAULT_CAPACITY,
             events: Mutex::new(VecDeque::new()),
@@ -93,10 +113,12 @@ impl Tracer {
     pub fn record(&self, span: u64, name: &str, fields: Vec<(String, Value)>, stable: bool) {
         let mut q = self.events.lock().unwrap();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let stable_seq =
+            if stable { self.stable_seq.fetch_add(1, Ordering::Relaxed) } else { 0 };
         if q.len() == self.capacity {
             q.pop_front();
         }
-        q.push_back(TraceEvent { seq, span, name: name.to_string(), fields, stable });
+        q.push_back(TraceEvent { seq, stable_seq, span, name: name.to_string(), fields, stable });
     }
 
     /// Number of buffered events with name `name`.
@@ -126,17 +148,41 @@ impl Tracer {
         out
     }
 
-    /// Replay-stable JSONL export: stable events only, renumbered from
-    /// 0. Byte-identical across replays of the same seeded scenario.
+    /// Replay-stable JSONL export: stable events only, numbered by their
+    /// position in the stable substream (0-based). Byte-identical across
+    /// replays of the same seeded scenario.
     pub fn export_stable(&self) -> String {
-        let mut out = String::new();
-        let mut seq = 0u64;
-        for e in self.events.lock().unwrap().iter().filter(|e| e.stable) {
-            out.push_str(&e.jsonl(&self.component, seq));
-            out.push('\n');
-            seq += 1;
+        self.export_stable_since(0).jsonl
+    }
+
+    /// Cursor-bounded stable export: stable events at `stable_seq >=
+    /// cursor`, plus the cursor to resume from and a count of events the
+    /// ring evicted before this read (so a live `trace follow` stream
+    /// can report gaps instead of silently skipping them). Repeated
+    /// calls with the returned `next` yield a seq-monotone, gap-audited
+    /// stream without re-exporting the whole buffer each time.
+    pub fn export_stable_since(&self, cursor: u64) -> StableExport {
+        let q = self.events.lock().unwrap();
+        // `stable_seq` only advances under the events lock, so this read
+        // is consistent with the buffer snapshot below.
+        let total = self.stable_seq.load(Ordering::Relaxed);
+        let mut jsonl = String::new();
+        let mut oldest_buffered = None;
+        for e in q.iter().filter(|e| e.stable) {
+            if oldest_buffered.is_none() {
+                oldest_buffered = Some(e.stable_seq);
+            }
+            if e.stable_seq >= cursor {
+                jsonl.push_str(&e.jsonl(&self.component, e.stable_seq));
+                jsonl.push('\n');
+            }
         }
-        out
+        let dropped = match oldest_buffered {
+            Some(oldest) if oldest > cursor => oldest - cursor,
+            Some(_) => 0,
+            None => total.saturating_sub(cursor),
+        };
+        StableExport { jsonl, next: total.max(cursor), dropped }
     }
 }
 
@@ -174,6 +220,66 @@ mod tests {
         assert_eq!(evs.len(), 4);
         assert_eq!(evs[0].seq, 6, "oldest events evicted");
         assert_eq!(evs[3].seq, 9);
+    }
+
+    #[test]
+    fn cursor_export_survives_wraparound() {
+        let mut t = Tracer::new("wrap");
+        t.capacity = 4;
+        // Interleave stable and unstable so seq != stable_seq.
+        for i in 0..3u64 {
+            t.record(0, "e", vec![kv("i", i)], true);
+            t.record(0, "noise", vec![], false);
+        }
+        // Ring holds the last 4 events: s1,u1,s2,u2 — s0 was evicted.
+        let first = t.export_stable_since(0);
+        assert_eq!(first.dropped, 1, "evicted stable event must be counted");
+        assert_eq!(first.next, 3);
+        let lines: Vec<&str> = first.jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":1,"), "bad first line: {}", lines[0]);
+        assert!(lines[1].starts_with("{\"seq\":2,"));
+
+        // Resuming from `next` is quiet: no lines, no drops.
+        let again = t.export_stable_since(first.next);
+        assert!(again.jsonl.is_empty());
+        assert_eq!(again.dropped, 0);
+        assert_eq!(again.next, 3);
+
+        // A new event shows up exactly once, at the next stable seq.
+        t.record(0, "e", vec![kv("i", 9u64)], true);
+        let more = t.export_stable_since(first.next);
+        assert_eq!(more.dropped, 0);
+        assert_eq!(more.next, 4);
+        assert!(more.jsonl.starts_with("{\"seq\":3,"), "bad resume: {}", more.jsonl);
+
+        // Full overrun: everything since the cursor evicted.
+        for i in 0..10u64 {
+            t.record(0, "x", vec![kv("i", i)], true);
+        }
+        let overrun = t.export_stable_since(more.next);
+        assert_eq!(overrun.next, 14);
+        assert_eq!(overrun.dropped, 6, "seqs 4..10 evicted, 10..14 buffered");
+        assert_eq!(overrun.jsonl.lines().count(), 4);
+    }
+
+    #[test]
+    fn incremental_cursor_stream_equals_one_shot_export() {
+        let t = Tracer::new("inc");
+        let mut streamed = String::new();
+        let mut cursor = 0u64;
+        for i in 0..20u64 {
+            t.record(0, "e", vec![kv("i", i)], i % 3 != 0);
+            if i % 5 == 0 {
+                let chunk = t.export_stable_since(cursor);
+                assert_eq!(chunk.dropped, 0);
+                streamed.push_str(&chunk.jsonl);
+                cursor = chunk.next;
+            }
+        }
+        let tail = t.export_stable_since(cursor);
+        streamed.push_str(&tail.jsonl);
+        assert_eq!(streamed, t.export_stable(), "chunked reads must concatenate exactly");
     }
 
     #[test]

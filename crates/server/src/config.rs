@@ -1,11 +1,15 @@
 //! Server configuration.
 
+use crate::admin::SchedulerControl;
 use crate::authz::AuthzCallout;
 use crate::dsi::Dsi;
+use crate::introspect::SessionIndex;
+use crate::tunables::{ReloadError, TunableSlot, TunableValue, Tunables};
 use crate::usage::UsageReporter;
 use ig_pki::time::Clock;
 use ig_pki::{Credential, TrustStore};
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which concurrency core drives control sessions.
@@ -110,6 +114,21 @@ pub struct ServerConfig {
     /// channels (the chaos matrix's datagram fault site; distinct from
     /// `data_chaos`, which faults whole link frames).
     pub udp_chaos: Option<ig_xio::DatagramChaos>,
+    /// Path for the local admin-plane unix socket (`None` = no admin
+    /// surface). Linux only; ignored elsewhere.
+    pub admin_socket: Option<PathBuf>,
+    /// UID the admin socket trusts (`None` = this process's euid). The
+    /// `SO_PEERCRED` check runs before any byte of a connection is read.
+    pub admin_uid: Option<u32>,
+    /// Hot-swap slot for the reloadable tunables (see
+    /// [`crate::tunables`]). Shared by every clone of this config, so
+    /// an admin reload reaches sessions on both cores.
+    pub tunables: Arc<TunableSlot>,
+    /// Live-session registry behind the admin `sessions` command.
+    pub sessions: Arc<SessionIndex>,
+    /// Optional hook into a fair-share scheduler so the admin plane can
+    /// adjust per-tenant weights and rate caps (`limits set`).
+    pub scheduler: Option<Arc<dyn SchedulerControl>>,
 }
 
 impl ServerConfig {
@@ -149,6 +168,71 @@ impl ServerConfig {
             udp_enabled: true,
             udp_cc: ig_netsim::CcAlgo::Bbr,
             udp_chaos: None,
+            admin_socket: None,
+            admin_uid: None,
+            tunables: TunableSlot::new(),
+            sessions: SessionIndex::new(),
+            scheduler: None,
+        }
+    }
+
+    /// The live tunable snapshot, seeded from the builder-set fields on
+    /// first read. Sessions call this at each use site so an admin
+    /// reload takes effect without restarting anything.
+    pub fn live(&self) -> Arc<Tunables> {
+        self.tunables.get_or_seed(|| self.tunable_seed())
+    }
+
+    /// Validate and apply an admin reload batch (all-or-nothing; see
+    /// [`crate::tunables::TunableSlot::reload`]). The one non-tunable
+    /// knob handled here is `data_chaos_armed`, which arms/disarms the
+    /// installed chaos hook — validated with the rest of the batch so a
+    /// rejected batch toggles nothing.
+    pub fn reload(
+        &self,
+        updates: &[(String, TunableValue)],
+    ) -> Result<Arc<Tunables>, ReloadError> {
+        let mut chaos_arm = None;
+        let mut tun = Vec::new();
+        for (field, value) in updates {
+            if field == "data_chaos_armed" {
+                let hook = self.data_chaos.as_ref().ok_or_else(|| {
+                    ReloadError::InvalidValue {
+                        field: field.clone(),
+                        reason: "no chaos hook installed".to_string(),
+                    }
+                })?;
+                match value {
+                    TunableValue::Bool(b) => chaos_arm = Some((Arc::clone(hook), *b)),
+                    _ => {
+                        return Err(ReloadError::InvalidValue {
+                            field: field.clone(),
+                            reason: "expected bool".to_string(),
+                        })
+                    }
+                }
+            } else {
+                tun.push((field.clone(), value.clone()));
+            }
+        }
+        let out = self.tunables.reload(|| self.tunable_seed(), &tun)?;
+        if let Some((hook, arm)) = chaos_arm {
+            if arm {
+                hook.arm();
+            } else {
+                hook.disarm();
+            }
+        }
+        Ok(out)
+    }
+
+    fn tunable_seed(&self) -> Tunables {
+        Tunables {
+            stall_timeout: self.stall_timeout,
+            control_idle_timeout: self.control_idle_timeout,
+            block_size: self.block_size,
+            marker_interval: self.marker_interval,
+            stripe_rate: self.stripe_rate,
         }
     }
 
@@ -231,6 +315,25 @@ impl ServerConfig {
     /// Builder: datagram-level chaos on UDP data channels.
     pub fn with_udp_chaos(mut self, chaos: ig_xio::DatagramChaos) -> Self {
         self.udp_chaos = Some(chaos);
+        self
+    }
+
+    /// Builder: expose the local admin plane on a unix socket at `path`.
+    pub fn with_admin_socket(mut self, path: impl Into<PathBuf>) -> Self {
+        self.admin_socket = Some(path.into());
+        self
+    }
+
+    /// Builder: UID the admin socket trusts instead of this process's
+    /// euid (tests use a mismatched UID to drive the rejection path).
+    pub fn with_admin_uid(mut self, uid: u32) -> Self {
+        self.admin_uid = Some(uid);
+        self
+    }
+
+    /// Builder: hand the admin plane a scheduler to adjust.
+    pub fn with_scheduler(mut self, sched: Arc<dyn SchedulerControl>) -> Self {
+        self.scheduler = Some(sched);
         self
     }
 

@@ -28,6 +28,7 @@
 //! can implement its data storage interface" (§II-A) sit under a GridFTP
 //! server; in-memory and POSIX backends are provided.
 
+pub mod admin;
 pub mod authz;
 pub mod config;
 pub mod data;
@@ -35,21 +36,26 @@ pub mod dsi;
 pub mod dtp;
 pub mod error;
 pub mod fault;
+pub mod introspect;
 pub mod listener;
 mod pool;
 #[cfg(target_os = "linux")]
 mod reactor;
 pub mod session;
 pub mod striped;
+pub mod tunables;
 pub mod usage;
 pub mod users;
 
+pub use admin::SchedulerControl;
 pub use authz::{AuthzCallout, ChainAuthz, GcmuAuthz, GridmapAuthz};
 pub use config::{ServerConfig, ServerCore};
 pub use dsi::{expand_stream, memory::MemDsi, posix::PosixDsi, read_all, walk, Dsi, ExpandOutcome, WalkEntry};
 pub use dtp::RecvFault;
 pub use error::ServerError;
 pub use fault::FaultInjector;
-pub use listener::GridFtpServer;
-pub use usage::{UsageReporter, UsageSnapshot};
+pub use introspect::{SessionIndex, SessionState, SessionTicket, TransferScope};
+pub use listener::{DrainReport, GridFtpServer};
+pub use tunables::{ReloadError, TunableSlot, TunableValue, Tunables};
+pub use usage::{stats_json, UsageReporter, UsageSnapshot};
 pub use users::UserContext;

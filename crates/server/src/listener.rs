@@ -5,6 +5,7 @@
 use crate::config::{ServerConfig, ServerCore};
 use crate::error::{Result, ServerError};
 use crate::session::run_session;
+use ig_obs::json::kv;
 use ig_protocol::HostPort;
 use ig_xio::{Link, TcpLink};
 use rand::rngs::StdRng;
@@ -12,12 +13,39 @@ use rand::{Rng, SeedableRng};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a graceful drain (the admin plane's `drain` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// A drain had already run (or was running) when this one started;
+    /// the call observed its outcome instead of waiting again.
+    pub already: bool,
+    /// Every in-flight transfer finished inside the deadline.
+    pub clean: bool,
+    /// How long this call waited for transfers to quiesce.
+    pub waited_ms: u64,
+    /// Transfers still in flight when the deadline expired (0 on a
+    /// clean drain). Interrupted transfers checkpointed restart markers
+    /// on their control channels, so clients resume the remainder.
+    pub transfers_interrupted: u64,
+    /// Control sessions still registered at drain completion (idle
+    /// sessions are not waited for — only transfers carry state that
+    /// must not be lost).
+    pub sessions_active: u64,
+}
 
 /// A running GridFTP server.
 pub struct GridFtpServer {
     config: Arc<ServerConfig>,
     addr: HostPort,
     stop: Arc<AtomicBool>,
+    /// Set by [`GridFtpServer::drain`]: accept loops on both cores shed
+    /// new connections while transfers quiesce.
+    draining: Arc<AtomicBool>,
+    /// Serializes concurrent drain calls so the second observes the
+    /// first's outcome instead of re-waiting (drain is idempotent).
+    drain_lock: std::sync::Mutex<()>,
     /// Session-seed counter, bumped once per accepted connection in
     /// accept order — shared with the reactor so both cores seed
     /// identically.
@@ -40,6 +68,8 @@ impl GridFtpServer {
             config: Arc::new(config),
             addr,
             stop: Arc::new(AtomicBool::new(false)),
+            draining: Arc::new(AtomicBool::new(false)),
+            drain_lock: std::sync::Mutex::new(()),
             seed: Arc::new(AtomicU64::new(seed)),
             #[cfg(target_os = "linux")]
             wake: std::sync::Mutex::new(None),
@@ -54,6 +84,7 @@ impl GridFtpServer {
                         Arc::clone(&server.config),
                         Arc::clone(&server.seed),
                         Arc::clone(&server.stop),
+                        Arc::clone(&server.draining),
                     )?;
                     *server.wake.lock().unwrap() = Some(handle.wake);
                 }
@@ -67,6 +98,12 @@ impl GridFtpServer {
                 }
             }
         }
+        if server.config.admin_socket.is_some() {
+            // The admin plane needs SO_PEERCRED; the config documents it
+            // as Linux-only and other platforms simply run without it.
+            #[cfg(target_os = "linux")]
+            crate::admin::spawn_admin(&server)?;
+        }
         Ok(server)
     }
 
@@ -78,6 +115,79 @@ impl GridFtpServer {
     /// The server's configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The shared config handle (admin plane, internal).
+    pub(crate) fn config_arc(&self) -> &Arc<ServerConfig> {
+        &self.config
+    }
+
+    /// The stop flag (admin plane, internal).
+    pub(crate) fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Has [`GridFtpServer::shutdown`] (or a completed drain) run?
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Is a drain in progress or complete?
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully retire the server: stop accepting new connections
+    /// immediately, wait up to `deadline` for in-flight transfers to
+    /// finish, then shut down. Transfers still running at the deadline
+    /// are interrupted — their clients hold `111` restart markers and
+    /// resume the remainder elsewhere, so no acknowledged byte is lost
+    /// either way.
+    ///
+    /// Idempotent: concurrent or repeated calls serialize, and any call
+    /// after the first reports the existing outcome (`already`) instead
+    /// of waiting again.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        let _serialize = self.drain_lock.lock().unwrap();
+        let already = self.draining.swap(true, Ordering::SeqCst);
+        let metrics = self.config.obs.metrics();
+        let active =
+            || metrics.gauge_value("server.transfers_active").max(0.0).round() as u64;
+        if already {
+            let interrupted = active();
+            return DrainReport {
+                already: true,
+                clean: interrupted == 0,
+                waited_ms: 0,
+                transfers_interrupted: interrupted,
+                sessions_active: self.config.sessions.len() as u64,
+            };
+        }
+        self.config
+            .obs
+            .event_unstable("admin.drain", vec![kv("deadline_ms", deadline.as_millis() as u64)]);
+        let start = Instant::now();
+        while active() > 0 && start.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shutdown();
+        let interrupted = active();
+        let report = DrainReport {
+            already: false,
+            clean: interrupted == 0,
+            waited_ms: start.elapsed().as_millis() as u64,
+            transfers_interrupted: interrupted,
+            sessions_active: self.config.sessions.len() as u64,
+        };
+        self.config.obs.event_unstable(
+            "admin.drained",
+            vec![
+                kv("clean", report.clean),
+                kv("waited_ms", report.waited_ms),
+                kv("interrupted", report.transfers_interrupted),
+            ],
+        );
+        report
     }
 
     /// Stop accepting new sessions (existing sessions run to completion).
@@ -105,6 +215,13 @@ fn start_threaded(server: &Arc<GridFtpServer>, listener: TcpListener) -> Result<
                 }
                 match stream {
                     Ok(s) => {
+                        if server2.draining.load(Ordering::SeqCst) {
+                            // Draining: shed new connections (the socket
+                            // drop is the refusal) while in-flight
+                            // transfers quiesce.
+                            drop(s);
+                            continue;
+                        }
                         let cfg = Arc::clone(&server2.config);
                         let session_seed = server2.seed.fetch_add(1, Ordering::SeqCst);
                         let spawned = std::thread::Builder::new()

@@ -207,6 +207,7 @@ pub(crate) fn spawn(
     config: Arc<ServerConfig>,
     seed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 ) -> Result<ReactorHandle> {
     let epoll = Epoll::new()?;
     let wake = Arc::new(WakeFd::new()?);
@@ -249,6 +250,7 @@ pub(crate) fn spawn(
         listener,
         seed,
         stop,
+        draining,
         wheel: DeadlineWheel::new(WHEEL_TICK, WHEEL_SLOTS),
         done_rx,
         deferred: HashSet::new(),
@@ -277,6 +279,8 @@ struct Reactor {
     listener: TcpListener,
     seed: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    /// Drain in progress: shed new connections, keep serving old ones.
+    draining: Arc<AtomicBool>,
     wheel: DeadlineWheel,
     done_rx: Receiver<Done>,
     /// Sessions with parked frames that bounced off a full shard.
@@ -338,6 +342,12 @@ impl Reactor {
                     if self.stop.load(Ordering::SeqCst) {
                         return;
                     }
+                    if self.draining.load(Ordering::SeqCst) {
+                        // Draining: the socket drop is the refusal, the
+                        // same shedding the threaded core does.
+                        drop(stream);
+                        continue;
+                    }
                     if self.register(stream).is_err() {
                         // Registration failure drops the connection; the
                         // reactor itself stays healthy.
@@ -361,13 +371,13 @@ impl Reactor {
         let mut machine =
             Session::new(Arc::clone(&self.config), StdRng::seed_from_u64(session_seed));
         let mut wlink: Box<dyn Link> = Box::new(unsafe {
-            WriterLink::from_raw(conn.stream().as_raw_fd(), self.config.stall_timeout)
+            WriterLink::from_raw(conn.stream().as_raw_fd(), self.config.live().stall_timeout)
         });
         // The banner goes out through the worker-side writer: the socket
         // is fresh so this cannot meaningfully block the loop.
         machine.greet(&mut wlink)?;
         self.epoll.add(conn.stream().as_raw_fd(), token, Interest::READ)?;
-        if let Some(idle) = self.config.control_idle_timeout {
+        if let Some(idle) = self.config.live().control_idle_timeout {
             self.wheel.schedule(token, Instant::now() + idle);
         }
         self.entries.insert(
@@ -484,7 +494,7 @@ impl Reactor {
         entry.wlink = Some(done.link);
         match done.result {
             Ok(LoopControl::Continue) if !entry.closing => {
-                if let Some(idle) = self.config.control_idle_timeout {
+                if let Some(idle) = self.config.live().control_idle_timeout {
                     self.wheel.schedule(done.token, Instant::now() + idle);
                 }
                 self.try_dispatch(done.token);

@@ -73,6 +73,9 @@ pub struct Session<R: Rng> {
     span: ig_obs::Span,
     /// Cached handle for the per-command RTT histogram.
     cmd_rtt: Arc<ig_obs::Histogram>,
+    /// Handle into the shared [`crate::introspect::SessionIndex`] the
+    /// admin `sessions` command snapshots; deregisters on drop.
+    ticket: crate::introspect::SessionTicket,
     /// Live-session gauge: +1 in `new`, -1 when this guard drops — one
     /// accounting shared by the threaded and reactor cores. Declared
     /// after `span` on purpose: fields drop in declaration order, so
@@ -85,6 +88,17 @@ pub struct Session<R: Rng> {
 struct ActiveSessionGuard(Arc<ig_obs::Gauge>);
 
 impl Drop for ActiveSessionGuard {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
+}
+
+/// Decrements `server.transfers_active` when one transfer's scope ends.
+/// The drain state machine polls this gauge to zero, so the guard must
+/// cover every exit from a transfer method — including error replies.
+struct ActiveTransferGuard(Arc<ig_obs::Gauge>);
+
+impl Drop for ActiveTransferGuard {
     fn drop(&mut self) {
         self.0.add(-1.0);
     }
@@ -124,7 +138,7 @@ fn run_session_inner<R: Rng>(
     rng: R,
 ) -> Result<()> {
     let mut session = Session::new(config, rng);
-    if let Some(idle) = session.config.control_idle_timeout {
+    if let Some(idle) = session.config.live().control_idle_timeout {
         let _ = link.set_recv_timeout(Some(idle));
     }
     session.greet(&mut link)?;
@@ -166,6 +180,7 @@ impl<R: Rng> Session<R> {
         let sessions_active = config.obs.metrics().gauge("server.sessions_active");
         sessions_active.add(1.0);
         let sessions_active = ActiveSessionGuard(sessions_active);
+        let ticket = config.sessions.register();
         let udp_cc = config.udp_cc;
         Session {
             config,
@@ -190,6 +205,7 @@ impl<R: Rng> Session<R> {
             cwd: "/".to_string(),
             span,
             cmd_rtt,
+            ticket,
             sessions_active,
         }
     }
@@ -329,6 +345,7 @@ impl<R: Rng> Session<R> {
     ) -> Result<LoopControl> {
         let verb = cmd.verb();
         self.span.event("cmd.dispatch", vec![kv("verb", verb)]);
+        self.ticket.touch(verb);
         self.config.obs.metrics().add("server.commands", 1);
         let t0 = Instant::now();
         let out = self.handle_inner(link, cmd, wrap);
@@ -801,6 +818,7 @@ impl<R: Rng> Session<R> {
                     Ok(local) => {
                         self.ctx = Some(SecureContext::from_established(est));
                         self.user = Some(UserContext::user(&local));
+                        self.ticket.set_user(&local);
                         self.cwd = format!("/home/{local}");
                         self.identity = Some(peer);
                         self.reply(link, wrap, Reply::adat_done(None))?;
@@ -861,14 +879,14 @@ impl<R: Rng> Session<R> {
                 // Observability surface (§ DESIGN.md 10): one line of JSON
                 // holding the usage totals (the E1 pipeline's source) and a
                 // snapshot of the same metrics registry every layer records
-                // into, so the two can never drift apart.
-                let stats = format!(
-                    "{{\"component\":\"{}\",\"core\":\"{}\",\"usage\":{{\"transfers\":{},\"bytes\":{}}},\"metrics\":{}}}",
+                // into. Rendered by the same serializer as the admin
+                // plane's `metrics` command, so the two surfaces can
+                // never drift apart.
+                let stats = crate::usage::stats_json(
                     self.config.obs.component(),
                     self.config.core.label(),
-                    self.config.usage.total_transfers(),
-                    self.config.usage.total_bytes(),
-                    self.config.obs.metrics().snapshot_json()
+                    &self.config.usage,
+                    self.config.obs.metrics(),
                 );
                 self.reply(link, wrap, Reply::new(250, stats))
             }
@@ -949,11 +967,22 @@ impl<R: Rng> Session<R> {
         let mut cfg = UdpConfig::default()
             .with_cc(self.data_cc)
             .with_obs(Arc::clone(&self.config.obs))
-            .with_stall_timeout(self.config.stall_timeout);
+            .with_stall_timeout(self.config.live().stall_timeout);
         if let Some(chaos) = self.config.udp_chaos {
             cfg = cfg.with_chaos(chaos);
         }
         cfg
+    }
+
+    /// Arm the per-transfer accounting: bump `server.transfers_active`
+    /// (the gauge the drain state machine polls to zero) and flip the
+    /// session's introspection state to `Transfer`. Both roll back when
+    /// the returned guards drop, so every exit path — clean, error
+    /// reply, or unwind — leaves the books balanced.
+    fn begin_transfer(&self) -> (ActiveTransferGuard, crate::introspect::TransferScope) {
+        let gauge = self.config.obs.metrics().gauge("server.transfers_active");
+        gauge.add(1.0);
+        (ActiveTransferGuard(gauge), self.ticket.transfer_scope())
     }
 
     /// Wrap a fully-established data stream in the configured chaos
@@ -972,6 +1001,7 @@ impl<R: Rng> Session<R> {
 
     /// Build the data streams for an outgoing (sending) transfer.
     fn open_send_streams(&mut self, sec: &DataSecurity) -> Result<Vec<Box<dyn Link>>> {
+        let live = self.config.live();
         let mut streams: Vec<Box<dyn Link>> = Vec::new();
         if !self.port_targets.is_empty() {
             // Active: connect out (we are the sender, the canonical case).
@@ -979,7 +1009,7 @@ impl<R: Rng> Session<R> {
             for target in self.port_targets.clone() {
                 for _ in 0..self.parallelism {
                     let conn = connect_transport(target, self.data_transport, &udp)?;
-                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
+                    let throttled = maybe_throttle(conn, live.stripe_rate);
                     let secured = wrap_connect(throttled, sec, &mut self.rng)?;
                     streams.push(self.chaosify(secured));
                 }
@@ -989,8 +1019,8 @@ impl<R: Rng> Session<R> {
             // connections per listener.
             for l in &self.listeners {
                 for _ in 0..self.parallelism {
-                    let conn = l.accept_link(self.config.stall_timeout)?;
-                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
+                    let conn = l.accept_link(live.stall_timeout)?;
+                    let throttled = maybe_throttle(conn, live.stripe_rate);
                     let secured = wrap_accept(throttled, sec, &mut self.rng)?;
                     streams.push(self.chaosify(secured));
                 }
@@ -1091,12 +1121,16 @@ impl<R: Rng> Session<R> {
                 kv("bytes_expected", total_len),
             ],
         );
+        let _active = self.begin_transfer();
         self.reply(link, wrap, Reply::opening_data())?;
+        // One coherent tunable snapshot for the whole transfer: a
+        // reload mid-flight affects the next transfer, not this one.
+        let live = self.config.live();
         let progress = Progress::new();
         let progress2 = Arc::clone(&progress);
         let dsi = Arc::clone(&self.config.dsi);
         let user2 = user.clone();
-        let block_size = self.config.block_size;
+        let block_size = live.block_size;
         let spawned = std::thread::Builder::new().name("dtp-send".into()).spawn(
             move || -> Result<u64> {
                 match source {
@@ -1152,7 +1186,7 @@ impl<R: Rng> Session<R> {
                     stripe_bytes: metrics.gauge_value("server.transfer_progress_bytes") as u64,
                 };
                 self.reply(link, wrap, marker.to_reply())?;
-            } else if last_progress.elapsed() > self.config.stall_timeout {
+            } else if last_progress.elapsed() > live.stall_timeout {
                 break;
             }
         }
@@ -1175,6 +1209,7 @@ impl<R: Rng> Session<R> {
                 let metrics = self.config.obs.metrics();
                 metrics.add("server.transfers_out", 1);
                 metrics.add("server.bytes_out", bytes);
+                self.ticket.add_bytes(false, bytes);
                 tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
                 self.reply(link, wrap, Reply::transfer_complete())
             }
@@ -1203,6 +1238,7 @@ impl<R: Rng> Session<R> {
             "transfer",
             vec![kv("direction", "recv"), kv("resuming", resuming.is_some())],
         );
+        let _active = self.begin_transfer();
         self.reply(link, wrap, Reply::opening_data())?;
         let progress = Progress::new();
         if let Some(have) = &resuming {
@@ -1218,7 +1254,7 @@ impl<R: Rng> Session<R> {
             path,
             Arc::clone(&progress),
         )
-        .with_idle(self.config.stall_timeout);
+        .with_idle(self.config.live().stall_timeout);
         let end = self.pump_receiver(link, wrap, &sec, &receiver, &progress)?;
         self.listeners.clear();
         self.port_targets.clear();
@@ -1253,6 +1289,7 @@ impl<R: Rng> Session<R> {
                 let metrics = self.config.obs.metrics();
                 metrics.add("server.transfers_in", 1);
                 metrics.add("server.bytes_in", bytes);
+                self.ticket.add_bytes(true, bytes);
                 tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
                 self.reply(link, wrap, Reply::transfer_complete())
             }
@@ -1278,6 +1315,7 @@ impl<R: Rng> Session<R> {
         receiver: &Receiver,
         progress: &Arc<Progress>,
     ) -> Result<PumpEnd> {
+        let live = self.config.live();
         let mut connected = 0usize;
         let mut last_marker = ByteRanges::new();
         let mut last_progress = Instant::now();
@@ -1291,7 +1329,7 @@ impl<R: Rng> Session<R> {
                 for target in self.port_targets.clone() {
                     for _ in 0..self.parallelism {
                         let conn = connect_transport(target, self.data_transport, &udp)?;
-                        let throttled = maybe_throttle(conn, self.config.stripe_rate);
+                        let throttled = maybe_throttle(conn, live.stripe_rate);
                         let secured = wrap_connect(throttled, sec, &mut self.rng)?;
                         if let Err(e) = receiver.add_stream(self.chaosify(secured)) {
                             return Ok(PumpEnd::SpawnError(e.to_string()));
@@ -1302,7 +1340,7 @@ impl<R: Rng> Session<R> {
             }
             for l in &self.listeners {
                 if let Some(conn) = l.try_accept_link() {
-                    let throttled = maybe_throttle(conn, self.config.stripe_rate);
+                    let throttled = maybe_throttle(conn, live.stripe_rate);
                     match wrap_accept(throttled, sec, &mut self.rng) {
                         Ok(s) => {
                             if let Err(e) = receiver.add_stream(self.chaosify(s)) {
@@ -1322,7 +1360,7 @@ impl<R: Rng> Session<R> {
                 last_marker = snapshot.clone();
                 last_progress = Instant::now();
                 self.reply(link, wrap, RestartMarker { ranges: snapshot }.to_reply())?;
-            } else if last_progress.elapsed() > self.config.stall_timeout {
+            } else if last_progress.elapsed() > live.stall_timeout {
                 break;
             }
         }
@@ -1352,6 +1390,7 @@ impl<R: Rng> Session<R> {
             .config
             .obs
             .span("transfer", vec![kv("direction", "recv-dir")]);
+        let _active = self.begin_transfer();
         self.reply(link, wrap, Reply::opening_data())?;
         let progress = Progress::new();
         // Stage the raw stream in session-private memory: expansion must
@@ -1361,7 +1400,7 @@ impl<R: Rng> Session<R> {
         let su = UserContext::superuser();
         let receiver =
             Receiver::new(Arc::clone(&staging), su.clone(), "/stream", Arc::clone(&progress))
-                .with_idle(self.config.stall_timeout);
+                .with_idle(self.config.live().stall_timeout);
         let end = self.pump_receiver(link, wrap, &sec, &receiver, &progress)?;
         self.listeners.clear();
         self.port_targets.clear();
@@ -1414,6 +1453,7 @@ impl<R: Rng> Session<R> {
                 let metrics = self.config.obs.metrics();
                 metrics.add("server.transfers_in", 1);
                 metrics.add("server.bytes_in", bytes);
+                self.ticket.add_bytes(true, bytes);
                 tspan.end_with(vec![kv("outcome", "ok"), kv("bytes", bytes)]);
                 self.reply(
                     link,

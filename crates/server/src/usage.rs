@@ -32,6 +32,46 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Counters every stats surface must expose even before their
+/// subsystem has fired once. The registry only snapshots metrics that
+/// exist, so scheduler and UDP counters would otherwise be absent from
+/// `SITE STATS` on an idle server — touching them here (get-or-create
+/// at zero) pins the reply shape.
+const ALWAYS_PRESENT_COUNTERS: &[&str] = &[
+    "gol.sched.submitted",
+    "gol.sched.grants",
+    "gol.sched.rejects",
+    "gol.sched.queue_full",
+    "udp.retransmits",
+    "udp.naks",
+    "udp.corrupt_drops",
+    "udp.chaos_faults",
+];
+
+/// The one serializer behind both operator surfaces: the control
+/// channel's `SITE STATS` reply and the admin plane's `metrics`
+/// command. One function means the two can never drift — the
+/// regression test in `tests/obs_stats.rs` compares them byte-for-byte
+/// (modulo counter values that move between the two reads).
+pub fn stats_json(
+    component: &str,
+    core_label: &str,
+    usage: &UsageReporter,
+    metrics: &ig_obs::Registry,
+) -> String {
+    for name in ALWAYS_PRESENT_COUNTERS {
+        metrics.counter(name);
+    }
+    format!(
+        "{{\"component\":\"{}\",\"core\":\"{}\",\"usage\":{{\"transfers\":{},\"bytes\":{}}},\"metrics\":{}}}",
+        component,
+        core_label,
+        usage.total_transfers(),
+        usage.total_bytes(),
+        metrics.snapshot_json()
+    )
+}
+
 /// One completed transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferRecord {

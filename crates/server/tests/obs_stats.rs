@@ -161,6 +161,22 @@ fn run_stats_scenario(core: ServerCore) {
     ] {
         assert!(stats.contains(&needle), "missing {needle} in SITE STATS: {stats}");
     }
+    // The shared serializer pre-registers the scheduler and UDP-driver
+    // counters, so the stats *shape* is stable even on a TCP-only run
+    // with no scheduler attached — dashboards can rely on the keys
+    // existing, zero-valued, from the first scrape.
+    for needle in [
+        "\"gol.sched.submitted\":0",
+        "\"gol.sched.grants\":0",
+        "\"gol.sched.rejects\":0",
+        "\"gol.sched.queue_full\":0",
+        "\"udp.retransmits\":0",
+        "\"udp.naks\":0",
+        "\"udp.corrupt_drops\":0",
+        "\"udp.chaos_faults\":0",
+    ] {
+        assert!(stats.contains(needle), "missing {needle} in SITE STATS: {stats}");
+    }
     // The command loop itself is instrumented.
     assert!(stats.contains("\"server.commands\":"), "missing command counter: {stats}");
     assert!(stats.contains("\"server.cmd_rtt_ns\":"), "missing RTT histogram: {stats}");
@@ -172,6 +188,41 @@ fn run_stats_scenario(core: ServerCore) {
     assert!(
         stats.contains("\"server.sessions_active\":1"),
         "live-session gauge missing or wrong in SITE STATS: {stats}"
+    );
+
+    // One serializer, two surfaces: the SITE STATS line must be
+    // byte-for-byte what `ig_server::stats_json` renders from the same
+    // registry — the function the admin plane's `metrics` command also
+    // calls. A *second* SITE STATS is compared (the first one minted
+    // its own `server.reply_250` counter, which would otherwise differ
+    // as a key). Counters tick between the two renders (and RTT
+    // quantiles move, possibly across digit-count boundaries), so every
+    // run of ASCII digits collapses to a single `0` before comparing;
+    // the keys, ordering, and structure must match exactly.
+    let stats =
+        session.command(&Command::Site("STATS".into())).unwrap().text().to_string();
+    let direct =
+        ig_server::stats_json(server_obs.component(), core.label(), usage, server_obs.metrics());
+    let mask = |s: &str| {
+        let mut out = String::with_capacity(s.len());
+        let mut in_digits = false;
+        for c in s.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('0');
+                    in_digits = true;
+                }
+            } else {
+                in_digits = false;
+                out.push(c);
+            }
+        }
+        out
+    };
+    assert_eq!(
+        mask(&stats),
+        mask(&direct),
+        "SITE STATS drifted from the shared stats_json serializer"
     );
 
     session.quit().unwrap();

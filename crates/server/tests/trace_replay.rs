@@ -44,6 +44,41 @@ fn classify(e: &ig_client::ClientError) -> String {
     }
 }
 
+/// Incremental stable-trace reader over the `export_stable_since`
+/// cursor — the same access pattern the admin plane's `trace follow`
+/// uses. Draining at checkpoints instead of one full-buffer re-export
+/// at the end also keeps each read proportional to what's new.
+struct CursorStream {
+    cursor: u64,
+    jsonl: String,
+}
+
+impl CursorStream {
+    fn new() -> Self {
+        CursorStream { cursor: 0, jsonl: String::new() }
+    }
+
+    fn drain(&mut self, obs: &ig_obs::Obs) {
+        let chunk = obs.export_stable_since(self.cursor);
+        assert_eq!(chunk.dropped, 0, "stable ring must not wrap under test load");
+        assert!(chunk.next >= self.cursor, "cursor must be monotone");
+        self.cursor = chunk.next;
+        self.jsonl.push_str(&chunk.jsonl);
+    }
+
+    /// Final drain, then check the incremental stream reassembled the
+    /// exact one-shot export before handing it back.
+    fn finish(mut self, obs: &ig_obs::Obs) -> String {
+        self.drain(obs);
+        assert_eq!(
+            self.jsonl,
+            obs.export_stable(),
+            "cursor-streamed stable trace must equal the one-shot export"
+        );
+        self.jsonl
+    }
+}
+
 /// One failing-then-recovering PUT under a seeded Drop fault, with
 /// private client/server observability hubs. Returns the combined
 /// stable export (client block then server block).
@@ -108,6 +143,14 @@ fn run_cell() -> String {
     session.login().unwrap();
     session.set_dcau(DcauMode::None).unwrap();
 
+    // Stream both stable traces incrementally through the cursor API as
+    // the scenario progresses (login / recovery / teardown checkpoints)
+    // rather than re-exporting the full ring once at the end.
+    let mut client_stream = CursorStream::new();
+    let mut server_stream = CursorStream::new();
+    client_stream.drain(&client_obs);
+    server_stream.drain(&server_obs);
+
     // The chaos cell: drop the second data record on the first attempt.
     let hook = ChaosHook::disarmed(ChaosConfig::single(
         SEED + 3,
@@ -129,10 +172,12 @@ fn run_cell() -> String {
     });
     assert!(result.is_ok(), "PUT never recovered: {:?}", result.err().map(|e| e.to_string()));
     assert_eq!(hook.total_fires(), 1, "the seeded fault must fire exactly once");
+    client_stream.drain(&client_obs);
+    server_stream.drain(&server_obs);
     session.quit().unwrap();
     server_thread.join().unwrap().unwrap();
 
-    format!("{}{}", client_obs.export_stable(), server_obs.export_stable())
+    format!("{}{}", client_stream.finish(&client_obs), server_stream.finish(&server_obs))
 }
 
 /// The same failing-then-recovering PUT against a reactor-core server
@@ -202,6 +247,11 @@ fn run_cell_reactor() -> String {
     session.login().unwrap();
     session.set_dcau(DcauMode::None).unwrap();
 
+    let mut client_stream = CursorStream::new();
+    let mut server_stream = CursorStream::new();
+    client_stream.drain(&client_obs);
+    server_stream.drain(&server_obs);
+
     let hook = ChaosHook::disarmed(ChaosConfig::single(
         SEED + 3,
         FaultSpec::send(FaultKind::Drop, Trigger::OnRecord(1)),
@@ -222,6 +272,8 @@ fn run_cell_reactor() -> String {
     });
     assert!(result.is_ok(), "PUT never recovered: {:?}", result.err().map(|e| e.to_string()));
     assert_eq!(hook.total_fires(), 1, "the seeded fault must fire exactly once");
+    client_stream.drain(&client_obs);
+    server_stream.drain(&server_obs);
     session.quit().unwrap();
     // Session teardown (and so the server's `span.end`) happens on the
     // reactor thread after QUIT completes; wait for it before exporting.
@@ -232,7 +284,7 @@ fn run_cell_reactor() -> String {
     }
     server.shutdown();
 
-    format!("{}{}", client_obs.export_stable(), server_obs.export_stable())
+    format!("{}{}", client_stream.finish(&client_obs), server_stream.finish(&server_obs))
 }
 
 /// Capture `$IG_TRACE` and clear it from the environment exactly once,

@@ -43,6 +43,8 @@ pub mod secure;
 pub mod telemetry;
 pub mod test_support;
 pub mod udp;
+#[cfg(target_os = "linux")]
+pub mod uds;
 pub mod throttle;
 pub mod wheel;
 
@@ -58,3 +60,5 @@ pub use secure::{secure_accept, secure_connect, SecureLink};
 pub use telemetry::{Counters, Telemetry};
 pub use throttle::Throttle;
 pub use udp::{ChaosFault, DataTransport, DatagramChaos, UdpConfig, UdpLink, UdpListener};
+#[cfg(target_os = "linux")]
+pub use uds::UdsListener;

@@ -1,0 +1,204 @@
+//! Unix-domain-socket listener support for the local admin plane.
+//!
+//! The operator surface (`ig-server::admin`) follows the cooperative
+//! local-IPC model: a `SOCK_STREAM` socket at a well-known path, file
+//! mode `0600`, and an `SO_PEERCRED` UID check on every accepted
+//! connection so only the owning user can speak to the daemon — the
+//! filesystem permission is the first gate, the kernel-reported peer
+//! credential is the second, and both are enforced *before* any byte of
+//! the connection is parsed.
+//!
+//! Like [`crate::epoll`], this wraps the needed syscalls through minimal
+//! `extern "C"` declarations (libc is already linked into every Rust
+//! binary) and is compiled on Linux only: `SO_PEERCRED` is a Linux
+//! socket option, and the admin plane is gated on the same cfg.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::fs::{FileTypeExt, PermissionsExt};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+/// Mirror of the kernel's `struct ucred` returned by `SO_PEERCRED`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct UCred {
+    pid: i32,
+    uid: u32,
+    gid: u32,
+}
+
+const SOL_SOCKET: c_int = 1;
+const SO_PEERCRED: c_int = 17;
+
+extern "C" {
+    fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut c_uint,
+    ) -> c_int;
+    fn umask(mask: c_uint) -> c_uint;
+    fn geteuid() -> c_uint;
+}
+
+/// The effective UID of this process — the default identity an admin
+/// socket trusts.
+pub fn process_euid() -> u32 {
+    // SAFETY: geteuid takes no arguments and cannot fail.
+    unsafe { geteuid() }
+}
+
+/// Kernel-verified UID of the peer on a connected unix-domain stream.
+pub fn peer_uid(stream: &UnixStream) -> io::Result<u32> {
+    let mut cred = UCred { pid: 0, uid: 0, gid: 0 };
+    let mut len = std::mem::size_of::<UCred>() as c_uint;
+    // SAFETY: optval points at a properly-sized, aligned UCred and len
+    // carries its size; the kernel writes at most `len` bytes.
+    let rc = unsafe {
+        getsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_PEERCRED,
+            &mut cred as *mut UCred as *mut c_void,
+            &mut len,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(cred.uid)
+}
+
+/// A private (mode `0600`) unix-domain listener that cleans up its
+/// socket file on drop. [`UdsListener::accept`] returns the connected
+/// stream together with the kernel-verified peer UID so callers can
+/// reject foreign users before reading anything.
+#[derive(Debug)]
+pub struct UdsListener {
+    inner: UnixListener,
+    path: PathBuf,
+}
+
+impl UdsListener {
+    /// Bind a fresh private socket at `path`.
+    ///
+    /// A stale socket file left by a crashed daemon is unlinked and
+    /// replaced; anything else at the path — a regular file, and in
+    /// particular a symlink (never followed) — is an error, so a
+    /// hostile pre-planted path cannot redirect the bind.
+    pub fn bind_private(path: &Path) -> io::Result<UdsListener> {
+        match std::fs::symlink_metadata(path) {
+            Ok(meta) if meta.file_type().is_socket() => std::fs::remove_file(path)?,
+            Ok(meta) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("{}: exists and is not a socket ({:?})", path.display(), meta.file_type()),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        // Create the socket file with no group/other bits from the first
+        // instant: mask them in the process umask across the bind, then
+        // restore. (set_permissions afterwards would leave a window.)
+        // SAFETY: umask only swaps the process file-creation mask.
+        let old = unsafe { umask(0o177) };
+        let bound = UnixListener::bind(path);
+        unsafe { umask(old) };
+        let inner = bound?;
+        // Belt and braces: the mask already guaranteed 0600.
+        std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o600))?;
+        Ok(UdsListener { inner, path: path.to_path_buf() })
+    }
+
+    /// Accept one connection, returning the stream and the peer's
+    /// kernel-verified UID.
+    pub fn accept(&self) -> io::Result<(UnixStream, u32)> {
+        let (stream, _addr) = self.inner.accept()?;
+        let uid = peer_uid(&stream)?;
+        Ok((stream, uid))
+    }
+
+    /// Switch the listener between blocking and nonblocking accepts.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nb)
+    }
+
+    /// The filesystem path this listener is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for UdsListener {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ig-uds-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn socket_file_is_0600_and_cleaned_up() {
+        let path = tmp_path("mode");
+        {
+            let _l = UdsListener::bind_private(&path).unwrap();
+            let mode = std::fs::metadata(&path).unwrap().permissions().mode();
+            assert_eq!(mode & 0o777, 0o600, "socket must be private, got {:o}", mode);
+        }
+        assert!(!path.exists(), "socket file must be removed on drop");
+    }
+
+    #[test]
+    fn peer_uid_matches_self_connect() {
+        let path = tmp_path("cred");
+        let l = UdsListener::bind_private(&path).unwrap();
+        let _client = UnixStream::connect(&path).unwrap();
+        let (_stream, uid) = l.accept().unwrap();
+        assert_eq!(uid, process_euid(), "loopback connect must carry our own euid");
+    }
+
+    #[test]
+    fn stale_socket_is_replaced_but_files_are_not() {
+        let path = tmp_path("stale");
+        drop(UdsListener::bind_private(&path));
+        // A crashed daemon leaves the file behind; simulate by binding
+        // twice with the first listener leaked out of scope first.
+        let first = UdsListener::bind_private(&path).unwrap();
+        std::mem::forget(first);
+        let second = UdsListener::bind_private(&path).unwrap();
+        drop(second);
+
+        let file_path = tmp_path("regular-file");
+        std::fs::write(&file_path, b"not a socket").unwrap();
+        let err = UdsListener::bind_private(&file_path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_file(&file_path).unwrap();
+    }
+
+    #[test]
+    fn symlink_at_path_is_rejected() {
+        let target = tmp_path("symlink-target");
+        let link = tmp_path("symlink");
+        let _ = std::fs::remove_file(&link);
+        std::fs::write(&target, b"x").unwrap();
+        std::os::unix::fs::symlink(&target, &link).unwrap();
+        let err = UdsListener::bind_private(&link).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists, "symlinks must never be followed");
+        std::fs::remove_file(&link).unwrap();
+        std::fs::remove_file(&target).unwrap();
+    }
+}

@@ -171,4 +171,69 @@ IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-server --test usage_differen
 IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-gol --test sched_property
 IG_PROPTEST_CASES=8 timeout 300 cargo test -q -p ig-myproxy --test cred_cache
 
+# Admin-plane smoke: a real server process with its unix admin socket,
+# driven end to end by the ig-admin operator client — handshake, framed
+# metrics/sessions/reload round-trips, then a drain that must terminate
+# the serve process cleanly. This is the out-of-process complement to
+# the admin_socket integration battery (which runs under `cargo test`
+# above).
+echo "==> admin socket smoke (ig-admin client vs live server over UDS)"
+cargo build -q --release --example ig_admin
+admin_sock="$(mktemp -u /tmp/ig-admin-ci-XXXXXX.sock)"
+./target/release/examples/ig_admin serve "${admin_sock}" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "${admin_sock}" ]] && break
+  sleep 0.05
+done
+[[ -S "${admin_sock}" ]] || { echo "admin socket never appeared" >&2; exit 1; }
+metrics_out="$(./target/release/examples/ig_admin metrics "${admin_sock}")"
+grep -q '"server.sessions_active"' <<<"${metrics_out}" || {
+  echo "admin metrics reply missing the registry snapshot: ${metrics_out}" >&2
+  exit 1
+}
+sessions_out="$(./target/release/examples/ig_admin sessions "${admin_sock}")"
+grep -q '"active":0' <<<"${sessions_out}" || {
+  echo "admin sessions reply wrong on an idle server: ${sessions_out}" >&2
+  exit 1
+}
+reload_out="$(./target/release/examples/ig_admin reload block_size=65536 "${admin_sock}")"
+grep -q '"block_size":65536' <<<"${reload_out}" || {
+  echo "admin reload did not echo the new tunable: ${reload_out}" >&2
+  exit 1
+}
+if ./target/release/examples/ig_admin reload core=1 "${admin_sock}" >/dev/null; then
+  echo "admin reload accepted a non-reloadable field" >&2
+  exit 1
+fi
+./target/release/examples/ig_admin drain --deadline-ms 2000 "${admin_sock}" >/dev/null
+for _ in $(seq 1 200); do
+  kill -0 "${serve_pid}" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -0 "${serve_pid}" 2>/dev/null; then
+  echo "serve process still alive after drain" >&2
+  kill "${serve_pid}"
+  exit 1
+fi
+wait "${serve_pid}" || { echo "serve process exited non-zero after drain" >&2; exit 1; }
+echo "    metrics/sessions/reload round-tripped; drain retired the server"
+
+# E16 drain-under-load smoke: the reduced run drives the admin-socket
+# drain RTT sweep (p99 budget-gated in-test too) plus the forced
+# checkpoint-and-resume round; the gate re-checks the rendered table for
+# a clean busy drain and a verified zero-loss resume.
+echo "==> E16 drain-under-load smoke (reduced, wall-clock guarded)"
+e16_out="$(timeout 600 cargo run -q --release -p ig-bench --bin report -- --exp e16 --fast)"
+echo "${e16_out}"
+grep -q 'clean=true' <<<"${e16_out}" || { echo "E16: busy drain was not clean" >&2; exit 1; }
+if grep -q 'CONTENT MISMATCH' <<<"${e16_out}"; then
+  echo "E16: acknowledged bytes were lost" >&2
+  exit 1
+fi
+grep -Eq 'forced ckpt.*interrupted=[1-9]' <<<"${e16_out}" || {
+  echo "E16: forced round did not interrupt the in-flight transfer" >&2
+  exit 1
+}
+
 echo "CI gate passed."
